@@ -1,0 +1,111 @@
+//! Scaled-down criterion entry points for every figure and table of the
+//! paper, so `cargo bench` regenerates each experiment's machinery end to
+//! end at tiny scale. Full-resolution runs (more epochs, larger datasets,
+//! all variants) live in the `src/bin/fig*` harnesses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nups_bench::variant::SyncSetting;
+use nups_bench::{build_task, run, RunConfig, Scale, TaskKind, VariantSpec};
+use nups_sim::topology::Topology;
+
+const TOPO: Topology = Topology { n_nodes: 2, workers_per_node: 2 };
+
+fn cfg() -> RunConfig {
+    RunConfig::new(TOPO, 1)
+}
+
+fn bench_one(c: &mut Criterion, group: &str, kind: TaskKind, variants: Vec<VariantSpec>) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    let factory = move |topo| build_task(kind, Scale::Tiny, topo);
+    for v in variants {
+        g.bench_function(BenchmarkId::new(kind.name(), &v.name), |b| {
+            b.iter(|| run(&factory, &v, &cfg()))
+        });
+    }
+    g.finish();
+}
+
+/// Figures 1 & 6: end-to-end systems comparison (one epoch, tiny scale).
+fn fig6(c: &mut Criterion) {
+    for kind in TaskKind::all() {
+        bench_one(
+            c,
+            "fig6_end_to_end",
+            kind,
+            vec![
+                VariantSpec::single_node(),
+                VariantSpec::classic(),
+                VariantSpec::petuum_essp(10),
+                VariantSpec::lapse(),
+                VariantSpec::nups_untuned(),
+            ],
+        );
+    }
+}
+
+/// Figure 7: ablation variants.
+fn fig7(c: &mut Criterion) {
+    bench_one(
+        c,
+        "fig7_ablation",
+        TaskKind::Kge,
+        vec![
+            VariantSpec::ablation_relocation_replication(),
+            VariantSpec::ablation_relocation_sampling(),
+        ],
+    );
+}
+
+/// Figures 8/9: scalability (node-count sweep at one epoch).
+fn fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_scalability");
+    g.sample_size(10);
+    let factory = move |topo| build_task(TaskKind::Kge, Scale::Tiny, topo);
+    for nodes in [1u16, 2, 4] {
+        g.bench_function(BenchmarkId::new("nups_untuned", nodes), |b| {
+            b.iter(|| {
+                let cfg = RunConfig::new(Topology::new(nodes, 2), 1);
+                run(&factory, &VariantSpec::nups_untuned(), &cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 10: sampling schemes.
+fn fig10(c: &mut Criterion) {
+    bench_one(c, "fig10_sampling_schemes", TaskKind::Kge, VariantSpec::scheme_ladder());
+}
+
+/// Figure 11 / Table 3: replication-factor sweep.
+fn fig11(c: &mut Criterion) {
+    bench_one(
+        c,
+        "fig11_technique_choice",
+        TaskKind::Kge,
+        vec![
+            VariantSpec::nups_replication_factor(0.0),
+            VariantSpec::nups_replication_factor(1.0),
+            VariantSpec::nups_replication_factor(64.0),
+        ],
+    );
+}
+
+/// Figure 12: staleness sweep.
+fn fig12(c: &mut Criterion) {
+    bench_one(
+        c,
+        "fig12_staleness",
+        TaskKind::Kge,
+        vec![
+            VariantSpec::nups_sync(SyncSetting::PerSecond(125.0)),
+            VariantSpec::nups_sync(SyncSetting::PerSecond(1.0)),
+            VariantSpec::nups_sync(SyncSetting::Never),
+        ],
+    );
+}
+
+criterion_group!(figures, fig6, fig7, fig8, fig10, fig11, fig12);
+criterion_main!(figures);

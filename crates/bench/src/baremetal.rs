@@ -1,0 +1,155 @@
+//! A "task-specific implementation" stand-in for Section 5.8: the same
+//! training math run against a bare shared-memory parameter array, without
+//! any parameter-server machinery — no working copies, no per-key atomic
+//! update guarantees beyond a plain latch, no sampling manager. This is
+//! the same trade the paper describes for the specialized WV/MF
+//! implementations it compares against ("workers read and write in the
+//! parameter store directly, without any consistency or isolation
+//! guarantees").
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+use nups_core::api::PsWorker;
+use nups_core::key::Key;
+use nups_core::sampling::{DistId, Distribution, SampleHandle};
+use nups_ml::task::TrainTask;
+use nups_sim::clock::{ClusterClocks, WorkerClock};
+use nups_sim::cost::CostModel;
+use nups_sim::time::{SimDuration, SimTime};
+use nups_sim::topology::Topology;
+
+/// Shared state of the bare-metal runner.
+pub struct BareMetal {
+    values: Arc<Vec<Mutex<Vec<f32>>>>,
+    dists: Vec<Arc<Distribution>>,
+    clocks: Arc<ClusterClocks>,
+    cost: CostModel,
+    value_len: usize,
+}
+
+impl BareMetal {
+    pub fn new(task: &dyn TrainTask, workers: u16, cost: CostModel) -> BareMetal {
+        let mut scratch = vec![0.0f32; task.value_len()];
+        let values: Vec<Mutex<Vec<f32>>> = (0..task.n_keys())
+            .map(|k| {
+                scratch.fill(0.0);
+                task.init_value(k, &mut scratch);
+                Mutex::new(scratch.clone())
+            })
+            .collect();
+        let dists = task
+            .distributions()
+            .into_iter()
+            .map(|d| Arc::new(Distribution::new(d.base_key, d.n, d.kind, d.level)))
+            .collect();
+        BareMetal {
+            values: Arc::new(values),
+            dists,
+            clocks: Arc::new(ClusterClocks::new(Topology::single_node(workers))),
+            cost,
+            value_len: task.value_len(),
+        }
+    }
+
+    pub fn workers(&self) -> Vec<BareWorker> {
+        self.clocks
+            .topology()
+            .workers()
+            .map(|w| BareWorker {
+                values: Arc::clone(&self.values),
+                dists: self.dists.clone(),
+                clock: self.clocks.worker_clock(w),
+                cost: self.cost,
+                value_len: self.value_len,
+                rng: SmallRng::seed_from_u64(0xBA7E ^ self.clocks.topology().worker_index(w) as u64),
+            })
+            .collect()
+    }
+
+    pub fn virtual_time(&self) -> SimTime {
+        self.clocks.max_time()
+    }
+
+    pub fn read_all(&self) -> Vec<Vec<f32>> {
+        self.values.iter().map(|v| v.lock().clone()).collect()
+    }
+}
+
+/// One bare-metal worker: direct array access, minimal costs.
+pub struct BareWorker {
+    values: Arc<Vec<Mutex<Vec<f32>>>>,
+    dists: Vec<Arc<Distribution>>,
+    clock: WorkerClock,
+    cost: CostModel,
+    value_len: usize,
+    rng: SmallRng,
+}
+
+impl BareWorker {
+    /// Raw access cost: the memcpy, without the PS's latch-and-working-copy
+    /// constant.
+    fn charge_raw_access(&mut self) {
+        let bytes = 4 * self.value_len;
+        self.clock
+            .advance(SimDuration::from_secs_f64(bytes as f64 / self.cost.memory_bandwidth));
+    }
+}
+
+impl PsWorker for BareWorker {
+    fn value_len(&self) -> usize {
+        self.value_len
+    }
+
+    fn pull(&mut self, key: Key, out: &mut [f32]) {
+        out.copy_from_slice(&self.values[key as usize].lock());
+        self.charge_raw_access();
+    }
+
+    fn push(&mut self, key: Key, delta: &[f32]) {
+        {
+            let mut v = self.values[key as usize].lock();
+            for (x, d) in v.iter_mut().zip(delta) {
+                *x += d;
+            }
+        }
+        self.charge_raw_access();
+    }
+
+    fn localize(&mut self, _keys: &[Key]) {}
+
+    fn advance_clock(&mut self) {}
+
+    fn charge_compute(&mut self, flops: u64) {
+        self.clock.advance(self.cost.compute(flops));
+    }
+
+    fn prepare_sample(&mut self, dist: DistId, n: usize) -> SampleHandle {
+        let d = &self.dists[dist.0];
+        let keys: Vec<Key> = (0..n).map(|_| d.sample(&mut self.rng)).collect();
+        SampleHandle::new(dist, keys)
+    }
+
+    fn pull_sample(&mut self, handle: &mut SampleHandle, n: usize) -> Vec<(Key, Vec<f32>)> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let Some((key, _)) = handle.pop_key() else { break };
+            let mut value = vec![0.0; self.value_len];
+            self.pull(key, &mut value);
+            out.push((key, value));
+        }
+        out
+    }
+
+    fn begin_epoch(&mut self) {
+        self.clock.refresh();
+    }
+
+    fn end_epoch(&mut self) {}
+
+    fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+}

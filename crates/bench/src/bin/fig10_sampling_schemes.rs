@@ -1,0 +1,61 @@
+//! Figure 10: effect of the sampling scheme (independent / sample reuse
+//! U=16 and U=64 / reuse with postponing / local sampling) on run time and
+//! per-epoch quality, for KGE and WV.
+//!
+//! Usage: cargo run --release -p nups-bench --bin fig10_sampling_schemes -- \
+//!   [--task kge|wv] [--nodes 4] [--workers 2] [--epochs 5] [--scale small]
+
+use nups_bench::report::{fmt_duration, fmt_quality, fmt_speedup, print_series, print_table, raw_speedup};
+use nups_bench::{build_task, run, Args, RunConfig, TaskKind, VariantSpec};
+
+fn main() {
+    let args = Args::parse();
+    let topology = args.topology();
+    let epochs = args.epochs(5);
+
+    for kind in args.tasks() {
+        if kind == TaskKind::Mf {
+            continue; // no sampling access in MF
+        }
+        let scale = args.scale();
+        let factory = move |topo| build_task(kind, scale, topo);
+        let cfg = RunConfig::new(topology, epochs);
+
+        println!("\n##### Figure 10 — sampling schemes on {} #####", kind.name());
+        let mut results = Vec::new();
+        for v in VariantSpec::scheme_ladder() {
+            eprintln!("[fig10] {} / {}", kind.name(), v.name);
+            let r = run(&factory, &v, &cfg);
+            print_series(&r);
+            results.push(r);
+        }
+        let independent = &results[0];
+        let rows: Vec<Vec<String>> = results
+            .iter()
+            .map(|r| {
+                vec![
+                    r.variant.clone(),
+                    fmt_duration(r.epoch_time()),
+                    fmt_quality(r.final_quality()),
+                    fmt_speedup(Some(raw_speedup(independent, r))),
+                    format!("{}", r.metrics.samples_drawn),
+                    format!("{}", r.metrics.samples_remote),
+                    format!("{}", r.metrics.samples_postponed),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Figure 10 summary — {} (speedup vs independent)", kind.name()),
+            &[
+                "scheme",
+                "epoch time",
+                "final quality",
+                "epoch speedup",
+                "samples",
+                "remote",
+                "postponed",
+            ],
+            &rows,
+        );
+    }
+}

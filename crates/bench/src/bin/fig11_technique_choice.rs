@@ -1,0 +1,95 @@
+//! Figure 11 + Table 3: the choice of management technique. Sweeps the
+//! number of replicated keys by factors 0, 1/64 … 256 of the untuned
+//! heuristic's choice and reports epoch run time, model quality after one
+//! epoch, the achieved synchronization frequency (which collapses when
+//! replica volume outgrows the network), and Table 3's share columns.
+//!
+//! Usage: cargo run --release -p nups-bench --bin fig11_technique_choice -- \
+//!   [--task kge|wv|mf] [--nodes 4] [--workers 2] [--scale small]
+
+use nups_bench::report::{fmt_duration, fmt_quality, print_table};
+use nups_bench::runner::replicated_keys_for;
+use nups_bench::variant::VariantKind;
+use nups_bench::{build_task, run, Args, RunConfig, VariantSpec};
+
+const FACTORS: [f64; 9] =
+    [0.0, 1.0 / 64.0, 1.0 / 16.0, 0.25, 1.0, 4.0, 16.0, 64.0, 256.0];
+
+fn main() {
+    let args = Args::parse();
+    let topology = args.topology();
+    let epochs = args.epochs(1); // Figure 11 measures one epoch
+
+    for kind in args.tasks() {
+        let scale = args.scale();
+        let factory = move |topo| build_task(kind, scale, topo);
+        let task = factory(topology);
+        let cfg = RunConfig::new(topology, epochs);
+
+        println!("\n##### Figure 11 / Table 3 — technique choice on {} #####", kind.name());
+        let mut rows = Vec::new();
+        let mut quality_no_replication = None;
+        for factor in FACTORS {
+            let spec = VariantSpec::nups_replication_factor(factor);
+            let VariantKind::Nups(v) = &spec.kind else { unreachable!() };
+            let planned = replicated_keys_for(task.as_ref(), v).len();
+            eprintln!("[fig11] {} / factor {factor} ({planned} keys)", kind.name());
+            let r = run(&factory, &spec, &cfg);
+            let q = r.final_quality();
+            if factor == 0.0 {
+                quality_no_replication = q;
+            }
+            // Table 3 columns.
+            let key_share = 100.0 * r.replicated_keys as f64 / task.n_keys() as f64;
+            let replica_mb =
+                r.replicated_keys as f64 * task.value_len() as f64 * 4.0 / 1e6;
+            let total_accesses = r.metrics.local_pulls
+                + r.metrics.remote_pulls
+                + r.metrics.local_pushes
+                + r.metrics.remote_pushes;
+            let replica_accesses = r.metrics.replica_pulls + r.metrics.replica_pushes;
+            let access_share = if total_accesses > 0 {
+                100.0 * replica_accesses as f64 / total_accesses as f64
+            } else {
+                0.0
+            };
+            // Mark runs whose quality is not within 10% of the
+            // no-replication quality (the paper's red cells).
+            let degraded = match (q, quality_no_replication) {
+                (Some(q), Some(q0)) => {
+                    let within_10pct = match task.quality_direction() {
+                        nups_ml::task::QualityDirection::HigherIsBetter => q >= 0.9 * q0,
+                        nups_ml::task::QualityDirection::LowerIsBetter => q <= 1.1 * q0,
+                    };
+                    !within_10pct
+                }
+                _ => false,
+            };
+            rows.push(vec![
+                format!("{factor}x ({} keys)", r.replicated_keys),
+                fmt_duration(r.epoch_time()),
+                format!("{}{}", fmt_quality(q), if degraded { " !" } else { "" }),
+                r.sync_frequency.map(|f| format!("{f:.2}/s")).unwrap_or_else(|| "—".into()),
+                format!("{key_share:.4}%"),
+                format!("{replica_mb:.2}"),
+                format!("{access_share:.0}%"),
+            ]);
+        }
+        print_table(
+            &format!(
+                "Figure 11 / Table 3 — {} ('!' = quality not within 10% of no-replication)",
+                kind.name()
+            ),
+            &[
+                "replication",
+                "epoch time",
+                "quality",
+                "achieved sync",
+                "keys repl.",
+                "replica MB",
+                "repl. access",
+            ],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 12: effect of replica staleness. Sweeps the synchronization
+//! frequency (125, 25, 5, 1, 0.2 syncs/s and no synchronization) and
+//! reports epoch run time and model quality after one epoch.
+//!
+//! Usage: cargo run --release -p nups-bench --bin fig12_staleness -- \
+//!   [--task kge|wv|mf] [--nodes 4] [--workers 2] [--scale small]
+
+use nups_bench::report::{fmt_duration, fmt_quality, print_table};
+use nups_bench::variant::SyncSetting;
+use nups_bench::{build_task, run, Args, RunConfig, VariantSpec};
+
+fn main() {
+    let args = Args::parse();
+    let topology = args.topology();
+    let epochs = args.epochs(1);
+
+    let settings = [
+        ("125 syncs/s", SyncSetting::PerSecond(125.0)),
+        ("25 syncs/s (default)", SyncSetting::Default),
+        ("5 syncs/s", SyncSetting::PerSecond(5.0)),
+        ("1 sync/s", SyncSetting::PerSecond(1.0)),
+        ("0.2 syncs/s", SyncSetting::PerSecond(0.2)),
+        ("no sync", SyncSetting::Never),
+    ];
+
+    for kind in args.tasks() {
+        let scale = args.scale();
+        let factory = move |topo| build_task(kind, scale, topo);
+        let task = factory(topology);
+        let cfg = RunConfig::new(topology, epochs);
+
+        println!("\n##### Figure 12 — replica staleness on {} #####", kind.name());
+        let mut rows = Vec::new();
+        let mut baseline_quality = None;
+        for (name, sync) in settings {
+            eprintln!("[fig12] {} / {}", kind.name(), name);
+            let spec = VariantSpec::nups_sync(sync);
+            let r = run(&factory, &spec, &cfg);
+            let q = r.final_quality();
+            if baseline_quality.is_none() {
+                baseline_quality = q; // highest frequency = least stale
+            }
+            let degraded = match (q, baseline_quality) {
+                (Some(q), Some(q0)) => match task.quality_direction() {
+                    nups_ml::task::QualityDirection::HigherIsBetter => q < 0.9 * q0,
+                    nups_ml::task::QualityDirection::LowerIsBetter => q > 1.1 * q0,
+                },
+                _ => false,
+            };
+            rows.push(vec![
+                name.to_string(),
+                fmt_duration(r.epoch_time()),
+                format!("{}{}", fmt_quality(q), if degraded { " !" } else { "" }),
+                r.sync_frequency.map(|f| format!("{f:.2}/s")).unwrap_or_else(|| "—".into()),
+                format!("{:.1}", r.metrics.sync_bytes as f64 / 1e6),
+            ]);
+        }
+        print_table(
+            &format!(
+                "Figure 12 — {} ('!' = quality degraded >10% vs most frequent sync)",
+                kind.name()
+            ),
+            &["sync target", "epoch time", "quality", "achieved", "sync MB"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Figure 3: number of accesses per parameter in one epoch, split into
+//! direct and sampling access, sorted by total access count — plus the
+//! headline skew statistics quoted in Section 2.1.
+//!
+//! Usage: cargo run --release -p nups-bench --bin fig3_access_skew -- [--scale small]
+
+use nups_bench::report::print_table;
+use nups_bench::{Args, Scale, TaskKind};
+use nups_workloads::corpus::{Corpus, CorpusConfig};
+use nups_workloads::kg::{KgConfig, KnowledgeGraph};
+use nups_workloads::trace::AccessTrace;
+use nups_workloads::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn kge_trace(scale: Scale) -> AccessTrace {
+    let (e, r, train, n_neg) = match scale {
+        Scale::Tiny => (600, 8, 6_000, 2),
+        Scale::Small => (4_000, 16, 40_000, 4),
+        Scale::Medium => (20_000, 32, 200_000, 8),
+    };
+    let kg = KnowledgeGraph::generate(KgConfig {
+        n_entities: e,
+        n_relations: r,
+        n_train: train,
+        n_test: 100,
+        n_clusters: 16.min(e / 4),
+        popularity_alpha: 1.0,
+        noise: 0.05,
+        seed: 7,
+    });
+    let mut trace = AccessTrace::new(e + r);
+    let mut rng = StdRng::seed_from_u64(1);
+    let uniform = Zipf::new(e, 0.0);
+    for t in &kg.train {
+        // Direct access: subject, relation, object (read + write each).
+        trace.record_direct(t.s as usize, 2);
+        trace.record_direct(e + t.r as usize, 2);
+        trace.record_direct(t.o as usize, 2);
+        // Sampling access: n_neg perturbations per side, uniform over
+        // entities (Section 2.2).
+        for _ in 0..2 * n_neg {
+            trace.record_sampling(uniform.sample(&mut rng), 2);
+        }
+    }
+    trace
+}
+
+fn wv_trace(scale: Scale) -> AccessTrace {
+    let (v, s, len, n_neg, window) = match scale {
+        Scale::Tiny => (600, 1_200, 8, 2, 5usize),
+        Scale::Small => (4_000, 6_000, 12, 3, 5),
+        Scale::Medium => (20_000, 30_000, 14, 3, 5),
+    };
+    let corpus = Corpus::generate(CorpusConfig {
+        vocab_size: v,
+        n_sentences: s,
+        sentence_len: len,
+        n_topics: 20.min(v / 10),
+        zipf_alpha: 1.0,
+        noise: 0.1,
+        seed: 11,
+    });
+    let mut trace = AccessTrace::new(2 * v);
+    let mut rng = StdRng::seed_from_u64(2);
+    let noise = Zipf::from_weights(corpus.noise_weights());
+    for sent in &corpus.sentences {
+        for (i, &center) in sent.iter().enumerate() {
+            let b = 1 + (i % window);
+            for j in i.saturating_sub(b)..(i + b + 1).min(sent.len()) {
+                if j == i {
+                    continue;
+                }
+                // Direct: input vector of the center, output of context.
+                trace.record_direct(center as usize, 2);
+                trace.record_direct(v + sent[j] as usize, 2);
+                // Sampling: n_neg negatives from the output layer.
+                for _ in 0..n_neg {
+                    trace.record_sampling(v + noise.sample(&mut rng), 2);
+                }
+            }
+        }
+    }
+    trace
+}
+
+fn report(name: &str, trace: &AccessTrace) {
+    println!("\n##### Figure 3 — {name} #####");
+    let total = trace.total_direct() + trace.total_sampling();
+    println!("total accesses: {total}");
+    println!("sampling share: {:.1}%", 100.0 * trace.sampling_share());
+    for share in [0.0002, 0.001, 0.01, 0.1] {
+        println!(
+            "hottest {:>7.4}% of keys receive {:>5.1}% of accesses",
+            share * 100.0,
+            100.0 * trace.share_of_top(share)
+        );
+    }
+    let rows: Vec<Vec<String>> = trace
+        .loglog_points(14)
+        .into_iter()
+        .map(|(rank, total)| vec![format!("{rank}"), format!("{total}")])
+        .collect();
+    print_table(
+        &format!("accesses per parameter, by rank ({name})"),
+        &["rank", "accesses"],
+        &rows,
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let tasks = args.tasks();
+    if tasks.contains(&TaskKind::Kge) {
+        report("KGE (Figure 3a)", &kge_trace(scale));
+    }
+    if tasks.contains(&TaskKind::Wv) {
+        report("WV (Figure 3b)", &wv_trace(scale));
+    }
+}

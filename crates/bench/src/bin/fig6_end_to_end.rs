@@ -1,0 +1,81 @@
+//! Figure 6 (and the Figure 1 teaser): end-to-end comparison of all
+//! systems on all three tasks — quality over (virtual) time and over
+//! epochs, plus the raw/effective speedup summary of Section 5.2.
+//!
+//! Usage:
+//!   cargo run --release -p nups-bench --bin fig6_end_to_end -- \
+//!     [--task kge|wv|mf] [--nodes 4] [--workers 2] [--epochs 6] [--scale small]
+
+use nups_bench::report::{
+    effective_speedup, fmt_duration, fmt_quality, fmt_speedup, print_series, print_table,
+    raw_speedup,
+};
+use nups_bench::{build_task, run, Args, RunConfig, VariantSpec};
+
+fn main() {
+    let args = Args::parse();
+    let topology = args.topology();
+    let epochs = args.epochs(6);
+
+    for kind in args.tasks() {
+        let scale = args.scale();
+        let factory = move |topo| build_task(kind, scale, topo);
+        let task = factory(topology); // for name/direction only
+        let cfg = RunConfig::new(topology, epochs);
+
+        let variants = vec![
+            VariantSpec::single_node(),
+            VariantSpec::classic(),
+            VariantSpec::petuum_ssp(10),
+            VariantSpec::petuum_essp(10),
+            VariantSpec::lapse(),
+            VariantSpec::nups_untuned(),
+            VariantSpec::nups_tuned(task.name()),
+        ];
+
+        println!("\n##### Figure 6 — task {} on {} nodes x {} workers #####", task.name(), topology.n_nodes, topology.workers_per_node);
+        let mut results = Vec::new();
+        for v in &variants {
+            eprintln!("[fig6] {} / {}", task.name(), v.name);
+            let r = run(&factory, v, &cfg);
+            print_series(&r);
+            results.push(r);
+        }
+
+        let single = &results[0];
+        let dir = task.quality_direction();
+        let rows: Vec<Vec<String>> = results
+            .iter()
+            .map(|r| {
+                vec![
+                    r.variant.clone(),
+                    fmt_duration(r.epoch_time()),
+                    fmt_quality(r.final_quality()),
+                    fmt_speedup(Some(raw_speedup(single, r))),
+                    fmt_speedup(effective_speedup(single, r, dir)),
+                    format!("{}", r.metrics.msgs_sent),
+                    format!("{:.1}", r.metrics.bytes_sent as f64 / 1e6),
+                    format!("{}", r.metrics.remote_pulls + r.metrics.remote_pushes),
+                    format!("{}", r.metrics.relocation_conflicts),
+                    format!("{}", r.metrics.relocations),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Figure 6 summary — {}", task.name()),
+            &[
+                "system",
+                "epoch time",
+                "final quality",
+                "raw speedup",
+                "eff. speedup",
+                "msgs",
+                "MB sent",
+                "remote ops",
+                "conflicts",
+                "relocations",
+            ],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 7: ablation of NuPS's two features — multi-technique parameter
+//! management and sampling integration — on KGE and WV (MF has no
+//! sampling access, so its entire gain is multi-technique management).
+//!
+//! Usage: cargo run --release -p nups-bench --bin fig7_ablation -- \
+//!   [--task kge|wv] [--nodes 4] [--workers 2] [--epochs 5] [--scale small]
+
+use nups_bench::report::{fmt_duration, fmt_quality, fmt_speedup, print_series, print_table, raw_speedup};
+use nups_bench::{build_task, run, Args, RunConfig, TaskKind, VariantSpec};
+
+fn main() {
+    let args = Args::parse();
+    let topology = args.topology();
+    let epochs = args.epochs(5);
+
+    for kind in args.tasks() {
+        if kind == TaskKind::Mf {
+            continue; // no sampling access in MF (see Figure 6c instead)
+        }
+        let scale = args.scale();
+        let factory = move |topo| build_task(kind, scale, topo);
+        let cfg = RunConfig::new(topology, epochs);
+
+        let variants = vec![
+            VariantSpec::lapse(),
+            VariantSpec::ablation_relocation_replication(),
+            VariantSpec::ablation_relocation_sampling(),
+            VariantSpec::nups_untuned(),
+        ];
+
+        println!("\n##### Figure 7 — ablation on {} #####", kind.name());
+        let mut results = Vec::new();
+        for v in &variants {
+            eprintln!("[fig7] {} / {}", kind.name(), v.name);
+            let r = run(&factory, v, &cfg);
+            print_series(&r);
+            results.push(r);
+        }
+        let lapse = &results[0];
+        let rows: Vec<Vec<String>> = results
+            .iter()
+            .map(|r| {
+                vec![
+                    r.variant.clone(),
+                    fmt_duration(r.epoch_time()),
+                    fmt_quality(r.final_quality()),
+                    fmt_speedup(Some(raw_speedup(lapse, r))),
+                    format!("{:.1}", r.metrics.bytes_sent as f64 / 1e6),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Figure 7 summary — {} (speedup vs Lapse)", kind.name()),
+            &["variant", "epoch time", "final quality", "epoch speedup", "MB sent"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 8: raw scalability — epoch-run-time speedup over the
+//! shared-memory single-node baseline on 1, 2, 4, 8 (and optionally 16)
+//! nodes, for Petuum SSP/ESSP, Lapse, and NuPS untuned/tuned.
+//!
+//! Usage: cargo run --release -p nups-bench --bin fig8_raw_scalability -- \
+//!   [--task kge|wv|mf] [--workers 2] [--max-nodes 8] [--scale small]
+
+use nups_bench::report::{fmt_speedup, print_table, raw_speedup};
+use nups_bench::{build_task, run, Args, RunConfig, VariantSpec};
+use nups_sim::topology::Topology;
+
+fn main() {
+    let args = Args::parse();
+    let wpn = args.get_u16("workers", 2);
+    let max_nodes = args.get_u16("max-nodes", 8);
+    let epochs = args.epochs(1); // Fig. 8 measures one epoch per point
+    let node_counts: Vec<u16> =
+        [1u16, 2, 4, 8, 16].into_iter().filter(|&n| n <= max_nodes).collect();
+
+    for kind in args.tasks() {
+        let scale = args.scale();
+        let factory = move |topo| build_task(kind, scale, topo);
+
+        println!("\n##### Figure 8 — raw scalability on {} #####", kind.name());
+        // The baseline: 1 node with the same per-node worker count.
+        let base_cfg = RunConfig::new(Topology::new(1, wpn), epochs);
+        let single = run(&factory, &VariantSpec::single_node(), &base_cfg);
+
+        let variants = |task_name: &str| {
+            vec![
+                VariantSpec::petuum_ssp(10),
+                VariantSpec::petuum_essp(10),
+                VariantSpec::lapse(),
+                VariantSpec::nups_untuned(),
+                VariantSpec::nups_tuned(task_name),
+            ]
+        };
+        let task_name = kind.name();
+        let mut rows = Vec::new();
+        for v in variants(task_name) {
+            let mut row = vec![v.name.clone()];
+            for &n in &node_counts {
+                eprintln!("[fig8] {} / {} / {n} nodes", task_name, v.name);
+                let cfg = RunConfig::new(Topology::new(n, wpn), epochs);
+                let r = run(&factory, &v, &cfg);
+                row.push(fmt_speedup(Some(raw_speedup(&single, &r))));
+            }
+            rows.push(row);
+        }
+        let mut headers = vec!["system"];
+        let hdr_nodes: Vec<String> = node_counts.iter().map(|n| format!("{n} nodes")).collect();
+        headers.extend(hdr_nodes.iter().map(|s| s.as_str()));
+        print_table(
+            &format!("Figure 8 — raw speedup over single node ({task_name})"),
+            &headers,
+            &rows,
+        );
+    }
+}

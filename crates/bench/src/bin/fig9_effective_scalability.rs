@@ -1,0 +1,50 @@
+//! Figure 9: effective scalability — speedup w.r.t. reaching 90% of the
+//! best single-node model quality, for NuPS untuned and tuned on 1, 2, 4,
+//! 8 (and optionally 16) nodes.
+//!
+//! Usage: cargo run --release -p nups-bench --bin fig9_effective_scalability -- \
+//!   [--task kge|wv|mf] [--workers 2] [--max-nodes 8] [--epochs 8] [--scale small]
+
+use nups_bench::report::{effective_speedup, fmt_speedup, print_table};
+use nups_bench::{build_task, run, Args, RunConfig, VariantSpec};
+use nups_sim::topology::Topology;
+
+fn main() {
+    let args = Args::parse();
+    let wpn = args.get_u16("workers", 2);
+    let max_nodes = args.get_u16("max-nodes", 8);
+    let epochs = args.epochs(8);
+    let node_counts: Vec<u16> =
+        [1u16, 2, 4, 8, 16].into_iter().filter(|&n| n <= max_nodes).collect();
+
+    for kind in args.tasks() {
+        let scale = args.scale();
+        let factory = move |topo| build_task(kind, scale, topo);
+        let task = factory(Topology::new(1, wpn));
+        let dir = task.quality_direction();
+
+        println!("\n##### Figure 9 — effective scalability on {} #####", kind.name());
+        let base_cfg = RunConfig::new(Topology::new(1, wpn), epochs);
+        let single = run(&factory, &VariantSpec::single_node(), &base_cfg);
+
+        let mut rows = Vec::new();
+        for v in [VariantSpec::nups_untuned(), VariantSpec::nups_tuned(kind.name())] {
+            let mut row = vec![v.name.clone()];
+            for &n in &node_counts {
+                eprintln!("[fig9] {} / {} / {n} nodes", kind.name(), v.name);
+                let cfg = RunConfig::new(Topology::new(n, wpn), epochs);
+                let r = run(&factory, &v, &cfg);
+                row.push(fmt_speedup(effective_speedup(&single, &r, dir)));
+            }
+            rows.push(row);
+        }
+        let mut headers = vec!["system"];
+        let hdr_nodes: Vec<String> = node_counts.iter().map(|n| format!("{n} nodes")).collect();
+        headers.extend(hdr_nodes.iter().map(|s| s.as_str()));
+        print_table(
+            &format!("Figure 9 — effective speedup over single node ({})", kind.name()),
+            &headers,
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Section 5.8: comparison to task-specific implementations — the same
+//! training math on a bare shared-memory array (no PS machinery, no
+//! working copies, no sampling manager) vs NuPS on a single node and on
+//! the cluster. The paper found NuPS competitive with specialized
+//! single-node implementations and the distributed cluster faster.
+//!
+//! Usage: cargo run --release -p nups-bench --bin sec58_specialized -- \
+//!   [--task kge|wv|mf] [--nodes 4] [--workers 2] [--epochs 2] [--scale small]
+
+use nups_bench::baremetal::BareMetal;
+use nups_bench::report::{fmt_duration, fmt_quality, print_table};
+use nups_bench::{build_task, run, Args, RunConfig, VariantSpec};
+use nups_core::system::run_epoch;
+use nups_sim::cost::CostModel;
+use nups_sim::time::SimDuration;
+use nups_sim::topology::Topology;
+
+fn main() {
+    let args = Args::parse();
+    let topology = args.topology();
+    let epochs = args.epochs(2);
+    let cost = CostModel::cluster_default();
+
+    for kind in args.tasks() {
+        let scale = args.scale();
+        let factory = move |topo| build_task(kind, scale, topo);
+
+        println!("\n##### Section 5.8 — vs task-specific implementation ({}) #####", kind.name());
+
+        // Specialized single-node implementation.
+        let wpn = topology.workers_per_node;
+        let task = factory(Topology::single_node(wpn));
+        let bare = BareMetal::new(task.as_ref(), wpn, cost);
+        let mut workers = bare.workers();
+        for epoch in 0..epochs {
+            run_epoch(&mut workers, |i, w| {
+                task.run_epoch(w, i, epoch);
+            });
+        }
+        let bare_time = bare.virtual_time();
+        let bare_quality = task.evaluate(&bare.read_all());
+        let bare_epoch = SimDuration(bare_time.as_nanos() / epochs as u64);
+
+        // NuPS on a single node and on the cluster.
+        let single = run(&factory, &VariantSpec::single_node(), &RunConfig::new(topology, epochs));
+        let nups = run(
+            &factory,
+            &VariantSpec::nups_tuned(kind.name()),
+            &RunConfig::new(topology, epochs),
+        );
+
+        let rows = vec![
+            vec![
+                format!("specialized (1 node x {wpn})"),
+                fmt_duration(bare_epoch),
+                format!("{bare_quality:.4}"),
+            ],
+            vec![
+                format!("NuPS single node (1 x {wpn})"),
+                fmt_duration(single.epoch_time()),
+                fmt_quality(single.final_quality()),
+            ],
+            vec![
+                format!("NuPS ({} x {})", topology.n_nodes, topology.workers_per_node),
+                fmt_duration(nups.epoch_time()),
+                fmt_quality(nups.final_quality()),
+            ],
+        ];
+        print_table(
+            &format!("Section 5.8 — {}", kind.name()),
+            &["implementation", "epoch time", "quality"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Table 3: share of replicated keys, replica size, and share of accesses
+//! to replicas for every replication factor (0, 1/64 … 256 of the untuned
+//! heuristic's key count), for all three tasks.
+//!
+//! Static columns (key share, replica MB) are computed from the dataset
+//! statistics; the access-share column runs one epoch per (task, factor)
+//! unless `--static-only` is set. Figure 11's timing/quality view of the
+//! same sweep lives in `fig11_technique_choice`.
+//!
+//! Usage: cargo run --release -p nups-bench --bin table3_replication -- \
+//!   [--task kge|wv|mf] [--nodes 4] [--workers 2] [--scale small] [--static-only]
+
+use nups_bench::report::print_table;
+use nups_bench::runner::replicated_keys_for;
+use nups_bench::variant::VariantKind;
+use nups_bench::{build_task, run, Args, RunConfig, VariantSpec};
+
+const FACTORS: [f64; 9] =
+    [0.0, 1.0 / 64.0, 1.0 / 16.0, 0.25, 1.0, 4.0, 16.0, 64.0, 256.0];
+
+fn main() {
+    let args = Args::parse();
+    let topology = args.topology();
+    let static_only = args.get_flag("static-only");
+
+    for kind in args.tasks() {
+        let scale = args.scale();
+        let factory = move |topo| build_task(kind, scale, topo);
+        let task = factory(topology);
+        let cfg = RunConfig::new(topology, 1);
+
+        let mut rows = Vec::new();
+        for factor in FACTORS {
+            let spec = VariantSpec::nups_replication_factor(factor);
+            let VariantKind::Nups(v) = &spec.kind else { unreachable!() };
+            let keys = replicated_keys_for(task.as_ref(), v);
+            let key_share = 100.0 * keys.len() as f64 / task.n_keys() as f64;
+            let replica_mb = keys.len() as f64 * task.value_len() as f64 * 4.0 / 1e6;
+            let access_share = if static_only || keys.is_empty() {
+                if keys.is_empty() { Some(0.0) } else { None }
+            } else {
+                eprintln!("[table3] {} / factor {factor}", kind.name());
+                let r = run(&factory, &spec, &cfg);
+                let total = r.metrics.local_pulls
+                    + r.metrics.remote_pulls
+                    + r.metrics.local_pushes
+                    + r.metrics.remote_pushes;
+                let repl = r.metrics.replica_pulls + r.metrics.replica_pushes;
+                (total > 0).then(|| 100.0 * repl as f64 / total as f64)
+            };
+            rows.push(vec![
+                format!("{factor}x"),
+                format!("{}", keys.len()),
+                format!("{key_share:.4}"),
+                format!("{replica_mb:.2}"),
+                access_share.map(|a| format!("{a:.0}%")).unwrap_or_else(|| "—".into()),
+            ]);
+        }
+        print_table(
+            &format!("Table 3 — {}", task.name()),
+            &["factor", "replicated keys", "keys (%)", "replica MB", "accesses to replicas"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! # nups-bench — the experiment harness
+//!
+//! Reproduces every table and figure of the NuPS paper's evaluation
+//! (Section 5). The pieces:
+//!
+//! * [`variant`] — the system variants compared (single node, Classic,
+//!   Petuum SSP/ESSP, Lapse, NuPS untuned/tuned, ablations, sweeps).
+//! * [`tasks`] — task builders at tiny/small/medium scales.
+//! * [`runner`] — builds a variant, drives epochs, records
+//!   quality-over-virtual-time plus all counters.
+//! * [`report`] — raw/effective speedups and table printing.
+//! * [`args`] — `--key value` flags for the experiment binaries.
+//!
+//! Each figure/table has a binary under `src/bin/` (see DESIGN.md's
+//! per-experiment index) and a scaled-down criterion bench under
+//! `benches/`.
+
+pub mod args;
+pub mod baremetal;
+pub mod report;
+pub mod runner;
+pub mod tasks;
+pub mod variant;
+
+pub use args::Args;
+pub use runner::{run, run_all, RunConfig, RunResult};
+pub use tasks::{build_task, Scale, TaskKind};
+pub use variant::{NupsVariant, SyncSetting, VariantKind, VariantSpec};

@@ -1,0 +1,221 @@
+//! The system variants compared throughout the paper's evaluation.
+
+use nups_core::sampling::scheme::{ReuseParams, SamplingScheme};
+use nups_core::ssp::SspProtocol;
+use nups_sim::time::SimDuration;
+
+/// How replica synchronization is scheduled (Figure 12 sweeps this).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SyncSetting {
+    /// The paper's default 40 ms staleness bound (25 syncs/s).
+    Default,
+    /// A target frequency in synchronizations per (virtual) second.
+    PerSecond(f64),
+    /// No synchronization at all (replicas drift for the whole run).
+    Never,
+}
+
+impl SyncSetting {
+    pub fn period(self) -> SimDuration {
+        match self {
+            SyncSetting::Default => SimDuration::from_millis(40),
+            SyncSetting::PerSecond(f) => SimDuration::from_secs_f64(1.0 / f.max(1e-9)),
+            // "Never" is a period far beyond any experiment's budget.
+            SyncSetting::Never => SimDuration::from_secs(1 << 40),
+        }
+    }
+}
+
+/// Configuration knobs for a NuPS-engine variant (NuPS itself, Lapse,
+/// Classic and the single-node baseline all run on the same engine).
+#[derive(Debug, Clone)]
+pub struct NupsVariant {
+    /// Force a single-node topology regardless of the experiment's cluster.
+    pub force_single_node: bool,
+    /// Relocation on (off = Classic).
+    pub relocation: bool,
+    /// Number of replicated keys = `factor ×` the untuned heuristic's
+    /// choice (Section 5.6 sweeps 0, 1/64 … 256), unless overridden.
+    pub replication_factor: f64,
+    pub replicated_count: Option<usize>,
+    /// Sampling scheme override; `None` lets the sampling manager pick
+    /// from each distribution's conformity level.
+    pub scheme: Option<SamplingScheme>,
+    pub sync: SyncSetting,
+    /// Apply the task's gradient-clip policy to replicated keys.
+    pub clip: bool,
+}
+
+impl Default for NupsVariant {
+    fn default() -> NupsVariant {
+        NupsVariant {
+            force_single_node: false,
+            relocation: true,
+            replication_factor: 1.0,
+            replicated_count: None,
+            scheme: None,
+            sync: SyncSetting::Default,
+            clip: true,
+        }
+    }
+}
+
+/// A named system variant.
+#[derive(Debug, Clone)]
+pub struct VariantSpec {
+    pub name: String,
+    pub kind: VariantKind,
+}
+
+#[derive(Debug, Clone)]
+pub enum VariantKind {
+    Nups(NupsVariant),
+    Ssp { protocol: SspProtocol, staleness: u64 },
+}
+
+impl VariantSpec {
+    fn nups(name: &str, v: NupsVariant) -> VariantSpec {
+        VariantSpec { name: name.to_string(), kind: VariantKind::Nups(v) }
+    }
+
+    /// The paper's shared-memory single-node baseline.
+    pub fn single_node() -> VariantSpec {
+        Self::nups(
+            "Single node",
+            NupsVariant {
+                force_single_node: true,
+                replication_factor: 0.0,
+                scheme: Some(SamplingScheme::Manual),
+                ..NupsVariant::default()
+            },
+        )
+    }
+
+    /// Classic PS: static allocation, no replication, manual sampling.
+    pub fn classic() -> VariantSpec {
+        Self::nups(
+            "Classic",
+            NupsVariant {
+                relocation: false,
+                replication_factor: 0.0,
+                scheme: Some(SamplingScheme::Manual),
+                ..NupsVariant::default()
+            },
+        )
+    }
+
+    /// Lapse: relocation-only, manual sampling.
+    pub fn lapse() -> VariantSpec {
+        Self::nups(
+            "Lapse",
+            NupsVariant {
+                replication_factor: 0.0,
+                scheme: Some(SamplingScheme::Manual),
+                ..NupsVariant::default()
+            },
+        )
+    }
+
+    /// Petuum with the SSP protocol.
+    pub fn petuum_ssp(staleness: u64) -> VariantSpec {
+        VariantSpec {
+            name: format!("Petuum (SSP, s={staleness})"),
+            kind: VariantKind::Ssp { protocol: SspProtocol::Ssp, staleness },
+        }
+    }
+
+    /// Petuum with the ESSP protocol.
+    pub fn petuum_essp(staleness: u64) -> VariantSpec {
+        VariantSpec {
+            name: format!("Petuum (ESSP, s={staleness})"),
+            kind: VariantKind::Ssp { protocol: SspProtocol::Essp, staleness },
+        }
+    }
+
+    /// NuPS untuned (Section 5.1): heuristic replication, sample reuse
+    /// U=16 via the manager (tasks register BOUNDED distributions).
+    pub fn nups_untuned() -> VariantSpec {
+        Self::nups("NuPS (untuned)", NupsVariant::default())
+    }
+
+    /// NuPS tuned per task (Section 5.1): KGE keeps the heuristic's keys
+    /// but uses local sampling; WV replicates 64× more keys and uses local
+    /// sampling; MF's untuned configuration was already near-optimal.
+    pub fn nups_tuned(task_name: &str) -> VariantSpec {
+        let v = match task_name {
+            "kge" => NupsVariant { scheme: Some(SamplingScheme::Local), ..NupsVariant::default() },
+            "wv" => NupsVariant {
+                replication_factor: 64.0,
+                scheme: Some(SamplingScheme::Local),
+                ..NupsVariant::default()
+            },
+            _ => NupsVariant::default(),
+        };
+        Self::nups("NuPS", v)
+    }
+
+    /// Ablation (Figure 7): multi-technique management, no sampling
+    /// integration.
+    pub fn ablation_relocation_replication() -> VariantSpec {
+        Self::nups(
+            "Relocation + Replication",
+            NupsVariant { scheme: Some(SamplingScheme::Manual), ..NupsVariant::default() },
+        )
+    }
+
+    /// Ablation (Figure 7): relocation-only management with sampling
+    /// integration.
+    pub fn ablation_relocation_sampling() -> VariantSpec {
+        Self::nups(
+            "Relocation + Sampling",
+            NupsVariant { replication_factor: 0.0, ..NupsVariant::default() },
+        )
+    }
+
+    /// Section 5.6 sweep: NuPS with `factor ×` the heuristic's replicated
+    /// key count.
+    pub fn nups_replication_factor(factor: f64) -> VariantSpec {
+        Self::nups(
+            &format!("NuPS ({factor}x replication)"),
+            NupsVariant { replication_factor: factor, ..NupsVariant::default() },
+        )
+    }
+
+    /// Section 5.7 sweep: NuPS at a given sync frequency.
+    pub fn nups_sync(sync: SyncSetting) -> VariantSpec {
+        let name = match sync {
+            SyncSetting::Default => "NuPS (25 syncs/s)".to_string(),
+            SyncSetting::PerSecond(f) => format!("NuPS ({f} syncs/s)"),
+            SyncSetting::Never => "NuPS (no sync)".to_string(),
+        };
+        Self::nups(&name, NupsVariant { sync, ..NupsVariant::default() })
+    }
+
+    /// Section 5.5 sweep: NuPS with an explicit sampling scheme.
+    pub fn nups_scheme(name: &str, scheme: SamplingScheme) -> VariantSpec {
+        Self::nups(name, NupsVariant { scheme: Some(scheme), ..NupsVariant::default() })
+    }
+
+    /// The Figure 10 scheme ladder.
+    pub fn scheme_ladder() -> Vec<VariantSpec> {
+        vec![
+            Self::nups_scheme("Independent (CONFORM)", SamplingScheme::Independent),
+            Self::nups_scheme(
+                "Sample reuse U=16 (BOUNDED)",
+                SamplingScheme::Reuse(ReuseParams { pool_size: 250, use_frequency: 16 }),
+            ),
+            Self::nups_scheme(
+                "Sample reuse U=64 (BOUNDED)",
+                SamplingScheme::Reuse(ReuseParams { pool_size: 250, use_frequency: 64 }),
+            ),
+            Self::nups_scheme(
+                "Reuse w/ postponing U=16 (LONG-TERM)",
+                SamplingScheme::ReuseWithPostponing(ReuseParams {
+                    pool_size: 250,
+                    use_frequency: 16,
+                }),
+            ),
+            Self::nups_scheme("Local sampling (NON-CONFORM)", SamplingScheme::Local),
+        ]
+    }
+}

@@ -1,0 +1,93 @@
+//! The worker-facing parameter-server API.
+//!
+//! NuPS keeps the classic `pull`/`push` primitives, adds `localize` (from
+//! relocation PSs like Lapse), keeps `advance_clock` (from replication PSs
+//! like Petuum; a no-op on NuPS itself), and extends the API with the
+//! sampling primitives of Section 4.3. ML tasks are written against this
+//! trait so the same task code runs on every system variant the paper
+//! compares.
+
+use nups_sim::time::SimTime;
+
+use crate::key::Key;
+use crate::sampling::{DistId, SampleHandle};
+
+/// One worker thread's handle onto a parameter server.
+pub trait PsWorker: Send {
+    /// Length of every parameter value on this server.
+    fn value_len(&self) -> usize;
+
+    /// Read the current value of `key` into `out`.
+    fn pull(&mut self, key: Key, out: &mut [f32]);
+
+    /// Additively apply `delta` to `key`.
+    fn push(&mut self, key: Key, delta: &[f32]);
+
+    /// Hint that this node is about to work on `keys` (asynchronous
+    /// relocation; no-op on non-relocation servers).
+    fn localize(&mut self, keys: &[Key]);
+
+    /// Replication-PS clock advance (flushes buffered updates on SSP/ESSP;
+    /// no-op on NuPS, which uses time-based staleness).
+    fn advance_clock(&mut self);
+
+    /// Charge `flops` of model computation to this worker's virtual clock.
+    /// Tasks call this once per data point; it is also the hook where
+    /// time-based replica synchronization happens.
+    fn charge_compute(&mut self, flops: u64);
+
+    /// `PrepareSample`: request `n` samples from a registered distribution.
+    /// Returns instantly; preparatory work (drawing, pre-localization) is
+    /// asynchronous or amortized.
+    fn prepare_sample(&mut self, dist: DistId, n: usize) -> SampleHandle;
+
+    /// `PullSample`: obtain up to `n` of the prepared samples with their
+    /// current values. Partial pulls (`n` < remaining) give the server
+    /// room to optimize (postponing, Section 4.4).
+    fn pull_sample(&mut self, handle: &mut SampleHandle, n: usize) -> Vec<(Key, Vec<f32>)>;
+
+    /// Begin an epoch: register with background machinery.
+    fn begin_epoch(&mut self);
+
+    /// End an epoch: deregister and flush.
+    fn end_epoch(&mut self);
+
+    /// This worker's position on the virtual timeline.
+    fn now(&self) -> SimTime;
+}
+
+impl<P: PsWorker + ?Sized> PsWorker for Box<P> {
+    fn value_len(&self) -> usize {
+        (**self).value_len()
+    }
+    fn pull(&mut self, key: Key, out: &mut [f32]) {
+        (**self).pull(key, out)
+    }
+    fn push(&mut self, key: Key, delta: &[f32]) {
+        (**self).push(key, delta)
+    }
+    fn localize(&mut self, keys: &[Key]) {
+        (**self).localize(keys)
+    }
+    fn advance_clock(&mut self) {
+        (**self).advance_clock()
+    }
+    fn charge_compute(&mut self, flops: u64) {
+        (**self).charge_compute(flops)
+    }
+    fn prepare_sample(&mut self, dist: DistId, n: usize) -> SampleHandle {
+        (**self).prepare_sample(dist, n)
+    }
+    fn pull_sample(&mut self, handle: &mut SampleHandle, n: usize) -> Vec<(Key, Vec<f32>)> {
+        (**self).pull_sample(handle, n)
+    }
+    fn begin_epoch(&mut self) {
+        (**self).begin_epoch()
+    }
+    fn end_epoch(&mut self) {
+        (**self).end_epoch()
+    }
+    fn now(&self) -> SimTime {
+        (**self).now()
+    }
+}

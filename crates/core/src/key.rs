@@ -1,0 +1,101 @@
+//! Parameter keys and the static home-node mapping.
+//!
+//! Every parameter has a unique `u64` key (Section 3.1 of the paper). Keys
+//! are range-partitioned across nodes: the *home node* of a key is fixed for
+//! the whole run and serves as (i) the initial owner of relocation-managed
+//! keys and (ii) the location directory that tracks the current owner as
+//! keys move.
+
+use nups_sim::topology::NodeId;
+
+/// A parameter key.
+pub type Key = u64;
+
+/// The key universe `[0, n_keys)` plus its range partitioning over nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeySpace {
+    n_keys: u64,
+    n_nodes: u16,
+    /// Keys per node range (last node may hold fewer).
+    stride: u64,
+}
+
+impl KeySpace {
+    pub fn new(n_keys: u64, n_nodes: u16) -> KeySpace {
+        assert!(n_keys > 0, "empty key space");
+        assert!(n_nodes > 0);
+        let stride = n_keys.div_ceil(n_nodes as u64);
+        KeySpace { n_keys, n_nodes, stride }
+    }
+
+    #[inline]
+    pub fn n_keys(&self) -> u64 {
+        self.n_keys
+    }
+
+    #[inline]
+    pub fn n_nodes(&self) -> u16 {
+        self.n_nodes
+    }
+
+    /// Home node of `key` under range partitioning.
+    #[inline]
+    pub fn home(&self, key: Key) -> NodeId {
+        debug_assert!(key < self.n_keys, "key {key} outside key space");
+        NodeId((key / self.stride) as u16)
+    }
+
+    /// The contiguous key range homed at `node` (empty for nodes beyond
+    /// the key count).
+    pub fn range_of(&self, node: NodeId) -> std::ops::Range<Key> {
+        let lo = (node.index() as u64 * self.stride).min(self.n_keys);
+        let hi = (lo + self.stride).min(self.n_keys);
+        lo..hi
+    }
+
+    /// Iterate all keys (for setup/evaluation paths only).
+    pub fn keys(&self) -> impl Iterator<Item = Key> {
+        0..self.n_keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_key_space_exactly() {
+        for (n_keys, n_nodes) in [(10u64, 3u16), (16, 4), (7, 8), (1, 1), (1000, 7)] {
+            let ks = KeySpace::new(n_keys, n_nodes);
+            let mut covered = 0u64;
+            for n in 0..n_nodes {
+                let r = ks.range_of(NodeId(n));
+                for k in r.clone() {
+                    assert_eq!(ks.home(k), NodeId(n), "key {k} of {n_keys}/{n_nodes}");
+                }
+                covered += r.end.saturating_sub(r.start);
+            }
+            assert_eq!(covered, n_keys);
+        }
+    }
+
+    #[test]
+    fn home_is_stable_and_in_bounds() {
+        let ks = KeySpace::new(1000, 8);
+        for k in 0..1000 {
+            let h = ks.home(k);
+            assert!(h.0 < 8);
+            assert_eq!(ks.home(k), h);
+        }
+    }
+
+    #[test]
+    fn more_nodes_than_keys() {
+        // Degenerate but must not panic: nodes beyond the key count own
+        // empty ranges.
+        let ks = KeySpace::new(3, 8);
+        let owners: Vec<_> = (0..3).map(|k| ks.home(k)).collect();
+        assert_eq!(owners, vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert!(ks.range_of(NodeId(7)).is_empty());
+    }
+}

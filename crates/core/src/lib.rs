@@ -1,0 +1,50 @@
+//! # nups-core — the NuPS parameter server
+//!
+//! Rust implementation of the system described in *NuPS: A Parameter
+//! Server for Machine Learning with Non-Uniform Parameter Access*
+//! (SIGMOD 2022). The crate provides:
+//!
+//! * **Multi-technique parameter management** (paper Section 3):
+//!   [`replication`] for hot spots (eager replicas, time-based staleness,
+//!   sparse all-reduce) and Lapse-style relocation for the long tail
+//!   ([`store`], [`server`]), selected per key by [`technique`].
+//! * **Sampling management** (Section 4): [`sampling`] defines the
+//!   conformity-level hierarchy, alias-table distributions, and the four
+//!   schemes (independent, pooled reuse, reuse with postponing, local
+//!   sampling) behind the `PrepareSample`/`PullSample` API.
+//! * **Baselines** the paper compares against: a Classic PS and Lapse as
+//!   configurations of the same engine ([`config`]), and Petuum-style
+//!   SSP/ESSP in [`ssp`].
+//!
+//! Entry points: build a [`system::ParameterServer`] from a
+//! [`config::NupsConfig`], register sampling distributions, hand a
+//! [`worker::NupsWorker`] to each worker thread, and drive epochs with
+//! [`system::run_epoch`]. ML tasks program against the [`api::PsWorker`]
+//! trait so the same task runs on every system variant.
+
+pub mod api;
+pub mod config;
+pub mod key;
+pub mod messages;
+pub mod node;
+pub mod replication;
+pub mod sampling;
+pub mod server;
+pub mod ssp;
+pub mod store;
+pub mod syncgate;
+pub mod system;
+pub mod technique;
+pub mod value;
+pub mod worker;
+
+pub use api::PsWorker;
+pub use config::NupsConfig;
+pub use key::{Key, KeySpace};
+pub use sampling::scheme::{ReuseParams, SamplingScheme};
+pub use sampling::{ConformityLevel, DistId, DistributionKind, SampleHandle};
+pub use ssp::{SspConfig, SspProtocol, SspPs, SspWorker};
+pub use system::{run_epoch, ParameterServer};
+pub use technique::{heuristic_replicated_keys, top_k_by_frequency, Technique, TechniqueMap};
+pub use value::ClipPolicy;
+pub use worker::NupsWorker;

@@ -1,0 +1,352 @@
+//! The parameter-server wire protocol.
+//!
+//! Every inter-node interaction of NuPS and of the SSP/ESSP baseline is one
+//! of these messages. They are encoded to bytes before crossing the
+//! simulated network so the byte counters reflect real wire sizes
+//! (Lapse/NuPS used ZeroMQ + protocol buffers; our framing overhead is
+//! modelled in [`nups_sim::cost::WIRE_HEADER_BYTES`]).
+//!
+//! Relocation follows the Lapse 3-message protocol (Section 3.1.3):
+//! `LocalizeReq` to the home node, `ForwardLocalize` from home to the
+//! current owner, `Transfer` from the owner to the requester. Remote
+//! accesses are `PullReq`/`PushReq` with responses routed directly to the
+//! requesting worker's reply port; a `hops` count records forwarding so the
+//! requester can charge the correct virtual-time cost.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use nups_sim::codec::{
+    self, f32_slice_len, get_f32_vec, get_u16, get_u64, get_u8, put_f32_slice, CodecError,
+    WireEncode,
+};
+use nups_sim::topology::{Addr, NodeId};
+
+use crate::key::Key;
+
+/// One batched (key, delta) update, as used by SSP flushes and broadcasts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyUpdate {
+    pub key: Key,
+    pub delta: Vec<f32>,
+}
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Read `key`; the response goes directly to `reply_to`.
+    PullReq { key: Key, reply_to: Addr, hops: u8 },
+    /// Additively apply `delta` to `key`; ack goes to `reply_to`.
+    PushReq { key: Key, delta: Vec<f32>, reply_to: Addr, hops: u8 },
+    /// Response to [`Msg::PullReq`]. `hops` echoes the total messages the
+    /// chain took so the requester can price its wait.
+    PullResp { key: Key, value: Vec<f32>, hops: u8 },
+    /// Response to [`Msg::PushReq`].
+    PushAck { key: Key, hops: u8 },
+    /// Worker at `requester` asks the home node to relocate `key` to it.
+    LocalizeReq { key: Key, requester: NodeId },
+    /// Home tells the current owner to hand `key` over to `requester`.
+    ForwardLocalize { key: Key, requester: NodeId },
+    /// Ownership transfer carrying the parameter value.
+    Transfer { key: Key, value: Vec<f32> },
+
+    /// SSP/ESSP: synchronous replica refresh request.
+    SspPullReq { key: Key, reply_to: Addr },
+    /// SSP/ESSP: refresh response.
+    SspPullResp { key: Key, value: Vec<f32> },
+    /// SSP/ESSP: a worker's accumulated updates, flushed at a clock advance.
+    /// `from` lets the owner skip echoing updates back to their origin.
+    SspFlush { from: NodeId, updates: Vec<KeyUpdate> },
+    /// ESSP: eager propagation of fresh deltas to a subscriber node.
+    SspBroadcast { updates: Vec<KeyUpdate> },
+    /// ESSP: node `from` subscribes to eager maintenance of `keys`.
+    SspSubscribe { from: NodeId, keys: Vec<Key> },
+
+    /// Shut a server loop down.
+    Stop,
+}
+
+mod tag {
+    pub const PULL_REQ: u8 = 1;
+    pub const PUSH_REQ: u8 = 2;
+    pub const PULL_RESP: u8 = 3;
+    pub const PUSH_ACK: u8 = 4;
+    pub const LOCALIZE_REQ: u8 = 5;
+    pub const FORWARD_LOCALIZE: u8 = 6;
+    pub const TRANSFER: u8 = 7;
+    pub const SSP_PULL_REQ: u8 = 8;
+    pub const SSP_PULL_RESP: u8 = 9;
+    pub const SSP_FLUSH: u8 = 10;
+    pub const SSP_BROADCAST: u8 = 11;
+    pub const SSP_SUBSCRIBE: u8 = 12;
+    pub const STOP: u8 = 13;
+}
+
+const ADDR_LEN: usize = 4;
+
+fn put_addr(buf: &mut BytesMut, a: Addr) {
+    buf.put_u16_le(a.node.0);
+    buf.put_u16_le(a.port);
+}
+
+fn get_addr(buf: &mut Bytes) -> Result<Addr, CodecError> {
+    let node = NodeId(get_u16(buf)?);
+    let port = get_u16(buf)?;
+    Ok(Addr { node, port })
+}
+
+fn updates_len(updates: &[KeyUpdate]) -> usize {
+    4 + updates.iter().map(|u| 8 + f32_slice_len(&u.delta)).sum::<usize>()
+}
+
+fn put_updates(buf: &mut BytesMut, updates: &[KeyUpdate]) {
+    buf.put_u32_le(updates.len() as u32);
+    for u in updates {
+        buf.put_u64_le(u.key);
+        put_f32_slice(buf, &u.delta);
+    }
+}
+
+fn get_updates(buf: &mut Bytes) -> Result<Vec<KeyUpdate>, CodecError> {
+    let n = codec::get_u32(buf)? as u64;
+    // Each update occupies at least 12 bytes (key + length prefix): a
+    // hostile length field must fail before any allocation happens.
+    if n.saturating_mul(12) > buf.len() as u64 {
+        return Err(CodecError::Truncated { needed: (n * 12) as usize, remaining: buf.len() });
+    }
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let key = get_u64(buf)?;
+        let delta = get_f32_vec(buf)?;
+        out.push(KeyUpdate { key, delta });
+    }
+    Ok(out)
+}
+
+impl WireEncode for Msg {
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Msg::PullReq { .. } => 8 + ADDR_LEN + 1,
+            Msg::PushReq { delta, .. } => 8 + f32_slice_len(delta) + ADDR_LEN + 1,
+            Msg::PullResp { value, .. } => 8 + f32_slice_len(value) + 1,
+            Msg::PushAck { .. } => 8 + 1,
+            Msg::LocalizeReq { .. } | Msg::ForwardLocalize { .. } => 8 + 2,
+            Msg::Transfer { value, .. } => 8 + f32_slice_len(value),
+            Msg::SspPullReq { .. } => 8 + ADDR_LEN,
+            Msg::SspPullResp { value, .. } => 8 + f32_slice_len(value),
+            Msg::SspFlush { updates, .. } => 2 + updates_len(updates),
+            Msg::SspBroadcast { updates } => updates_len(updates),
+            Msg::SspSubscribe { keys, .. } => 2 + codec::u64_slice_len(keys),
+            Msg::Stop => 0,
+        }
+    }
+
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Msg::PullReq { key, reply_to, hops } => {
+                buf.put_u8(tag::PULL_REQ);
+                buf.put_u64_le(*key);
+                put_addr(buf, *reply_to);
+                buf.put_u8(*hops);
+            }
+            Msg::PushReq { key, delta, reply_to, hops } => {
+                buf.put_u8(tag::PUSH_REQ);
+                buf.put_u64_le(*key);
+                put_f32_slice(buf, delta);
+                put_addr(buf, *reply_to);
+                buf.put_u8(*hops);
+            }
+            Msg::PullResp { key, value, hops } => {
+                buf.put_u8(tag::PULL_RESP);
+                buf.put_u64_le(*key);
+                put_f32_slice(buf, value);
+                buf.put_u8(*hops);
+            }
+            Msg::PushAck { key, hops } => {
+                buf.put_u8(tag::PUSH_ACK);
+                buf.put_u64_le(*key);
+                buf.put_u8(*hops);
+            }
+            Msg::LocalizeReq { key, requester } => {
+                buf.put_u8(tag::LOCALIZE_REQ);
+                buf.put_u64_le(*key);
+                buf.put_u16_le(requester.0);
+            }
+            Msg::ForwardLocalize { key, requester } => {
+                buf.put_u8(tag::FORWARD_LOCALIZE);
+                buf.put_u64_le(*key);
+                buf.put_u16_le(requester.0);
+            }
+            Msg::Transfer { key, value } => {
+                buf.put_u8(tag::TRANSFER);
+                buf.put_u64_le(*key);
+                put_f32_slice(buf, value);
+            }
+            Msg::SspPullReq { key, reply_to } => {
+                buf.put_u8(tag::SSP_PULL_REQ);
+                buf.put_u64_le(*key);
+                put_addr(buf, *reply_to);
+            }
+            Msg::SspPullResp { key, value } => {
+                buf.put_u8(tag::SSP_PULL_RESP);
+                buf.put_u64_le(*key);
+                put_f32_slice(buf, value);
+            }
+            Msg::SspFlush { from, updates } => {
+                buf.put_u8(tag::SSP_FLUSH);
+                buf.put_u16_le(from.0);
+                put_updates(buf, updates);
+            }
+            Msg::SspBroadcast { updates } => {
+                buf.put_u8(tag::SSP_BROADCAST);
+                put_updates(buf, updates);
+            }
+            Msg::SspSubscribe { from, keys } => {
+                buf.put_u8(tag::SSP_SUBSCRIBE);
+                buf.put_u16_le(from.0);
+                codec::put_u64_slice(buf, keys);
+            }
+            Msg::Stop => buf.put_u8(tag::STOP),
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Msg, CodecError> {
+        let t = get_u8(buf)?;
+        Ok(match t {
+            tag::PULL_REQ => Msg::PullReq {
+                key: get_u64(buf)?,
+                reply_to: get_addr(buf)?,
+                hops: get_u8(buf)?,
+            },
+            tag::PUSH_REQ => Msg::PushReq {
+                key: get_u64(buf)?,
+                delta: get_f32_vec(buf)?,
+                reply_to: get_addr(buf)?,
+                hops: get_u8(buf)?,
+            },
+            tag::PULL_RESP => Msg::PullResp {
+                key: get_u64(buf)?,
+                value: get_f32_vec(buf)?,
+                hops: get_u8(buf)?,
+            },
+            tag::PUSH_ACK => Msg::PushAck { key: get_u64(buf)?, hops: get_u8(buf)? },
+            tag::LOCALIZE_REQ => Msg::LocalizeReq {
+                key: get_u64(buf)?,
+                requester: NodeId(get_u16(buf)?),
+            },
+            tag::FORWARD_LOCALIZE => Msg::ForwardLocalize {
+                key: get_u64(buf)?,
+                requester: NodeId(get_u16(buf)?),
+            },
+            tag::TRANSFER => Msg::Transfer { key: get_u64(buf)?, value: get_f32_vec(buf)? },
+            tag::SSP_PULL_REQ => Msg::SspPullReq { key: get_u64(buf)?, reply_to: get_addr(buf)? },
+            tag::SSP_PULL_RESP => {
+                Msg::SspPullResp { key: get_u64(buf)?, value: get_f32_vec(buf)? }
+            }
+            tag::SSP_FLUSH => Msg::SspFlush {
+                from: NodeId(get_u16(buf)?),
+                updates: get_updates(buf)?,
+            },
+            tag::SSP_BROADCAST => Msg::SspBroadcast { updates: get_updates(buf)? },
+            tag::SSP_SUBSCRIBE => Msg::SspSubscribe {
+                from: NodeId(get_u16(buf)?),
+                keys: codec::get_u64_vec(buf)?,
+            },
+            tag::STOP => Msg::Stop,
+            other => return Err(CodecError::UnknownTag(other)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(m: Msg) {
+        let mut b = m.to_bytes();
+        assert_eq!(b.len(), m.encoded_len(), "encoded_len mismatch for {m:?}");
+        let back = Msg::decode(&mut b).unwrap();
+        assert_eq!(back, m);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        let addr = Addr::worker(NodeId(3), 1);
+        roundtrip(Msg::PullReq { key: 9, reply_to: addr, hops: 2 });
+        roundtrip(Msg::PushReq { key: 9, delta: vec![1.0, -2.0], reply_to: addr, hops: 3 });
+        roundtrip(Msg::PullResp { key: 9, value: vec![0.25; 7], hops: 2 });
+        roundtrip(Msg::PushAck { key: 1, hops: 2 });
+        roundtrip(Msg::LocalizeReq { key: 5, requester: NodeId(1) });
+        roundtrip(Msg::ForwardLocalize { key: 5, requester: NodeId(1) });
+        roundtrip(Msg::Transfer { key: 5, value: vec![] });
+        roundtrip(Msg::SspPullReq { key: 4, reply_to: addr });
+        roundtrip(Msg::SspPullResp { key: 4, value: vec![9.0] });
+        roundtrip(Msg::SspFlush {
+            from: NodeId(2),
+            updates: vec![
+                KeyUpdate { key: 1, delta: vec![0.5] },
+                KeyUpdate { key: 2, delta: vec![] },
+            ],
+        });
+        roundtrip(Msg::SspBroadcast { updates: vec![] });
+        roundtrip(Msg::SspSubscribe { from: NodeId(0), keys: vec![1, 2, 3] });
+        roundtrip(Msg::Stop);
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut b = Bytes::from_static(&[200]);
+        assert_eq!(Msg::decode(&mut b), Err(CodecError::UnknownTag(200)));
+    }
+
+    #[test]
+    fn value_size_dominates_wire_size() {
+        // A dim-500 pull response should be ~2 KB of payload: the figures
+        // on communication volume depend on this being faithful.
+        let m = Msg::PullResp { key: 0, value: vec![0.0; 500], hops: 2 };
+        let len = m.encoded_len();
+        assert!((2000..2100).contains(&len), "unexpected wire size {len}");
+    }
+
+    fn arb_msg() -> impl Strategy<Value = Msg> {
+        let val = proptest::collection::vec(any::<f32>().prop_filter("finite", |f| f.is_finite()), 0..50);
+        let addr = (any::<u16>(), any::<u16>())
+            .prop_map(|(n, p)| Addr { node: NodeId(n), port: p });
+        prop_oneof![
+            (any::<u64>(), addr.clone(), any::<u8>())
+                .prop_map(|(key, reply_to, hops)| Msg::PullReq { key, reply_to, hops }),
+            (any::<u64>(), val.clone(), addr, any::<u8>()).prop_map(|(key, delta, reply_to, hops)| {
+                Msg::PushReq { key, delta, reply_to, hops }
+            }),
+            (any::<u64>(), val.clone(), any::<u8>())
+                .prop_map(|(key, value, hops)| Msg::PullResp { key, value, hops }),
+            (any::<u64>(), val.clone()).prop_map(|(key, value)| Msg::Transfer { key, value }),
+            (any::<u16>(), proptest::collection::vec((any::<u64>(), val), 0..8)).prop_map(
+                |(from, kv)| Msg::SspFlush {
+                    from: NodeId(from),
+                    updates: kv
+                        .into_iter()
+                        .map(|(key, delta)| KeyUpdate { key, delta })
+                        .collect(),
+                }
+            ),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_prop(m in arb_msg()) {
+            let mut b = m.to_bytes();
+            prop_assert_eq!(b.len(), m.encoded_len());
+            let back = Msg::decode(&mut b).unwrap();
+            prop_assert_eq!(back, m);
+            prop_assert!(b.is_empty());
+        }
+
+        #[test]
+        fn arbitrary_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let mut b = Bytes::from(data);
+            let _ = Msg::decode(&mut b); // must not panic
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Per-node runtime state and the immutable cluster-shared context.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use nups_sim::clock::ClusterClocks;
+use nups_sim::cost::CostModel;
+use nups_sim::metrics::ClusterMetrics;
+use nups_sim::net::Network;
+use nups_sim::time::SimDuration;
+use nups_sim::topology::{NodeId, Topology};
+
+use crate::key::{Key, KeySpace};
+use crate::replication::{ReplicaSet, ReplicaSync};
+use crate::sampling::scheme::SamplingScheme;
+use crate::sampling::Distribution;
+use crate::store::Store;
+use crate::syncgate::SyncGate;
+use crate::technique::TechniqueMap;
+
+/// The location directory a home node keeps for its key range: current
+/// owner of every relocation-managed key homed here. Only the home node's
+/// server thread mutates it.
+pub struct Directory {
+    base: Key,
+    owners: Mutex<Vec<u16>>,
+}
+
+impl Directory {
+    pub fn new(range: std::ops::Range<Key>, initial_owner: NodeId) -> Directory {
+        Directory {
+            base: range.start,
+            owners: Mutex::new(vec![initial_owner.0; (range.end - range.start) as usize]),
+        }
+    }
+
+    pub fn owner(&self, key: Key) -> NodeId {
+        NodeId(self.owners.lock()[(key - self.base) as usize])
+    }
+
+    pub fn set_owner(&self, key: Key, node: NodeId) {
+        self.owners.lock()[(key - self.base) as usize] = node.0;
+    }
+}
+
+/// Mutable state of one simulated node.
+pub struct NodeState {
+    pub node: NodeId,
+    pub store: Store,
+    pub directory: Directory,
+    pub replicas: Arc<ReplicaSet>,
+    /// Virtual time spent by this node's background machinery (e.g. ESSP
+    /// broadcast propagation). Folded into epoch makespans.
+    pub background_busy: AtomicU64,
+}
+
+impl NodeState {
+    pub fn add_background_busy(&self, d: SimDuration) {
+        self.background_busy.fetch_add(d.as_nanos(), Ordering::Relaxed);
+    }
+
+    pub fn background_busy(&self) -> SimDuration {
+        SimDuration(self.background_busy.load(Ordering::Relaxed))
+    }
+}
+
+/// Immutable context shared by every thread of one parameter server.
+pub struct Shared {
+    pub topology: Topology,
+    pub keyspace: KeySpace,
+    pub technique: TechniqueMap,
+    pub value_len: usize,
+    pub cost: CostModel,
+    pub relocation_enabled: bool,
+    pub metrics: Arc<ClusterMetrics>,
+    pub network: Arc<Network>,
+    pub clocks: Arc<ClusterClocks>,
+    pub gate: Arc<SyncGate>,
+    pub sync: Arc<ReplicaSync>,
+    pub nodes: Vec<Arc<NodeState>>,
+    /// Registered sampling distributions with the scheme the manager chose
+    /// for each.
+    pub dists: Mutex<Vec<Arc<(Distribution, SamplingScheme)>>>,
+}
+
+impl Shared {
+    /// Wire size of one value payload.
+    #[inline]
+    pub fn value_bytes(&self) -> usize {
+        4 + 4 * self.value_len
+    }
+}

@@ -1,0 +1,315 @@
+//! Eager replication for hot-spot parameters (Section 3.2).
+//!
+//! Every node holds a replica of every replicated key. Reads are served
+//! from the local replica through shared memory. Writes are applied to the
+//! local replica immediately (so a node observes its own updates) *and*
+//! accumulated into a per-key update buffer. A background synchronization —
+//! modelled as a sparse all-reduce using recursive doubling, as in the
+//! paper — periodically exchanges the accumulated updates: afterwards every
+//! replica has absorbed every node's deltas exactly once.
+//!
+//! Staleness is *time-based* (the paper's departure from clock-based SSP
+//! bounds): the sync cadence is a virtual-time period, enforced by
+//! [`crate::syncgate::SyncGate`].
+
+use parking_lot::Mutex;
+
+use nups_sim::cost::CostModel;
+use nups_sim::metrics::ClusterMetrics;
+use nups_sim::time::SimDuration;
+use nups_sim::topology::Topology;
+
+use crate::value::{add_assign, axpy, norm, ClipPolicy, ClipState};
+
+struct Slot {
+    value: Vec<f32>,
+    /// Deltas accumulated locally since the last synchronization.
+    accum: Vec<f32>,
+    dirty: bool,
+}
+
+/// One node's set of replicas, indexed by dense replica slot.
+pub struct ReplicaSet {
+    slots: Vec<Mutex<Slot>>,
+    clip_policy: ClipPolicy,
+    clip_state: Mutex<ClipState>,
+}
+
+impl ReplicaSet {
+    /// Build with `initial[slot]` as the starting value of each replica.
+    /// Every node must be initialized with identical values.
+    pub fn new(initial: &[Vec<f32>], clip_policy: ClipPolicy) -> ReplicaSet {
+        ReplicaSet {
+            slots: initial
+                .iter()
+                .map(|v| {
+                    Mutex::new(Slot {
+                        value: v.clone(),
+                        accum: vec![0.0; v.len()],
+                        dirty: false,
+                    })
+                })
+                .collect(),
+            clip_policy,
+            clip_state: Mutex::new(ClipState::new()),
+        }
+    }
+
+    pub fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Read the replica into `out` (shared-memory pull).
+    #[inline]
+    pub fn pull(&self, slot: u32, out: &mut [f32]) {
+        let s = self.slots[slot as usize].lock();
+        out.copy_from_slice(&s.value);
+    }
+
+    /// Apply `delta` locally and buffer it for synchronization. Replicated
+    /// parameters are where the paper applies gradient-norm clipping
+    /// (Section 5.1) to prevent exploding gradients under staleness.
+    #[inline]
+    pub fn push(&self, slot: u32, delta: &[f32]) {
+        let scale = {
+            let mut clip = self.clip_state.lock();
+            clip.observe(self.clip_policy, norm(delta))
+        };
+        let mut s = self.slots[slot as usize].lock();
+        axpy(&mut s.value, scale, delta);
+        axpy(&mut s.accum, scale, delta);
+        s.dirty = true;
+    }
+
+    /// Copy of the replica value (evaluation).
+    pub fn get(&self, slot: u32) -> Vec<f32> {
+        self.slots[slot as usize].lock().value.clone()
+    }
+
+    /// Take the accumulated deltas of all dirty slots, resetting them.
+    fn drain(&self) -> Vec<(u32, Vec<f32>)> {
+        let mut out = Vec::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            let mut s = slot.lock();
+            if s.dirty {
+                let len = s.accum.len();
+                let taken = std::mem::replace(&mut s.accum, vec![0.0; len]);
+                s.dirty = false;
+                out.push((i as u32, taken));
+            }
+        }
+        out
+    }
+
+    /// Absorb the sum of *other* nodes' deltas for `slot`.
+    fn apply_foreign(&self, slot: u32, delta: &[f32]) {
+        let mut s = self.slots[slot as usize].lock();
+        add_assign(&mut s.value, delta);
+    }
+}
+
+/// Cluster-wide synchronizer over all nodes' [`ReplicaSet`]s. The merge is
+/// executed in-process (the rendezvous substitution described in DESIGN.md)
+/// but *priced* as the recursive-doubling sparse all-reduce the paper
+/// describes: `ceil(log2 n)` rounds, each carrying the union of dirty
+/// updates.
+pub struct ReplicaSync {
+    sets: Vec<std::sync::Arc<ReplicaSet>>,
+    topology: Topology,
+    cost: CostModel,
+    value_len: usize,
+}
+
+impl ReplicaSync {
+    pub fn new(
+        sets: Vec<std::sync::Arc<ReplicaSet>>,
+        topology: Topology,
+        cost: CostModel,
+        value_len: usize,
+    ) -> ReplicaSync {
+        assert_eq!(sets.len(), topology.n_nodes as usize);
+        ReplicaSync { sets, topology, cost, value_len }
+    }
+
+    /// Run one synchronization: exchange all accumulated deltas so that
+    /// every replica has absorbed every node's updates. Returns the modelled
+    /// duration of the round (zero when nothing was dirty).
+    pub fn sync_once(&self, metrics: &ClusterMetrics) -> SimDuration {
+        let n = self.sets.len();
+        if n <= 1 {
+            // Single node: drain buffers (they were already applied
+            // locally) so they do not grow without bound.
+            if n == 1 {
+                let _ = self.sets[0].drain();
+            }
+            return SimDuration::ZERO;
+        }
+
+        // Drain every node's dirty deltas.
+        let per_node: Vec<Vec<(u32, Vec<f32>)>> = self.sets.iter().map(|s| s.drain()).collect();
+
+        // Union of dirty slots and per-slot totals.
+        let mut totals: rustc_hash::FxHashMap<u32, Vec<f32>> = rustc_hash::FxHashMap::default();
+        for deltas in &per_node {
+            for (slot, d) in deltas {
+                match totals.get_mut(slot) {
+                    Some(t) => add_assign(t, d),
+                    None => {
+                        totals.insert(*slot, d.clone());
+                    }
+                }
+            }
+        }
+        if totals.is_empty() {
+            return SimDuration::ZERO;
+        }
+
+        // Apply `total - own` to each node (its own delta is already in its
+        // replica value).
+        for (node_idx, set) in self.sets.iter().enumerate() {
+            let own: rustc_hash::FxHashMap<u32, &Vec<f32>> =
+                per_node[node_idx].iter().map(|(s, d)| (*s, d)).collect();
+            for (slot, total) in &totals {
+                match own.get(slot) {
+                    Some(own_d) => {
+                        let mut foreign = total.clone();
+                        for (f, o) in foreign.iter_mut().zip(own_d.iter()) {
+                            *f -= o;
+                        }
+                        set.apply_foreign(*slot, &foreign);
+                    }
+                    None => set.apply_foreign(*slot, total),
+                }
+            }
+        }
+
+        // Price the exchange: recursive doubling, each round carrying the
+        // union of dirty updates (slot id + delta vector per entry).
+        let rounds = self.topology.sync_rounds();
+        let bytes_per_round = totals.len() * (4 + 4 * self.value_len);
+        let duration = self.cost.allreduce(rounds, bytes_per_round);
+        for node in self.topology.nodes() {
+            let m = metrics.node(node);
+            m.inc(|m| &m.sync_rounds);
+            m.add(|m| &m.sync_bytes, (rounds as usize * bytes_per_round) as u64);
+        }
+        duration
+    }
+
+    pub fn sets(&self) -> &[std::sync::Arc<ReplicaSet>] {
+        &self.sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn make_sets(n_nodes: usize, n_slots: usize, len: usize) -> Vec<Arc<ReplicaSet>> {
+        let init: Vec<Vec<f32>> = (0..n_slots).map(|_| vec![0.0; len]).collect();
+        (0..n_nodes).map(|_| Arc::new(ReplicaSet::new(&init, ClipPolicy::None))).collect()
+    }
+
+    #[test]
+    fn local_push_visible_immediately() {
+        let sets = make_sets(2, 1, 2);
+        sets[0].push(0, &[1.0, 2.0]);
+        let mut out = vec![0.0; 2];
+        sets[0].pull(0, &mut out);
+        assert_eq!(out, vec![1.0, 2.0]);
+        // Other node has not seen it yet (stale until sync).
+        sets[1].pull(0, &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn sync_converges_all_replicas_to_sum_of_deltas() {
+        let topo = Topology::new(4, 1);
+        let sets = make_sets(4, 3, 2);
+        let sync = ReplicaSync::new(sets.clone(), topo, CostModel::zero(), 2);
+        let metrics = ClusterMetrics::new(4);
+
+        // Each node pushes a distinct delta to slot 0; node 2 also to slot 2.
+        for (i, s) in sets.iter().enumerate() {
+            s.push(0, &[i as f32 + 1.0, 0.0]);
+        }
+        sets[2].push(2, &[0.5, 0.5]);
+
+        let d = sync.sync_once(&metrics);
+        assert_eq!(d, SimDuration::ZERO, "zero cost model");
+
+        // slot 0 must equal 1+2+3+4 = 10 on every node.
+        for s in &sets {
+            assert_eq!(s.get(0), vec![10.0, 0.0]);
+            assert_eq!(s.get(2), vec![0.5, 0.5]);
+            assert_eq!(s.get(1), vec![0.0, 0.0]);
+        }
+        // Second sync with no new updates is free and changes nothing.
+        assert_eq!(sync.sync_once(&metrics), SimDuration::ZERO);
+        assert_eq!(sets[0].get(0), vec![10.0, 0.0]);
+    }
+
+    #[test]
+    fn repeated_pushes_between_syncs_accumulate_once() {
+        let topo = Topology::new(2, 1);
+        let sets = make_sets(2, 1, 1);
+        let sync = ReplicaSync::new(sets.clone(), topo, CostModel::zero(), 1);
+        let metrics = ClusterMetrics::new(2);
+        for _ in 0..10 {
+            sets[0].push(0, &[1.0]);
+            sets[1].push(0, &[2.0]);
+        }
+        sync.sync_once(&metrics);
+        for s in &sets {
+            assert_eq!(s.get(0), vec![30.0]);
+        }
+        // Deltas must not be double-applied by a further sync.
+        sync.sync_once(&metrics);
+        for s in &sets {
+            assert_eq!(s.get(0), vec![30.0]);
+        }
+    }
+
+    #[test]
+    fn sync_prices_rounds_and_counts_bytes() {
+        let topo = Topology::new(4, 1);
+        let sets = make_sets(4, 8, 10);
+        let cost = CostModel::cluster_default();
+        let sync = ReplicaSync::new(sets.clone(), topo, cost, 10);
+        let metrics = ClusterMetrics::new(4);
+        sets[0].push(3, &[1.0; 10]);
+        let d = sync.sync_once(&metrics);
+        // One dirty slot: 4 + 40 bytes per round, 2 rounds.
+        let expect = cost.allreduce(2, 44);
+        assert_eq!(d, expect);
+        let t = metrics.total();
+        assert_eq!(t.sync_rounds, 4); // one per node
+        assert_eq!(t.sync_bytes, 4 * 2 * 44);
+    }
+
+    #[test]
+    fn clipping_limits_outlier_updates_on_replicas() {
+        let init = vec![vec![0.0; 4]];
+        let set = ReplicaSet::new(&init, ClipPolicy::AverageNorm { factor: 2.0 });
+        for _ in 0..100 {
+            set.push(0, &[0.1, 0.0, 0.0, 0.0]);
+        }
+        let before = set.get(0)[0];
+        set.push(0, &[1000.0, 0.0, 0.0, 0.0]); // exploding gradient
+        let after = set.get(0)[0];
+        assert!(after - before < 1.0, "outlier push not clipped: {}", after - before);
+    }
+
+    #[test]
+    fn single_node_sync_is_free_and_drains() {
+        let topo = Topology::new(1, 1);
+        let sets = make_sets(1, 1, 1);
+        let sync = ReplicaSync::new(sets.clone(), topo, CostModel::cluster_default(), 1);
+        let metrics = ClusterMetrics::new(1);
+        sets[0].push(0, &[5.0]);
+        assert_eq!(sync.sync_once(&metrics), SimDuration::ZERO);
+        assert_eq!(sets[0].get(0), vec![5.0]);
+        assert_eq!(metrics.total().sync_bytes, 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Walker/Vose alias tables: O(1) draws from an arbitrary discrete
+//! distribution.
+//!
+//! Sampling managers draw millions of keys per second, so the per-draw cost
+//! must be constant. The alias method preprocesses a weight vector into two
+//! arrays (`prob`, `alias`) in O(n); each draw costs one uniform index, one
+//! uniform float and one comparison.
+
+use rand::Rng;
+
+/// A preprocessed discrete distribution over `0..n`.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights (they need not sum to 1). Panics on
+    /// an empty table, all-zero weights, or non-finite weights.
+    pub fn new(weights: &[f64]) -> AliasTable {
+        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        assert!(
+            weights.len() <= u32::MAX as usize,
+            "alias table outcome space exceeds u32"
+        );
+        let n = weights.len();
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        // Scaled probabilities; mean = 1.
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+
+        // Vose's stack-based construction.
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            // Large donor gives away the deficit of the small slot.
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers: everything remaining is (within rounding)
+        // exactly 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Uniform distribution over `0..n` (fast path: no table scan needed,
+    /// but keeping one type simplifies callers).
+    pub fn uniform(n: usize) -> AliasTable {
+        assert!(n > 0);
+        AliasTable { prob: vec![1.0; n], alias: (0..n as u32).collect() }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chi_square_ok(weights: &[f64], draws: usize, seed: u64) -> bool {
+        let table = AliasTable::new(weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        let mut chi2 = 0.0;
+        let mut dof = 0usize;
+        for (c, w) in counts.iter().zip(weights) {
+            let expect = w / total * draws as f64;
+            if expect >= 5.0 {
+                chi2 += (*c as f64 - expect).powi(2) / expect;
+                dof += 1;
+            }
+        }
+        // Loose bound: chi2 should be near dof; 2x + slack is a ~always-pass
+        // threshold for a correct sampler and a ~always-fail one for a
+        // substantially wrong sampler.
+        chi2 < 2.0 * dof as f64 + 20.0
+    }
+
+    #[test]
+    fn uniform_frequencies_match() {
+        assert!(chi_square_ok(&[1.0; 16], 160_000, 1));
+    }
+
+    #[test]
+    fn skewed_frequencies_match() {
+        let w: Vec<f64> = (1..=32).map(|i| 1.0 / i as f64).collect();
+        assert!(chi_square_ok(&w, 320_000, 2));
+    }
+
+    #[test]
+    fn two_point_extreme_skew() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = AliasTable::new(&[0.999, 0.001]);
+        let hits = (0..100_000).filter(|_| t.sample(&mut rng) == 1).count();
+        // Expect ~100.
+        assert!(hits > 40 && hits < 250, "hits={hits}");
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_drawn() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = AliasTable::new(&[1.0, 0.0, 1.0, 0.0]);
+        for _ in 0..10_000 {
+            let s = t.sample(&mut rng);
+            assert!(s == 0 || s == 2);
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = AliasTable::new(&[42.0]);
+        assert_eq!(t.sample(&mut rng), 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn uniform_constructor_matches_weighted_uniform() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = AliasTable::uniform(8);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((c as i64 - 10_000).abs() < 800, "count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outcome")]
+    fn empty_weights_panic() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn all_zero_weights_panic() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_weight_panics() {
+        AliasTable::new(&[1.0, f64::NAN]);
+    }
+}

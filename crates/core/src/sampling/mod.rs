@@ -1,0 +1,219 @@
+//! Sampling management (Section 4 of the paper).
+//!
+//! Existing PSs force applications to sample keys in application code and
+//! fetch them via direct access; the PS cannot then tell sampling accesses
+//! apart from direct accesses, let alone optimize them. NuPS instead
+//! extends the PS API with a sampling primitive:
+//!
+//! ```text
+//! dist   = register_distribution(π, level)
+//! handle = PrepareSample(dist, N)
+//! keys, values = PullSample(handle[, n_j])   // partial pulls allowed
+//! ```
+//!
+//! The *conformity level* ([`ConformityLevel`]) chosen at registration
+//! controls the quality–efficiency trade-off; the sampling manager picks a
+//! scheme ([`scheme::SamplingScheme`]) that satisfies the level:
+//!
+//! | level | scheme |
+//! |---|---|
+//! | L1 `CONFORM` | independent sampling (iid draws, async pre-localization) |
+//! | L2 `BOUNDED` | pooled sample reuse (pool size G, use frequency U) |
+//! | L3 `LONG-TERM` | pooled sample reuse + postponing of non-local samples |
+//! | L4 `NON-CONFORM` | local sampling over the current local partition |
+
+pub mod alias;
+pub mod reuse;
+pub mod scheme;
+
+use alias::AliasTable;
+
+use crate::key::Key;
+
+/// The hierarchy of sampling conformity levels (Section 4.1). Lower levels
+/// weaken guarantees and admit cheaper schemes; L1 ⊃ L2 ⊃ L3 ⊃ L4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ConformityLevel {
+    /// L1: mutually independent samples from the target distribution.
+    Conform,
+    /// L2: per-node dependencies bounded by a constant `B`; first-order
+    /// inclusion probabilities still match the target exactly.
+    Bounded,
+    /// L3: mean first-order inclusion probabilities match the target
+    /// asymptotically at each node.
+    LongTerm,
+    /// L4: no guarantees.
+    NonConform,
+}
+
+impl ConformityLevel {
+    /// Whether a scheme providing `self` also satisfies `required` (the
+    /// hierarchy: CONFORM implies BOUNDED implies LONG-TERM).
+    pub fn satisfies(self, required: ConformityLevel) -> bool {
+        self <= required
+    }
+}
+
+/// How the target distribution π assigns probability over its key range.
+#[derive(Debug, Clone)]
+pub enum DistributionKind {
+    /// Uniform over the range (KGE negative sampling over entities).
+    Uniform,
+    /// Explicit per-key weights (e.g. Word2Vec's unigram^0.75 noise
+    /// distribution). Length must equal the key range length.
+    Weighted(Vec<f64>),
+}
+
+/// A registered target distribution over the contiguous key range
+/// `[base_key, base_key + n)`.
+pub struct Distribution {
+    pub base_key: Key,
+    n: u64,
+    pub level: ConformityLevel,
+    table: AliasTable,
+}
+
+/// Identifier returned by `register_distribution`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DistId(pub usize);
+
+impl Distribution {
+    pub fn new(base_key: Key, n: u64, kind: DistributionKind, level: ConformityLevel) -> Distribution {
+        assert!(n > 0, "empty sampling range");
+        let table = match kind {
+            DistributionKind::Uniform => AliasTable::uniform(n as usize),
+            DistributionKind::Weighted(w) => {
+                assert_eq!(w.len() as u64, n, "weight vector must cover the key range");
+                AliasTable::new(&w)
+            }
+        };
+        Distribution { base_key, n, level, table }
+    }
+
+    #[inline]
+    pub fn n_keys(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw one key iid from π.
+    #[inline]
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Key {
+        self.base_key + self.table.sample(rng) as Key
+    }
+
+    /// The key range π covers.
+    pub fn key_range(&self) -> std::ops::Range<Key> {
+        self.base_key..self.base_key + self.n
+    }
+}
+
+/// A prepared batch of samples: the handle returned by `PrepareSample`.
+/// `PullSample` consumes from the front; the postponing scheme (L3) may
+/// move samples to the back — at most once each, so no sample is starved
+/// (the condition the paper needs for LONG-TERM, Section 4.4).
+#[derive(Debug)]
+pub struct SampleHandle {
+    pub dist: DistId,
+    pub(crate) queue: std::collections::VecDeque<(Key, bool)>,
+    /// Total samples requested at prepare time.
+    pub requested: usize,
+    /// For lazily drawing schemes (local sampling): samples still owed.
+    pub(crate) lazy_remaining: usize,
+}
+
+impl SampleHandle {
+    /// A handle over eagerly drawn keys (independent & reuse schemes).
+    pub fn new(dist: DistId, keys: impl IntoIterator<Item = Key>) -> SampleHandle {
+        let queue: std::collections::VecDeque<(Key, bool)> =
+            keys.into_iter().map(|k| (k, false)).collect();
+        let requested = queue.len();
+        SampleHandle { dist, queue, requested, lazy_remaining: 0 }
+    }
+
+    /// A handle whose keys are drawn at pull time (local sampling).
+    pub fn lazy(dist: DistId, n: usize) -> SampleHandle {
+        SampleHandle {
+            dist,
+            queue: std::collections::VecDeque::new(),
+            requested: n,
+            lazy_remaining: n,
+        }
+    }
+
+    /// Samples not yet pulled.
+    pub fn remaining(&self) -> usize {
+        self.queue.len() + self.lazy_remaining
+    }
+
+    /// Take the next prepared key; the flag reports whether it was already
+    /// postponed once. For custom scheme implementations outside this
+    /// crate (e.g. baseline workers).
+    pub fn pop_key(&mut self) -> Option<(Key, bool)> {
+        self.queue.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hierarchy_is_ordered() {
+        use ConformityLevel::*;
+        assert!(Conform.satisfies(Bounded));
+        assert!(Conform.satisfies(LongTerm));
+        assert!(Bounded.satisfies(LongTerm));
+        assert!(!Bounded.satisfies(Conform));
+        assert!(!NonConform.satisfies(LongTerm));
+        assert!(NonConform.satisfies(NonConform));
+    }
+
+    #[test]
+    fn uniform_distribution_covers_range() {
+        let d = Distribution::new(100, 50, DistributionKind::Uniform, ConformityLevel::Conform);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let k = d.sample(&mut rng);
+            assert!((100..150).contains(&k));
+        }
+        assert_eq!(d.key_range(), 100..150);
+    }
+
+    #[test]
+    fn weighted_distribution_respects_weights() {
+        let d = Distribution::new(
+            0,
+            3,
+            DistributionKind::Weighted(vec![0.0, 1.0, 3.0]),
+            ConformityLevel::Bounded,
+        );
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut counts = [0u32; 3];
+        for _ in 0..40_000 {
+            counts[d.sample(&mut rng) as usize] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f64 / counts[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio={ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the key range")]
+    fn weight_length_mismatch_panics() {
+        Distribution::new(
+            0,
+            4,
+            DistributionKind::Weighted(vec![1.0; 3]),
+            ConformityLevel::Conform,
+        );
+    }
+
+    #[test]
+    fn handle_tracks_remaining() {
+        let h = SampleHandle::new(DistId(0), [1, 2, 3]);
+        assert_eq!(h.requested, 3);
+        assert_eq!(h.remaining(), 3);
+    }
+}

@@ -1,0 +1,217 @@
+//! Pooled sample reuse (Section 4.4).
+//!
+//! NuPS reuses samples through *pools*: repeatedly draw `G` keys iid from
+//! the target distribution to form a pool, then produce samples by
+//! traversing the pool `U` times, each traversal in a fresh random order.
+//! Pooling spreads the reuses of one key out in time (with `G = 1` the
+//! sequence is `k₁k₁k₂k₂…`; with larger `G` reuses interleave), which
+//! increases randomness at equal communication savings.
+//!
+//! The scheme is `BOUNDED`: samples are iid draws from π, every key is used
+//! exactly `U` times, and the dependency window is at most `U·G` samples.
+//!
+//! Pool preparation is where the communication savings come from: when a
+//! new pool is formed, its keys are localized *asynchronously*, so by the
+//! time the samples are pulled the parameters are (usually) local. The
+//! paper triggers preparation from an estimate of recent relocation times
+//! (footnote 3 notes the heuristic affects performance, not correctness);
+//! we trigger at a low-water mark of prepared-but-unused samples, which
+//! plays the same role on the virtual timeline.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::VecDeque;
+
+use crate::key::Key;
+
+/// Per-worker, per-distribution state for the pooled reuse schemes (both
+/// with and without postponing — postponing happens at pull time and does
+/// not change pool management).
+#[derive(Debug)]
+pub struct PoolSequence {
+    pool_size: usize,
+    use_frequency: usize,
+    low_water: usize,
+    prepared: VecDeque<Key>,
+    pools_created: u64,
+}
+
+impl PoolSequence {
+    /// `pool_size` = G, `use_frequency` = U (the paper's defaults are
+    /// G = 250, U = 16).
+    pub fn new(pool_size: usize, use_frequency: usize) -> PoolSequence {
+        assert!(pool_size > 0 && use_frequency > 0);
+        PoolSequence {
+            pool_size,
+            use_frequency,
+            // Keep at least one pool's worth of samples prepared ahead so
+            // async localization has time to complete.
+            low_water: pool_size,
+            prepared: VecDeque::new(),
+            pools_created: 0,
+        }
+    }
+
+    /// Take the next `n` samples, refilling pools as needed. `draw` samples
+    /// one key iid from π; `on_new_pool` receives each freshly drawn pool
+    /// (for asynchronous localization).
+    pub fn next_batch<R: Rng + ?Sized>(
+        &mut self,
+        n: usize,
+        rng: &mut R,
+        mut draw: impl FnMut(&mut R) -> Key,
+        mut on_new_pool: impl FnMut(&[Key]),
+    ) -> Vec<Key> {
+        while self.prepared.len() < n.max(self.low_water) {
+            self.add_pool(rng, &mut draw, &mut on_new_pool);
+        }
+        self.prepared.drain(..n).collect()
+    }
+
+    fn add_pool<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        draw: &mut impl FnMut(&mut R) -> Key,
+        on_new_pool: &mut impl FnMut(&[Key]),
+    ) {
+        let pool: Vec<Key> = (0..self.pool_size).map(|_| draw(rng)).collect();
+        on_new_pool(&pool);
+        let mut traversal = pool.clone();
+        for _ in 0..self.use_frequency {
+            traversal.shuffle(rng);
+            self.prepared.extend(traversal.iter().copied());
+        }
+        self.pools_created += 1;
+    }
+
+    /// Samples prepared but not yet handed out.
+    pub fn prepared_len(&self) -> usize {
+        self.prepared.len()
+    }
+
+    pub fn pools_created(&self) -> u64 {
+        self.pools_created
+    }
+
+    /// The dependency bound `B = U·G` this state guarantees.
+    pub fn dependency_bound(&self) -> usize {
+        self.pool_size * self.use_frequency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rustc_hash::FxHashMap;
+
+    /// Draw keys from an incrementing counter so every fresh draw is
+    /// distinct and pools are identifiable.
+    fn counter_draw() -> impl FnMut(&mut StdRng) -> Key {
+        let mut next = 0u64;
+        move |_rng| {
+            next += 1;
+            next - 1
+        }
+    }
+
+    #[test]
+    fn each_pool_key_used_exactly_u_times() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (g, u) = (10, 4);
+        let mut seq = PoolSequence::new(g, u);
+        let out = seq.next_batch(g * u, &mut rng, counter_draw(), |_| {});
+        assert_eq!(out.len(), g * u);
+        let mut counts: FxHashMap<Key, usize> = FxHashMap::default();
+        for k in &out {
+            *counts.entry(*k).or_default() += 1;
+        }
+        assert_eq!(counts.len(), g, "exactly one pool consumed");
+        assert!(counts.values().all(|&c| c == u), "every key used exactly U times");
+    }
+
+    #[test]
+    fn dependency_window_is_bounded_by_ug() {
+        // All occurrences of one key lie within one pool's U·G positions.
+        let mut rng = StdRng::seed_from_u64(2);
+        let (g, u) = (8, 3);
+        let mut seq = PoolSequence::new(g, u);
+        let out = seq.next_batch(5 * g * u, &mut rng, counter_draw(), |_| {});
+        let mut first: FxHashMap<Key, usize> = FxHashMap::default();
+        let mut last: FxHashMap<Key, usize> = FxHashMap::default();
+        for (i, k) in out.iter().enumerate() {
+            first.entry(*k).or_insert(i);
+            last.insert(*k, i);
+        }
+        for (k, f) in &first {
+            let span = last[k] - f;
+            assert!(span < g * u, "key {k} spans {span} >= U*G");
+        }
+        assert_eq!(seq.dependency_bound(), g * u);
+    }
+
+    #[test]
+    fn new_pools_are_announced_for_localization() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seq = PoolSequence::new(5, 2);
+        let mut announced: Vec<Vec<Key>> = Vec::new();
+        let _ = seq.next_batch(30, &mut rng, counter_draw(), |pool| {
+            announced.push(pool.to_vec());
+        });
+        // 30 samples need 3 pools of 10 samples each... plus low-water
+        // keeps one pool ahead.
+        assert!(announced.len() >= 3, "pools announced: {}", announced.len());
+        for p in &announced {
+            assert_eq!(p.len(), 5);
+        }
+        assert_eq!(seq.pools_created() as usize, announced.len());
+    }
+
+    #[test]
+    fn low_water_keeps_samples_prepared_ahead() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seq = PoolSequence::new(10, 2);
+        let _ = seq.next_batch(1, &mut rng, counter_draw(), |_| {});
+        // After the first pull, at least a pool's worth remains prepared.
+        assert!(seq.prepared_len() >= 10, "prepared={}", seq.prepared_len());
+    }
+
+    #[test]
+    fn traversals_are_shuffled_not_repeated() {
+        // With G=32, the second traversal almost surely differs from the
+        // first in order (probability of identity permutation is 1/32!).
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = 32;
+        let mut seq = PoolSequence::new(g, 2);
+        let out = seq.next_batch(2 * g, &mut rng, counter_draw(), |_| {});
+        let (a, b) = out.split_at(g);
+        assert_ne!(a, b, "traversal order must be reshuffled");
+        let mut a2 = a.to_vec();
+        let mut b2 = b.to_vec();
+        a2.sort_unstable();
+        b2.sort_unstable();
+        assert_eq!(a2, b2, "same multiset of keys in both traversals");
+    }
+
+    #[test]
+    fn sampled_frequencies_still_match_target() {
+        // First-order inclusion must match π even with reuse (BOUNDED
+        // guarantee). Pool draws are iid from π; each used exactly U times.
+        let mut rng = StdRng::seed_from_u64(6);
+        let weights = [1.0f64, 2.0, 7.0];
+        let table = crate::sampling::alias::AliasTable::new(&weights);
+        let mut seq = PoolSequence::new(25, 4);
+        let n = 100_000;
+        let out = seq.next_batch(n, &mut rng, |r| table.sample(r) as Key, |_| {});
+        let mut counts = [0f64; 3];
+        for k in out {
+            counts[k as usize] += 1.0;
+        }
+        for i in 0..3 {
+            let got = counts[i] / n as f64;
+            let want = weights[i] / 10.0;
+            assert!((got - want).abs() < 0.02, "outcome {i}: got {got}, want {want}");
+        }
+    }
+}

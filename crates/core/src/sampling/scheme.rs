@@ -1,0 +1,120 @@
+//! Sampling schemes and the manager's scheme selection (Sections 4.2/4.4).
+
+use super::ConformityLevel;
+
+/// Parameters of the pooled reuse schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReuseParams {
+    /// Pool size G (paper default: 250).
+    pub pool_size: usize,
+    /// Use frequency U (paper's untuned default: 16).
+    pub use_frequency: usize,
+}
+
+impl Default for ReuseParams {
+    fn default() -> ReuseParams {
+        ReuseParams { pool_size: 250, use_frequency: 16 }
+    }
+}
+
+/// The sampling schemes NuPS implements behind the sampling API (Figure 5),
+/// plus [`SamplingScheme::Manual`] — not a NuPS scheme but what
+/// applications on sampling-oblivious PSs do (draw independently in
+/// application code, access via direct pulls): the baseline the paper's
+/// Section 4 argues against. The manager never selects it; experiment
+/// variants for Classic/Lapse do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingScheme {
+    /// Application-side sampling on a PS without sampling support: iid
+    /// draws, direct access, no preparatory localization.
+    Manual,
+    /// Sample iid from π; localize in PrepareSample; pull (remotely if
+    /// necessary) in PullSample.
+    Independent,
+    /// Pooled sample reuse: iid pools of size G, each sample used U times.
+    Reuse(ReuseParams),
+    /// Pooled reuse plus postponing: a non-local sample is re-localized,
+    /// moved to the end of the handle, and used later — at most one
+    /// postponement per sample.
+    ReuseWithPostponing(ReuseParams),
+    /// Sample from the locally available part of π; no network at all.
+    Local,
+}
+
+impl SamplingScheme {
+    /// The strongest conformity level the scheme provides (Table 1).
+    pub fn provides(&self) -> ConformityLevel {
+        match self {
+            SamplingScheme::Manual => ConformityLevel::Conform,
+            SamplingScheme::Independent => ConformityLevel::Conform,
+            SamplingScheme::Reuse(_) => ConformityLevel::Bounded,
+            SamplingScheme::ReuseWithPostponing(_) => ConformityLevel::LongTerm,
+            SamplingScheme::Local => ConformityLevel::NonConform,
+        }
+    }
+
+    /// The manager's choice: the cheapest implemented scheme that still
+    /// satisfies the requested level.
+    pub fn for_level(level: ConformityLevel, reuse: ReuseParams) -> SamplingScheme {
+        match level {
+            ConformityLevel::Conform => SamplingScheme::Independent,
+            ConformityLevel::Bounded => SamplingScheme::Reuse(reuse),
+            ConformityLevel::LongTerm => SamplingScheme::ReuseWithPostponing(reuse),
+            ConformityLevel::NonConform => SamplingScheme::Local,
+        }
+    }
+
+    /// The dependency bound `B` for BOUNDED schemes.
+    pub fn dependency_bound(&self) -> Option<usize> {
+        match self {
+            SamplingScheme::Manual | SamplingScheme::Independent => Some(0),
+            SamplingScheme::Reuse(p) => Some(p.pool_size * p.use_frequency),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selected_scheme_satisfies_requested_level() {
+        let reuse = ReuseParams::default();
+        for level in [
+            ConformityLevel::Conform,
+            ConformityLevel::Bounded,
+            ConformityLevel::LongTerm,
+            ConformityLevel::NonConform,
+        ] {
+            let s = SamplingScheme::for_level(level, reuse);
+            assert!(
+                s.provides().satisfies(level),
+                "{s:?} provides {:?} which does not satisfy {level:?}",
+                s.provides()
+            );
+        }
+    }
+
+    #[test]
+    fn conformity_table_matches_paper_table_1() {
+        assert_eq!(SamplingScheme::Independent.provides(), ConformityLevel::Conform);
+        assert_eq!(
+            SamplingScheme::Reuse(ReuseParams::default()).provides(),
+            ConformityLevel::Bounded
+        );
+        assert_eq!(
+            SamplingScheme::ReuseWithPostponing(ReuseParams::default()).provides(),
+            ConformityLevel::LongTerm
+        );
+        assert_eq!(SamplingScheme::Local.provides(), ConformityLevel::NonConform);
+    }
+
+    #[test]
+    fn dependency_bounds() {
+        assert_eq!(SamplingScheme::Independent.dependency_bound(), Some(0));
+        let p = ReuseParams { pool_size: 250, use_frequency: 16 };
+        assert_eq!(SamplingScheme::Reuse(p).dependency_bound(), Some(4000));
+        assert_eq!(SamplingScheme::Local.dependency_bound(), None);
+    }
+}

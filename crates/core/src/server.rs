@@ -1,0 +1,185 @@
+//! The per-node server loop.
+//!
+//! One server thread per node demultiplexes protocol messages: remote
+//! pulls/pushes (forwarding them along the ownership chain when the key
+//! moved), the three-message Lapse relocation protocol, and shutdown. The
+//! server never blocks on a parameter: operations against in-flight keys
+//! are parked on the store entry and answered when the transfer installs,
+//! which keeps the loop live and the per-key operation order sequential.
+
+use std::sync::Arc;
+
+use nups_sim::codec::WireEncode;
+use nups_sim::net::Endpoint;
+use nups_sim::time::SimTime;
+use nups_sim::topology::{Addr, NodeId};
+
+use crate::key::Key;
+use crate::messages::Msg;
+use crate::node::{NodeState, Shared};
+use crate::store::{ServerAccess, TakeOutcome};
+
+pub struct Server {
+    shared: Arc<Shared>,
+    state: Arc<NodeState>,
+    endpoint: Endpoint,
+}
+
+impl Server {
+    pub fn new(shared: Arc<Shared>, state: Arc<NodeState>, endpoint: Endpoint) -> Server {
+        Server { shared, state, endpoint }
+    }
+
+    /// Run until a `Stop` message arrives or the network shuts down.
+    pub fn run(mut self) {
+        while let Some(frame) = self.endpoint.recv() {
+            let mut payload = frame.payload;
+            let msg = match Msg::decode(&mut payload) {
+                Ok(m) => m,
+                Err(e) => {
+                    debug_assert!(false, "undecodable frame at {}: {e}", self.state.node);
+                    continue;
+                }
+            };
+            if !self.handle(msg, frame.sent_at) {
+                break;
+            }
+        }
+    }
+
+    fn me(&self) -> NodeId {
+        self.state.node
+    }
+
+    fn send(&mut self, dst: Addr, at: SimTime, msg: &Msg) {
+        self.endpoint.send(dst, at, msg.to_bytes());
+    }
+
+    /// Returns `false` on `Stop`.
+    fn handle(&mut self, msg: Msg, at: SimTime) -> bool {
+        match msg {
+            Msg::PullReq { key, reply_to, hops } => self.handle_pull(key, reply_to, hops, at),
+            Msg::PushReq { key, delta, reply_to, hops } => {
+                self.handle_push(key, delta, reply_to, hops, at)
+            }
+            Msg::LocalizeReq { key, requester } => self.handle_localize(key, requester, at),
+            Msg::ForwardLocalize { key, requester } => {
+                self.handle_forward_localize(key, requester, at)
+            }
+            Msg::Transfer { key, value } => self.handle_transfer(key, value, at),
+            Msg::Stop => return false,
+            other => {
+                debug_assert!(false, "unexpected message at relocation server: {other:?}");
+            }
+        }
+        true
+    }
+
+    /// Resolve where an operation on `key` should go when we do not own
+    /// it: follow a tombstone if we have one, otherwise re-route via home.
+    fn chase(&self, key: Key, hint: Option<NodeId>) -> NodeId {
+        hint.unwrap_or_else(|| self.shared.keyspace.home(key))
+    }
+
+    fn handle_pull(&mut self, key: Key, reply_to: Addr, hops: u8, at: SimTime) {
+        // At the home node, consult the directory first: the request may
+        // need forwarding to the current owner.
+        if self.shared.keyspace.home(key) == self.me() {
+            let owner = self.state.directory.owner(key);
+            if owner != self.me() {
+                let fwd = Msg::PullReq { key, reply_to, hops: hops.saturating_add(1) };
+                self.send(Addr::server(owner), at, &fwd);
+                return;
+            }
+        }
+        match self.state.store.server_pull(key, reply_to, hops) {
+            ServerAccess::Served(Some(value)) => {
+                let resp = Msg::PullResp { key, value, hops: hops.saturating_add(1) };
+                self.send(reply_to, at, &resp);
+            }
+            ServerAccess::Served(None) => unreachable!("pull always returns a value"),
+            ServerAccess::Queued => {} // answered at install time
+            ServerAccess::NotHere(hint) => {
+                let dst = self.chase(key, hint);
+                let fwd = Msg::PullReq { key, reply_to, hops: hops.saturating_add(1) };
+                self.send(Addr::server(dst), at, &fwd);
+            }
+        }
+    }
+
+    fn handle_push(&mut self, key: Key, delta: Vec<f32>, reply_to: Addr, hops: u8, at: SimTime) {
+        if self.shared.keyspace.home(key) == self.me() {
+            let owner = self.state.directory.owner(key);
+            if owner != self.me() {
+                let fwd = Msg::PushReq { key, delta, reply_to, hops: hops.saturating_add(1) };
+                self.send(Addr::server(owner), at, &fwd);
+                return;
+            }
+        }
+        match self.state.store.server_push(key, delta.clone(), reply_to, hops) {
+            ServerAccess::Served(_) => {
+                let ack = Msg::PushAck { key, hops: hops.saturating_add(1) };
+                self.send(reply_to, at, &ack);
+            }
+            ServerAccess::Queued => {}
+            ServerAccess::NotHere(hint) => {
+                let dst = self.chase(key, hint);
+                let fwd = Msg::PushReq { key, delta, reply_to, hops: hops.saturating_add(1) };
+                self.send(Addr::server(dst), at, &fwd);
+            }
+        }
+    }
+
+    /// First message of the relocation protocol, handled at the home node:
+    /// update the location directory and tell the current owner to hand
+    /// the key over.
+    fn handle_localize(&mut self, key: Key, requester: NodeId, at: SimTime) {
+        debug_assert_eq!(self.shared.keyspace.home(key), self.me(), "localize not at home");
+        let owner = self.state.directory.owner(key);
+        if owner == requester {
+            // A transfer to the requester is already under way; its
+            // in-flight entry will resolve it.
+            return;
+        }
+        self.state.directory.set_owner(key, requester);
+        if owner == self.me() {
+            self.handle_forward_localize(key, requester, at);
+        } else {
+            self.send(Addr::server(owner), at, &Msg::ForwardLocalize { key, requester });
+        }
+    }
+
+    /// Second message: the (believed) owner relinquishes the key.
+    fn handle_forward_localize(&mut self, key: Key, requester: NodeId, at: SimTime) {
+        match self.state.store.take_for_transfer(key, requester) {
+            TakeOutcome::Taken(value) => {
+                self.send(Addr::server(requester), at, &Msg::Transfer { key, value });
+            }
+            TakeOutcome::Deferred => {} // handed over right after install
+            TakeOutcome::NotHere(hint) => {
+                // The key moved on before this request caught up with it:
+                // chase the tombstone chain.
+                let dst = self.chase(key, hint);
+                debug_assert_ne!(dst, self.me(), "forward-localize chase loop at {}", self.me());
+                self.send(Addr::server(dst), at, &Msg::ForwardLocalize { key, requester });
+            }
+        }
+    }
+
+    /// Third message: the value arrives; serve everything that queued up.
+    fn handle_transfer(&mut self, key: Key, value: Vec<f32>, at: SimTime) {
+        let out = self.state.store.install(key, value);
+        self.shared.metrics.node(self.me()).inc(|m| &m.relocations);
+        for (value, reply_to, hops) in out.pull_replies {
+            let resp = Msg::PullResp { key, value, hops: hops.saturating_add(1) };
+            self.send(reply_to, at, &resp);
+        }
+        for (reply_to, hops) in out.push_acks {
+            let ack = Msg::PushAck { key, hops: hops.saturating_add(1) };
+            self.send(reply_to, at, &ack);
+        }
+        if let Some((node, value)) = out.release {
+            self.send(Addr::server(node), at, &Msg::Transfer { key, value });
+        }
+    }
+}

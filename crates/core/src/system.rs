@@ -1,0 +1,475 @@
+//! The top-level parameter server: construction, worker hand-out, epoch
+//! orchestration helpers, evaluation access, and shutdown.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use nups_sim::clock::ClusterClocks;
+use nups_sim::metrics::{ClusterMetrics, MetricsSnapshot};
+use nups_sim::net::{Frame, Network};
+use nups_sim::time::SimTime;
+use nups_sim::topology::{Addr, NodeId, WorkerId};
+use nups_sim::WireEncode;
+
+use crate::api::PsWorker;
+use crate::config::NupsConfig;
+use crate::key::{Key, KeySpace};
+use crate::messages::Msg;
+use crate::node::{Directory, NodeState, Shared};
+use crate::replication::{ReplicaSet, ReplicaSync};
+use crate::sampling::scheme::SamplingScheme;
+use crate::sampling::{ConformityLevel, DistId, Distribution, DistributionKind};
+use crate::server::Server;
+use crate::store::Store;
+use crate::syncgate::{SyncGate, SyncStats};
+use crate::technique::{Technique, TechniqueMap};
+use crate::worker::NupsWorker;
+
+/// A running NuPS-family parameter server (NuPS, Lapse, Classic and the
+/// single-node baseline are all configurations of this one system — the
+/// paper's "reduces to a single-technique PS" property).
+pub struct ParameterServer {
+    shared: Arc<Shared>,
+    config: NupsConfig,
+    servers: Vec<JoinHandle<()>>,
+}
+
+impl ParameterServer {
+    /// Build and start the server. `init` provides the initial value of
+    /// every key (called once per key; must be deterministic in `key` if
+    /// runs are to be reproducible).
+    pub fn new(config: NupsConfig, mut init: impl FnMut(Key, &mut [f32])) -> ParameterServer {
+        let topo = config.topology;
+        let keyspace = KeySpace::new(config.n_keys, topo.n_nodes);
+        let technique = TechniqueMap::from_replicated_keys(config.n_keys, &config.replicated_keys);
+
+        let metrics = Arc::new(ClusterMetrics::new(topo.n_nodes as usize));
+        let network = Network::new(topo, Arc::clone(&metrics));
+        let clocks = Arc::new(ClusterClocks::new(topo));
+
+        // Identical initial replica values on every node.
+        let mut scratch = vec![0.0f32; config.value_len];
+        let replica_init: Vec<Vec<f32>> = technique
+            .replicated_keys()
+            .iter()
+            .map(|&k| {
+                scratch.iter_mut().for_each(|x| *x = 0.0);
+                init(k, &mut scratch);
+                scratch.clone()
+            })
+            .collect();
+
+        let mut nodes = Vec::with_capacity(topo.n_nodes as usize);
+        for node in topo.nodes() {
+            let store = Store::new(config.store_shards);
+            let range = keyspace.range_of(node);
+            for key in range.clone() {
+                if technique.technique(key) == Technique::Relocated {
+                    scratch.iter_mut().for_each(|x| *x = 0.0);
+                    init(key, &mut scratch);
+                    store.seed(key, scratch.clone());
+                }
+            }
+            nodes.push(Arc::new(NodeState {
+                node,
+                store,
+                directory: Directory::new(range, node),
+                replicas: Arc::new(ReplicaSet::new(&replica_init, config.clip)),
+                background_busy: std::sync::atomic::AtomicU64::new(0),
+            }));
+        }
+
+        let sync = Arc::new(ReplicaSync::new(
+            nodes.iter().map(|n| Arc::clone(&n.replicas)).collect(),
+            topo,
+            config.cost,
+            config.value_len,
+        ));
+        let gate = Arc::new(SyncGate::new(config.sync_period, technique.n_replicated() > 0));
+
+        let shared = Arc::new(Shared {
+            topology: topo,
+            keyspace,
+            technique,
+            value_len: config.value_len,
+            cost: config.cost,
+            relocation_enabled: config.relocation_enabled,
+            metrics,
+            network: Arc::clone(&network),
+            clocks,
+            gate,
+            sync,
+            nodes,
+            dists: parking_lot::Mutex::new(Vec::new()),
+        });
+
+        let servers = topo
+            .nodes()
+            .map(|node| {
+                let endpoint = network.bind(Addr::server(node));
+                let server =
+                    Server::new(Arc::clone(&shared), Arc::clone(&shared.nodes[node.index()]), endpoint);
+                std::thread::Builder::new()
+                    .name(format!("nups-server-{node}"))
+                    .spawn(move || server.run())
+                    .expect("spawn server thread")
+            })
+            .collect();
+
+        ParameterServer { shared, config, servers }
+    }
+
+    /// Register a sampling distribution (Section 4.3's
+    /// `register_distribution(π, L)`). Must happen before workers are
+    /// created. The sampling manager selects the scheme for the level.
+    pub fn register_distribution(
+        &self,
+        base_key: Key,
+        n: u64,
+        kind: DistributionKind,
+        level: ConformityLevel,
+    ) -> DistId {
+        let dist = Distribution::new(base_key, n, kind, level);
+        let scheme = SamplingScheme::for_level(level, self.config.reuse);
+        let mut dists = self.shared.dists.lock();
+        dists.push(Arc::new((dist, scheme)));
+        DistId(dists.len() - 1)
+    }
+
+    /// Register a distribution with an explicitly chosen scheme (the
+    /// Section 5.5 experiments sweep schemes directly).
+    pub fn register_distribution_with_scheme(
+        &self,
+        base_key: Key,
+        n: u64,
+        kind: DistributionKind,
+        scheme: SamplingScheme,
+    ) -> DistId {
+        let dist = Distribution::new(base_key, n, kind, scheme.provides());
+        let mut dists = self.shared.dists.lock();
+        dists.push(Arc::new((dist, scheme)));
+        DistId(dists.len() - 1)
+    }
+
+    /// Create the worker handle for `id`. Each worker may be created once.
+    pub fn worker(&self, id: WorkerId) -> NupsWorker {
+        assert!(id.node.0 < self.config.topology.n_nodes);
+        assert!(id.local < self.config.topology.workers_per_node);
+        let endpoint = self.shared.network.bind(Addr::worker(id.node, id.local));
+        let clock = self.shared.clocks.worker_clock(id);
+        let seed = self
+            .config
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(1 + self.shared.topology.worker_index(id) as u64));
+        NupsWorker::new(id, Arc::clone(&self.shared), endpoint, clock, seed)
+    }
+
+    /// All worker handles, in topology order.
+    pub fn workers(&self) -> Vec<NupsWorker> {
+        self.config.topology.workers().map(|w| self.worker(w)).collect()
+    }
+
+    /// Force one replica synchronization (epoch boundaries / evaluation).
+    pub fn flush_replicas(&self) {
+        if self.shared.technique.n_replicated() > 0 {
+            let _ = self.shared.sync.sync_once(&self.shared.metrics);
+        }
+    }
+
+    /// Read the current value of one key (evaluation; not priced).
+    /// Retries while the key is mid-relocation.
+    pub fn read_value(&self, key: Key) -> Vec<f32> {
+        if let Some(slot) = self.shared.technique.replica_slot(key) {
+            return self.shared.sync.sets()[0].get(slot);
+        }
+        for attempt in 0..5000 {
+            for node in &self.shared.nodes {
+                if let Some(v) = node.store.get(key) {
+                    return v;
+                }
+            }
+            // The key is in flight between nodes; let the servers settle.
+            std::thread::sleep(std::time::Duration::from_micros(50 * (attempt + 1).min(20)));
+        }
+        panic!("key {key} not found on any node (lost in transit?)");
+    }
+
+    /// Snapshot every key's value (evaluation; not priced).
+    pub fn read_all(&self) -> Vec<Vec<f32>> {
+        let n = self.config.n_keys;
+        let mut out: Vec<Option<Vec<f32>>> = vec![None; n as usize];
+        // Replicated keys from node 0 (all replicas equal after a flush).
+        for (slot, &key) in self.shared.technique.replicated_keys().iter().enumerate() {
+            out[key as usize] = Some(self.shared.sync.sets()[0].get(slot as u32));
+        }
+        // Owned keys per node.
+        for node in &self.shared.nodes {
+            for key in node.store.local_keys() {
+                if let Some(v) = node.store.get(key) {
+                    out[key as usize] = Some(v);
+                }
+            }
+        }
+        // Stragglers (mid-relocation) individually.
+        out.iter_mut()
+            .enumerate()
+            .map(|(k, v)| match v.take() {
+                Some(v) => v,
+                None => self.read_value(k as Key),
+            })
+            .collect()
+    }
+
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.total()
+    }
+
+    pub fn metrics_of(&self, node: NodeId) -> MetricsSnapshot {
+        self.shared.metrics.snapshot_node(node)
+    }
+
+    pub fn clocks(&self) -> &Arc<ClusterClocks> {
+        &self.shared.clocks
+    }
+
+    pub fn sync_stats(&self) -> SyncStats {
+        self.shared.gate.stats()
+    }
+
+    pub fn technique_map(&self) -> &TechniqueMap {
+        &self.shared.technique
+    }
+
+    pub fn config(&self) -> &NupsConfig {
+        &self.config
+    }
+
+    /// The cluster-wide virtual time: the slowest worker's clock, folded
+    /// with any background busy time (epoch "run time" reads).
+    pub fn virtual_time(&self) -> SimTime {
+        let mut t = self.shared.clocks.max_time();
+        for node in &self.shared.nodes {
+            t = t.max(SimTime::ZERO + node.background_busy());
+        }
+        t
+    }
+
+    /// Stop the server threads. Called automatically on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.servers.is_empty() {
+            return;
+        }
+        for node in self.config.topology.nodes() {
+            self.shared.network.send(Frame {
+                src: Addr::server(node),
+                dst: Addr::server(node),
+                sent_at: SimTime::ZERO,
+                payload: Msg::Stop.to_bytes(),
+            });
+        }
+        for h in self.servers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ParameterServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Run one epoch: spawn a thread per worker, call `body(worker_index,
+/// worker)` inside the epoch bracket, and join. The bracket registers each
+/// worker with the replica-sync gate so time-based synchronization can
+/// rendezvous.
+pub fn run_epoch<W, F>(workers: &mut [W], body: F)
+where
+    W: PsWorker,
+    F: Fn(usize, &mut W) + Sync,
+{
+    std::thread::scope(|s| {
+        for (i, w) in workers.iter_mut().enumerate() {
+            let body = &body;
+            s.spawn(move || {
+                w.begin_epoch();
+                body(i, w);
+                w.end_epoch();
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nups_sim::cost::CostModel;
+    use nups_sim::topology::Topology;
+
+    fn zero_cost(cfg: NupsConfig) -> NupsConfig {
+        cfg.with_cost(CostModel::zero())
+    }
+
+    #[test]
+    fn single_node_pull_push_roundtrip() {
+        let cfg = zero_cost(NupsConfig::single_node(2, 10, 4));
+        let ps = ParameterServer::new(cfg, |k, v| v.fill(k as f32));
+        let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+        let mut buf = vec![0.0; 4];
+        w.pull(3, &mut buf);
+        assert_eq!(buf, vec![3.0; 4]);
+        w.push(3, &[1.0; 4]);
+        w.pull(3, &mut buf);
+        assert_eq!(buf, vec![4.0; 4]);
+        assert_eq!(ps.read_value(3), vec![4.0; 4]);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn remote_access_without_relocation_goes_over_network() {
+        // Classic PS on 2 nodes: keys homed at node 1 are always remote
+        // for node 0's worker.
+        let topo = Topology::new(2, 1);
+        let cfg = zero_cost(NupsConfig::classic(topo, 10, 2));
+        let ps = ParameterServer::new(cfg, |_, v| v.fill(1.0));
+        let mut w0 = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+        let mut buf = vec![0.0; 2];
+        // Key 7 is homed at node 1 (keyspace 10 over 2 nodes → 5..10).
+        w0.pull(7, &mut buf);
+        assert_eq!(buf, vec![1.0; 2]);
+        w0.push(7, &[0.5, 0.5]);
+        w0.pull(7, &mut buf);
+        assert_eq!(buf, vec![1.5; 2]);
+        let m = ps.metrics();
+        assert_eq!(m.remote_pulls, 2);
+        assert_eq!(m.remote_pushes, 1);
+        assert_eq!(m.relocations, 0, "classic never relocates");
+        assert!(m.msgs_sent >= 6);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn localize_relocates_and_subsequent_access_is_local() {
+        let topo = Topology::new(2, 1);
+        let cfg = zero_cost(NupsConfig::lapse(topo, 10, 2));
+        let ps = ParameterServer::new(cfg, |_, v| v.fill(2.0));
+        let mut w0 = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+        w0.localize(&[7]);
+        let mut buf = vec![0.0; 2];
+        w0.pull(7, &mut buf); // waits for the transfer, then local
+        assert_eq!(buf, vec![2.0; 2]);
+        let m = ps.metrics();
+        assert_eq!(m.relocations, 1);
+        assert_eq!(m.remote_pulls, 0);
+        assert_eq!(m.local_pulls, 1);
+        assert_eq!(m.relocation_conflicts, 1, "pull raced the transfer");
+        // Second access: plain local.
+        w0.pull(7, &mut buf);
+        assert_eq!(ps.metrics().local_pulls, 2);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn replicated_key_visible_on_other_node_after_flush() {
+        let topo = Topology::new(2, 1);
+        let cfg = zero_cost(NupsConfig::nups(topo, 10, 2).with_replicated_keys(vec![0]));
+        let ps = ParameterServer::new(cfg, |_, v| v.fill(0.0));
+        let mut w0 = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+        let mut w1 = ps.worker(WorkerId { node: NodeId(1), local: 0 });
+        w0.push(0, &[1.0, 1.0]);
+        let mut buf = vec![0.0; 2];
+        w1.pull(0, &mut buf);
+        assert_eq!(buf, vec![0.0; 2], "stale before sync");
+        ps.flush_replicas();
+        w1.pull(0, &mut buf);
+        assert_eq!(buf, vec![1.0; 2]);
+        let m = ps.metrics();
+        assert_eq!(m.replica_pushes, 1);
+        assert_eq!(m.replica_pulls, 2);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn read_all_covers_replicated_and_relocated() {
+        let topo = Topology::new(2, 1);
+        let cfg = zero_cost(NupsConfig::nups(topo, 6, 1).with_replicated_keys(vec![2]));
+        let ps = ParameterServer::new(cfg, |k, v| v.fill(k as f32 * 10.0));
+        let all = ps.read_all();
+        assert_eq!(all.len(), 6);
+        for (k, v) in all.iter().enumerate() {
+            assert_eq!(v, &vec![k as f32 * 10.0], "key {k}");
+        }
+        ps.shutdown();
+    }
+
+    #[test]
+    fn concurrent_pushes_from_all_nodes_sum_exactly() {
+        // Per-key sequential consistency for relocated keys under real
+        // concurrency: pushes from all workers must all be applied.
+        let topo = Topology::new(2, 2);
+        let cfg = zero_cost(NupsConfig::lapse(topo, 4, 1));
+        let ps = ParameterServer::new(cfg, |_, v| v.fill(0.0));
+        let mut workers = ps.workers();
+        run_epoch(&mut workers, |i, w| {
+            for round in 0..100 {
+                // Workers fight over key 0; odd workers localize first.
+                if i % 2 == 1 && round % 10 == 0 {
+                    w.localize(&[0]);
+                }
+                w.push(0, &[1.0]);
+            }
+        });
+        assert_eq!(ps.read_value(0), vec![400.0]);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn sampling_conform_draws_from_registered_distribution() {
+        let cfg = zero_cost(NupsConfig::single_node(1, 100, 1));
+        let ps = ParameterServer::new(cfg, |_, v| v.fill(1.0));
+        let dist = ps.register_distribution(
+            50,
+            50,
+            DistributionKind::Uniform,
+            ConformityLevel::Conform,
+        );
+        let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+        let mut h = w.prepare_sample(dist, 40);
+        assert_eq!(h.remaining(), 40);
+        let s1 = w.pull_sample(&mut h, 15);
+        let s2 = w.pull_sample(&mut h, 25);
+        assert_eq!(s1.len(), 15);
+        assert_eq!(s2.len(), 25);
+        assert_eq!(h.remaining(), 0);
+        for (k, v) in s1.iter().chain(s2.iter()) {
+            assert!((50..100).contains(k), "sample {k} outside range");
+            assert_eq!(v, &vec![1.0]);
+        }
+        assert_eq!(ps.metrics().samples_drawn, 40);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn virtual_time_prices_remote_traffic() {
+        // With the real cost model, a remote pull must advance the
+        // worker's clock by at least a round trip.
+        let topo = Topology::new(2, 1);
+        let cfg = NupsConfig::classic(topo, 10, 2);
+        let cost = cfg.cost;
+        let ps = ParameterServer::new(cfg, |_, v| v.fill(0.0));
+        let mut w0 = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+        let mut buf = vec![0.0; 2];
+        w0.pull(7, &mut buf);
+        assert!(w0.now() >= SimTime::ZERO + cost.round_trip(0, 0));
+        // A local pull is orders of magnitude cheaper.
+        let before = w0.now();
+        w0.pull(0, &mut buf);
+        let local_cost = w0.now() - before;
+        assert!(local_cost.as_nanos() < cost.one_way_latency.as_nanos());
+        ps.shutdown();
+    }
+}

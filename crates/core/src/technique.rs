@@ -1,0 +1,185 @@
+//! Per-key management-technique assignment (Section 3.2).
+//!
+//! NuPS manages each key with one of two techniques: *replication* for hot
+//! spots, *relocation* for the long tail. The assignment is decided before
+//! training from dataset access statistics and is immutable at run time; the
+//! technique check on the hot path is therefore a plain array read with no
+//! synchronization.
+
+use crate::key::Key;
+
+/// The management technique for one key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Technique {
+    /// Lapse-style dynamic allocation: one owner at a time, asynchronous
+    /// relocation, per-key sequential consistency.
+    Relocated = 0,
+    /// Eager replication on every node with time-based staleness bounds.
+    Replicated = 1,
+}
+
+/// Immutable key → technique table, plus a dense index for replicated keys.
+#[derive(Debug, Clone)]
+pub struct TechniqueMap {
+    techniques: Vec<u8>,
+    /// Replica slot of each key (`u32::MAX` when not replicated).
+    replica_slot: Vec<u32>,
+    /// Keys in replica-slot order.
+    replicated_keys: Vec<Key>,
+}
+
+impl TechniqueMap {
+    /// All keys relocated (a pure relocation PS; with relocation disabled at
+    /// the server, a classic PS).
+    pub fn all_relocated(n_keys: u64) -> TechniqueMap {
+        Self::from_replicated_keys(n_keys, &[])
+    }
+
+    /// All keys replicated (a pure replication PS).
+    pub fn all_replicated(n_keys: u64) -> TechniqueMap {
+        let keys: Vec<Key> = (0..n_keys).collect();
+        Self::from_replicated_keys(n_keys, &keys)
+    }
+
+    /// Replicate exactly `replicated` (deduplicated), relocate the rest.
+    pub fn from_replicated_keys(n_keys: u64, replicated: &[Key]) -> TechniqueMap {
+        let mut techniques = vec![Technique::Relocated as u8; n_keys as usize];
+        let mut replica_slot = vec![u32::MAX; n_keys as usize];
+        let mut replicated_keys = Vec::with_capacity(replicated.len());
+        for &k in replicated {
+            assert!(k < n_keys, "replicated key {k} outside key space");
+            if replica_slot[k as usize] == u32::MAX {
+                replica_slot[k as usize] = replicated_keys.len() as u32;
+                techniques[k as usize] = Technique::Replicated as u8;
+                replicated_keys.push(k);
+            }
+        }
+        TechniqueMap { techniques, replica_slot, replicated_keys }
+    }
+
+    #[inline]
+    pub fn technique(&self, key: Key) -> Technique {
+        if self.techniques[key as usize] == Technique::Replicated as u8 {
+            Technique::Replicated
+        } else {
+            Technique::Relocated
+        }
+    }
+
+    /// Dense replica slot of a replicated key.
+    #[inline]
+    pub fn replica_slot(&self, key: Key) -> Option<u32> {
+        let s = self.replica_slot[key as usize];
+        (s != u32::MAX).then_some(s)
+    }
+
+    #[inline]
+    pub fn is_replicated(&self, key: Key) -> bool {
+        self.techniques[key as usize] == Technique::Replicated as u8
+    }
+
+    /// Keys in replica-slot order.
+    pub fn replicated_keys(&self) -> &[Key] {
+        &self.replicated_keys
+    }
+
+    pub fn n_replicated(&self) -> usize {
+        self.replicated_keys.len()
+    }
+
+    pub fn n_keys(&self) -> u64 {
+        self.techniques.len() as u64
+    }
+}
+
+/// Decide which keys to replicate from access-frequency statistics.
+///
+/// The paper's *untuned heuristic* (Section 5.1): replicate a key if its
+/// access frequency exceeds `100 ×` the mean access frequency. The
+/// experiments of Section 5.6 additionally sweep the *number* of replicated
+/// keys by factors of the heuristic's choice, implemented here as
+/// [`top_k_by_frequency`].
+pub fn heuristic_replicated_keys(frequencies: &[u64]) -> Vec<Key> {
+    let n = frequencies.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let total: u128 = frequencies.iter().map(|&f| f as u128).sum();
+    let threshold = 100.0 * (total as f64 / n as f64);
+    let mut keys: Vec<Key> = frequencies
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f as f64 > threshold)
+        .map(|(k, _)| k as Key)
+        .collect();
+    // Deterministic order: hottest first.
+    keys.sort_by_key(|&k| std::cmp::Reverse(frequencies[k as usize]));
+    keys
+}
+
+/// The `k` most frequently accessed keys (hottest first). Ties break by key
+/// for determinism.
+pub fn top_k_by_frequency(frequencies: &[u64], k: usize) -> Vec<Key> {
+    let mut keys: Vec<Key> = (0..frequencies.len() as u64).collect();
+    keys.sort_by_key(|&key| (std::cmp::Reverse(frequencies[key as usize]), key));
+    keys.truncate(k);
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_replicated_keys_builds_dense_slots() {
+        let tm = TechniqueMap::from_replicated_keys(10, &[7, 2, 7]);
+        assert_eq!(tm.n_replicated(), 2);
+        assert_eq!(tm.technique(7), Technique::Replicated);
+        assert_eq!(tm.technique(2), Technique::Replicated);
+        assert_eq!(tm.technique(0), Technique::Relocated);
+        assert_eq!(tm.replica_slot(7), Some(0));
+        assert_eq!(tm.replica_slot(2), Some(1));
+        assert_eq!(tm.replica_slot(0), None);
+        assert_eq!(tm.replicated_keys(), &[7, 2]);
+    }
+
+    #[test]
+    fn all_relocated_and_all_replicated() {
+        let a = TechniqueMap::all_relocated(5);
+        assert_eq!(a.n_replicated(), 0);
+        let b = TechniqueMap::all_replicated(5);
+        assert_eq!(b.n_replicated(), 5);
+        assert!(b.is_replicated(4));
+    }
+
+    #[test]
+    fn heuristic_picks_hot_spots_only() {
+        // 1000 cold keys at frequency 1, two hot keys far above 100x mean.
+        let mut freqs = vec![1u64; 1000];
+        freqs[3] = 100_000;
+        freqs[500] = 50_000;
+        // Mean ~ 151; threshold ~ 15_100.
+        let hot = heuristic_replicated_keys(&freqs);
+        assert_eq!(hot, vec![3, 500]);
+    }
+
+    #[test]
+    fn heuristic_no_hot_spots_on_uniform_access() {
+        let freqs = vec![10u64; 100];
+        assert!(heuristic_replicated_keys(&freqs).is_empty());
+    }
+
+    #[test]
+    fn top_k_orders_by_frequency_then_key() {
+        let freqs = vec![5, 9, 9, 1, 7];
+        assert_eq!(top_k_by_frequency(&freqs, 3), vec![1, 2, 4]);
+        assert_eq!(top_k_by_frequency(&freqs, 0), Vec::<Key>::new());
+        assert_eq!(top_k_by_frequency(&freqs, 99).len(), 5);
+    }
+
+    #[test]
+    fn heuristic_empty_input() {
+        assert!(heuristic_replicated_keys(&[]).is_empty());
+    }
+}

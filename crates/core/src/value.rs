@@ -1,0 +1,156 @@
+//! Dense parameter values and the vector math used on the hot paths.
+//!
+//! All parameters of one server instance share a fixed value length (e.g.
+//! `2 * dim` for a ComplEx embedding, or `dim + dim` when a task stores
+//! AdaGrad accumulators inline with the weights, as the paper's tasks do).
+//! Updates are *additive deltas*, which is what makes replication sound:
+//! deltas from different nodes commute under addition.
+
+/// Add `delta` into `target` element-wise.
+#[inline]
+pub fn add_assign(target: &mut [f32], delta: &[f32]) {
+    debug_assert_eq!(target.len(), delta.len());
+    for (t, d) in target.iter_mut().zip(delta) {
+        *t += d;
+    }
+}
+
+/// `target += alpha * delta`.
+#[inline]
+pub fn axpy(target: &mut [f32], alpha: f32, delta: &[f32]) {
+    debug_assert_eq!(target.len(), delta.len());
+    for (t, d) in target.iter_mut().zip(delta) {
+        *t += alpha * d;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(v: &[f32]) -> f32 {
+    v.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// Scale `v` in place.
+#[inline]
+pub fn scale(v: &mut [f32], s: f32) {
+    for x in v {
+        *x *= s;
+    }
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Gradient-norm clipping as used by the paper for replicated parameters in
+/// the WV and MF tasks (Section 5.1): an update whose norm exceeds
+/// `factor ×` the running average update norm is scaled down to that bound.
+/// Returns the (possibly reduced) scale that was applied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClipPolicy {
+    /// No clipping (the KGE task relies on AdaGrad instead).
+    None,
+    /// Clip updates exceeding `factor ×` the running average norm.
+    AverageNorm { factor: f32 },
+}
+
+/// Running state for [`ClipPolicy::AverageNorm`]. One instance per node;
+/// callers serialize access (it lives under the replica latch).
+#[derive(Debug, Clone)]
+pub struct ClipState {
+    mean_norm: f32,
+    observations: u64,
+}
+
+impl ClipState {
+    pub fn new() -> ClipState {
+        ClipState { mean_norm: 0.0, observations: 0 }
+    }
+
+    /// Observe an update and return the scale to apply to it
+    /// (`1.0` = unclipped).
+    pub fn observe(&mut self, policy: ClipPolicy, update_norm: f32) -> f32 {
+        let ClipPolicy::AverageNorm { factor } = policy else {
+            return 1.0;
+        };
+        if !update_norm.is_finite() || update_norm <= 0.0 {
+            return 1.0;
+        }
+        // Decide against the mean of *past* updates, then fold the clipped
+        // norm into the mean: an outlier must not poison the average that
+        // is supposed to bound it.
+        self.observations += 1;
+        let scale = if self.observations <= 10 {
+            1.0 // warm-up establishes the scale without clipping
+        } else {
+            let bound = factor * self.mean_norm;
+            if update_norm > bound {
+                bound / update_norm
+            } else {
+                1.0
+            }
+        };
+        let n = (self.observations as f32).min(1000.0);
+        self.mean_norm += (update_norm * scale - self.mean_norm) / n;
+        scale
+    }
+}
+
+impl Default for ClipState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_math() {
+        let mut t = vec![1.0, 2.0, 3.0];
+        add_assign(&mut t, &[0.5, 0.5, 0.5]);
+        assert_eq!(t, vec![1.5, 2.5, 3.5]);
+        axpy(&mut t, 2.0, &[1.0, 0.0, -1.0]);
+        assert_eq!(t, vec![3.5, 2.5, 1.5]);
+        scale(&mut t, 2.0);
+        assert_eq!(t, vec![7.0, 5.0, 3.0]);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_none_never_scales() {
+        let mut s = ClipState::new();
+        for _ in 0..100 {
+            assert_eq!(s.observe(ClipPolicy::None, 1e9), 1.0);
+        }
+    }
+
+    #[test]
+    fn clip_average_norm_caps_outliers() {
+        let policy = ClipPolicy::AverageNorm { factor: 2.0 };
+        let mut s = ClipState::new();
+        // Establish a mean norm of ~1.0.
+        for _ in 0..100 {
+            assert_eq!(s.observe(policy, 1.0), 1.0);
+        }
+        // A 10x outlier must be scaled down to roughly the 2x bound.
+        let scale = s.observe(policy, 10.0);
+        assert!(scale < 0.3, "outlier not clipped: scale={scale}");
+        let effective = 10.0 * scale;
+        assert!((effective - 2.0).abs() < 0.5, "clipped to {effective}, want ~2.0");
+    }
+
+    #[test]
+    fn clip_ignores_degenerate_norms() {
+        let policy = ClipPolicy::AverageNorm { factor: 2.0 };
+        let mut s = ClipState::new();
+        assert_eq!(s.observe(policy, f32::NAN), 1.0);
+        assert_eq!(s.observe(policy, 0.0), 1.0);
+        assert_eq!(s.observe(policy, f32::INFINITY), 1.0);
+    }
+}

@@ -1,0 +1,449 @@
+//! The NuPS worker: multi-technique access paths plus the sampling manager
+//! front-end.
+//!
+//! A worker resolves each access with one technique check (a lock-free
+//! array read) followed by a single latch acquisition (Section 3.2):
+//!
+//! * replicated key → the node's replica set, through shared memory;
+//! * relocated key, owned locally → the store, through shared memory;
+//! * relocated key, in flight to this node → block until the transfer
+//!   installs (a *relocation conflict*, priced as the residual transfer
+//!   wait);
+//! * relocated key, elsewhere → a synchronous remote round trip.
+//!
+//! All remote waiting is charged to the worker's virtual clock, scaled by
+//! the congestion multiplier when replica synchronization is saturating the
+//! network (Section 5.6).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+use nups_sim::codec::WireEncode;
+use nups_sim::metrics::Metrics;
+use nups_sim::net::Endpoint;
+use nups_sim::time::{SimDuration, SimTime};
+use nups_sim::topology::{Addr, NodeId, WorkerId};
+use nups_sim::WorkerClock;
+
+use crate::api::PsWorker;
+use crate::key::Key;
+use crate::messages::Msg;
+use crate::node::{NodeState, Shared};
+use crate::sampling::reuse::PoolSequence;
+use crate::sampling::scheme::SamplingScheme;
+use crate::sampling::{DistId, Distribution, SampleHandle};
+use crate::store::LocalAccess;
+use crate::technique::Technique;
+use crate::value::add_assign;
+
+/// Per-distribution sampler state held by one worker.
+enum SamplerState {
+    Independent,
+    Pool(PoolSequence),
+    Local,
+}
+
+pub struct NupsWorker {
+    id: WorkerId,
+    shared: Arc<Shared>,
+    node: Arc<NodeState>,
+    endpoint: Endpoint,
+    clock: WorkerClock,
+    rng: SmallRng,
+    dists: Vec<Arc<(Distribution, SamplingScheme)>>,
+    samplers: Vec<SamplerState>,
+}
+
+impl NupsWorker {
+    pub(crate) fn new(
+        id: WorkerId,
+        shared: Arc<Shared>,
+        endpoint: Endpoint,
+        clock: WorkerClock,
+        seed: u64,
+    ) -> NupsWorker {
+        let node = Arc::clone(&shared.nodes[id.node.index()]);
+        let dists: Vec<_> = shared.dists.lock().clone();
+        let samplers = dists
+            .iter()
+            .map(|d| match d.1 {
+                SamplingScheme::Independent | SamplingScheme::Manual => SamplerState::Independent,
+                SamplingScheme::Reuse(p) | SamplingScheme::ReuseWithPostponing(p) => {
+                    SamplerState::Pool(PoolSequence::new(p.pool_size, p.use_frequency))
+                }
+                SamplingScheme::Local => SamplerState::Local,
+            })
+            .collect();
+        NupsWorker {
+            id,
+            shared,
+            node,
+            endpoint,
+            clock,
+            rng: SmallRng::seed_from_u64(seed),
+            dists,
+            samplers,
+        }
+    }
+
+    pub fn id(&self) -> WorkerId {
+        self.id
+    }
+
+    #[inline]
+    fn metrics(&self) -> &Metrics {
+        self.shared.metrics.node(self.id.node)
+    }
+
+    /// Congestion multiplier on remote traffic: relocation messages compete
+    /// with replica synchronization for the network (Section 5.6).
+    #[inline]
+    fn congestion(&self) -> f64 {
+        1.0 + self.shared.gate.busy_fraction()
+    }
+
+    #[inline]
+    fn charge_shared_memory(&mut self) {
+        let c = self.shared.cost.shared_memory_access(4 * self.shared.value_len);
+        self.clock.advance(c);
+    }
+
+    fn charge_remote(&mut self, request_bytes: usize, response_bytes: usize, hops: u8) {
+        // `hops` counts all messages in the chain including the response;
+        // intermediate forwards carry the request payload.
+        let hops = hops.max(2) as u64;
+        let cost = self.shared.cost.message(request_bytes) * (hops - 1)
+            + self.shared.cost.message(response_bytes);
+        self.clock.advance(cost * self.congestion());
+    }
+
+    /// Estimated completion of a relocation initiated now: the 3-message
+    /// Lapse protocol, two small messages plus the value transfer.
+    fn relocation_estimate(&self) -> SimTime {
+        let c = &self.shared.cost;
+        let d = c.message(16) + c.message(16) + c.message(self.shared.value_bytes());
+        self.clock.now() + d * self.congestion()
+    }
+
+    /// Send a request and block for its reply, pricing the round trip.
+    fn remote_roundtrip(&mut self, dst: NodeId, msg: &Msg) -> Msg {
+        let request_bytes = msg.encoded_len();
+        self.endpoint.send(Addr::server(dst), self.clock.now(), msg.to_bytes());
+        let frame = self.endpoint.recv().expect("server disappeared during round trip");
+        let wire_bytes = frame.wire_bytes();
+        let mut payload = frame.payload;
+        let resp = Msg::decode(&mut payload).expect("undecodable reply");
+        let (response_bytes, hops) = match &resp {
+            Msg::PullResp { hops, .. } | Msg::PushAck { hops, .. } => (wire_bytes, *hops),
+            other => panic!("unexpected reply to worker: {other:?}"),
+        };
+        self.charge_remote(request_bytes, response_bytes, hops);
+        resp
+    }
+
+    fn pull_relocated(&mut self, key: Key, out: &mut [f32]) {
+        let m = self.metrics();
+        match self.node.store.with_local(key, |v| out.copy_from_slice(v)) {
+            LocalAccess::Done(()) => {
+                m.inc(|m| &m.local_pulls);
+                self.charge_shared_memory();
+            }
+            LocalAccess::InFlight(expected) => {
+                m.inc(|m| &m.relocation_conflicts);
+                match self.node.store.wait_local(key, |v| out.copy_from_slice(v)) {
+                    Some(()) => {
+                        self.metrics().inc(|m| &m.local_pulls);
+                        // The transfer estimate is stamped from the
+                        // *initiator's* clock; cap the wait at one full
+                        // relocation on our own timeline (worst case the
+                        // transfer started just now).
+                        let cap = self.relocation_estimate();
+                        self.clock.advance_to(expected.min(cap));
+                        self.charge_shared_memory();
+                    }
+                    None => self.remote_pull(key, out, None),
+                }
+            }
+            LocalAccess::Remote(hint) => self.remote_pull(key, out, hint),
+        }
+    }
+
+    fn remote_pull(&mut self, key: Key, out: &mut [f32], hint: Option<NodeId>) {
+        self.metrics().inc(|m| &m.remote_pulls);
+        let dst = hint.unwrap_or_else(|| self.shared.keyspace.home(key));
+        let req = Msg::PullReq {
+            key,
+            reply_to: Addr::worker(self.id.node, self.id.local),
+            hops: 1,
+        };
+        match self.remote_roundtrip(dst, &req) {
+            Msg::PullResp { key: k, value, .. } => {
+                debug_assert_eq!(k, key);
+                out.copy_from_slice(&value);
+            }
+            other => panic!("expected PullResp, got {other:?}"),
+        }
+    }
+
+    fn push_relocated(&mut self, key: Key, delta: &[f32]) {
+        let m = self.metrics();
+        match self.node.store.with_local(key, |v| add_assign(v, delta)) {
+            LocalAccess::Done(()) => {
+                m.inc(|m| &m.local_pushes);
+                self.charge_shared_memory();
+            }
+            LocalAccess::InFlight(expected) => {
+                m.inc(|m| &m.relocation_conflicts);
+                match self.node.store.wait_local(key, |v| add_assign(v, delta)) {
+                    Some(()) => {
+                        self.metrics().inc(|m| &m.local_pushes);
+                        let cap = self.relocation_estimate();
+                        self.clock.advance_to(expected.min(cap));
+                        self.charge_shared_memory();
+                    }
+                    None => self.remote_push(key, delta, None),
+                }
+            }
+            LocalAccess::Remote(hint) => self.remote_push(key, delta, hint),
+        }
+    }
+
+    fn remote_push(&mut self, key: Key, delta: &[f32], hint: Option<NodeId>) {
+        self.metrics().inc(|m| &m.remote_pushes);
+        let dst = hint.unwrap_or_else(|| self.shared.keyspace.home(key));
+        let req = Msg::PushReq {
+            key,
+            delta: delta.to_vec(),
+            reply_to: Addr::worker(self.id.node, self.id.local),
+            hops: 1,
+        };
+        match self.remote_roundtrip(dst, &req) {
+            Msg::PushAck { key: k, .. } => debug_assert_eq!(k, key),
+            other => panic!("expected PushAck, got {other:?}"),
+        }
+    }
+
+    /// Whether a sampled key can be served without the network right now.
+    fn locally_available(&self, key: Key) -> bool {
+        match self.shared.technique.technique(key) {
+            Technique::Replicated => true,
+            Technique::Relocated => self.node.store.is_local(key),
+        }
+    }
+
+    /// Issue async localizes for freshly drawn sample pools / samples.
+    fn localize_for_sampling(&mut self, keys: &[Key]) {
+        self.localize(keys);
+    }
+
+    /// Local sampling (NON-CONFORM): draw from the locally available part
+    /// of π via rejection; hot keys are replicated (always local) so
+    /// acceptance is high. Falls back to a bounded linear probe, then to
+    /// accepting a non-local draw (which the pull path serves remotely).
+    fn draw_local(&mut self, dist_idx: usize) -> Key {
+        const REJECTION_TRIES: usize = 64;
+        const PROBE_LIMIT: u64 = 4096;
+        let dist = Arc::clone(&self.dists[dist_idx]);
+        let d = &dist.0;
+        for _ in 0..REJECTION_TRIES {
+            let k = d.sample(&mut self.rng);
+            if self.locally_available(k) {
+                return k;
+            }
+        }
+        let range = d.key_range();
+        let span = range.end - range.start;
+        let start = range.start + self.rng.gen_range(0..span);
+        for off in 0..span.min(PROBE_LIMIT) {
+            let k = range.start + (start - range.start + off) % span;
+            if self.locally_available(k) {
+                return k;
+            }
+        }
+        d.sample(&mut self.rng)
+    }
+
+    fn pull_sampled_key(&mut self, key: Key) -> (Key, Vec<f32>) {
+        if !self.locally_available(key) {
+            self.metrics().inc(|m| &m.samples_remote);
+        }
+        let mut value = vec![0.0; self.shared.value_len];
+        self.pull(key, &mut value);
+        self.metrics().inc(|m| &m.samples_drawn);
+        (key, value)
+    }
+}
+
+impl PsWorker for NupsWorker {
+    fn value_len(&self) -> usize {
+        self.shared.value_len
+    }
+
+    fn pull(&mut self, key: Key, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.shared.value_len);
+        match self.shared.technique.technique(key) {
+            Technique::Replicated => {
+                let slot = self.shared.technique.replica_slot(key).expect("slot");
+                self.node.replicas.pull(slot, out);
+                let m = self.metrics();
+                m.inc(|m| &m.replica_pulls);
+                m.inc(|m| &m.local_pulls);
+                self.charge_shared_memory();
+            }
+            Technique::Relocated => self.pull_relocated(key, out),
+        }
+    }
+
+    fn push(&mut self, key: Key, delta: &[f32]) {
+        debug_assert_eq!(delta.len(), self.shared.value_len);
+        match self.shared.technique.technique(key) {
+            Technique::Replicated => {
+                let slot = self.shared.technique.replica_slot(key).expect("slot");
+                self.node.replicas.push(slot, delta);
+                let m = self.metrics();
+                m.inc(|m| &m.replica_pushes);
+                m.inc(|m| &m.local_pushes);
+                self.charge_shared_memory();
+            }
+            Technique::Relocated => self.push_relocated(key, delta),
+        }
+    }
+
+    fn localize(&mut self, keys: &[Key]) {
+        if !self.shared.relocation_enabled {
+            return;
+        }
+        for &key in keys {
+            if self.shared.technique.is_replicated(key) {
+                continue;
+            }
+            let expected = self.relocation_estimate();
+            if self.node.store.mark_inflight(key, expected) {
+                let msg = Msg::LocalizeReq { key, requester: self.id.node };
+                let home = self.shared.keyspace.home(key);
+                self.endpoint.send(Addr::server(home), self.clock.now(), msg.to_bytes());
+                // Issuing is asynchronous: only the (tiny) issue cost is
+                // charged to the worker.
+                self.clock.advance(self.shared.cost.local_access);
+            }
+        }
+    }
+
+    fn advance_clock(&mut self) {
+        // NuPS uses time-based staleness: nothing to do (Section 3.2).
+    }
+
+    fn charge_compute(&mut self, flops: u64) {
+        let c = self.shared.cost.compute(flops);
+        self.clock.advance(c);
+        let shared = Arc::clone(&self.shared);
+        self.shared
+            .gate
+            .poll(self.clock.now(), || shared.sync.sync_once(&shared.metrics));
+    }
+
+    fn prepare_sample(&mut self, dist: DistId, n: usize) -> SampleHandle {
+        let idx = dist.0;
+        let dist_arc = Arc::clone(&self.dists[idx]);
+        match &mut self.samplers[idx] {
+            SamplerState::Independent => {
+                let keys: Vec<Key> =
+                    (0..n).map(|_| dist_arc.0.sample(&mut self.rng)).collect();
+                // The manual baseline draws in "application code" and gets
+                // no preparatory localization from the PS.
+                if dist_arc.1 != SamplingScheme::Manual {
+                    self.localize_for_sampling(&keys);
+                }
+                SampleHandle::new(dist, keys)
+            }
+            SamplerState::Pool(_) => {
+                // Split borrows: draw the batch with a detached RNG, then
+                // issue localizes for the announced pools.
+                let mut new_pools: Vec<Vec<Key>> = Vec::new();
+                let keys = {
+                    let SamplerState::Pool(pool) = &mut self.samplers[idx] else {
+                        unreachable!()
+                    };
+                    let mut rng = self.rng.clone();
+                    let out = pool.next_batch(
+                        n,
+                        &mut rng,
+                        |r| dist_arc.0.sample(r),
+                        |p| new_pools.push(p.to_vec()),
+                    );
+                    self.rng = rng;
+                    out
+                };
+                let pools_prepared = new_pools.len() as u64;
+                for p in &new_pools {
+                    self.localize_for_sampling(p);
+                }
+                self.metrics().add(|m| &m.pools_prepared, pools_prepared);
+                SampleHandle::new(dist, keys)
+            }
+            SamplerState::Local => SampleHandle::lazy(dist, n),
+        }
+    }
+
+    fn pull_sample(&mut self, handle: &mut SampleHandle, n: usize) -> Vec<(Key, Vec<f32>)> {
+        let idx = handle.dist.0;
+        let scheme = self.dists[idx].1;
+        let mut out = Vec::with_capacity(n);
+        match scheme {
+            SamplingScheme::Manual | SamplingScheme::Independent | SamplingScheme::Reuse(_) => {
+                for _ in 0..n {
+                    let Some((key, _)) = handle.queue.pop_front() else { break };
+                    out.push(self.pull_sampled_key(key));
+                }
+            }
+            SamplingScheme::ReuseWithPostponing(_) => {
+                while out.len() < n {
+                    let Some((key, postponed)) = handle.queue.pop_front() else { break };
+                    if postponed || self.locally_available(key) {
+                        out.push(self.pull_sampled_key(key));
+                    } else {
+                        // Postpone: re-localize, move to the end of this
+                        // handle, use something else now. Each sample is
+                        // postponed at most once so none is starved
+                        // (required for LONG-TERM, Section 4.4).
+                        self.metrics().inc(|m| &m.samples_postponed);
+                        self.localize(&[key]);
+                        handle.queue.push_back((key, true));
+                    }
+                }
+            }
+            SamplingScheme::Local => {
+                let take = n.min(handle.lazy_remaining);
+                for _ in 0..take {
+                    let key = self.draw_local(idx);
+                    out.push(self.pull_sampled_key(key));
+                }
+                handle.lazy_remaining -= take;
+            }
+        }
+        out
+    }
+
+    fn begin_epoch(&mut self) {
+        self.clock.refresh();
+        self.shared.gate.enter();
+    }
+
+    fn end_epoch(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        self.shared.gate.leave(|| shared.sync.sync_once(&shared.metrics));
+    }
+
+    fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+}
+
+impl NupsWorker {
+    /// Advance this worker's clock by an explicit duration (tests and
+    /// calibration harnesses).
+    pub fn advance_clock_by(&mut self, d: SimDuration) {
+        self.clock.advance(d);
+    }
+}

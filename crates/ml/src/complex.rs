@@ -1,0 +1,173 @@
+//! The ComplEx knowledge-graph embedding model (Trouillon et al., ICML'16),
+//! the model the paper trains in its KGE task.
+//!
+//! Each entity and relation has a complex embedding of dimension `dc`,
+//! stored as `[re; dc | im; dc]` (so the real vector length is `2·dc`).
+//! The triple score is `Re(⟨s, r, conj(o)⟩)`; training minimizes logistic
+//! loss with negative sampling.
+
+/// Real vector length of a complex embedding of dimension `dc`.
+#[inline]
+pub fn embedding_len(dc: usize) -> usize {
+    2 * dc
+}
+
+/// ComplEx triple score: `Re(Σ_i s_i · r_i · conj(o_i))`.
+pub fn score(s: &[f32], r: &[f32], o: &[f32]) -> f32 {
+    let dc = s.len() / 2;
+    debug_assert!(s.len() == 2 * dc && r.len() >= 2 * dc && o.len() >= 2 * dc);
+    let (sr, si) = s.split_at(dc);
+    let (rr, ri) = r.split_at(dc);
+    let (or_, oi) = (&o[..dc], &o[dc..2 * dc]);
+    let mut acc = 0.0;
+    for i in 0..dc {
+        acc += sr[i] * rr[i] * or_[i] + si[i] * rr[i] * oi[i] + sr[i] * ri[i] * oi[i]
+            - si[i] * ri[i] * or_[i];
+    }
+    acc
+}
+
+/// Gradients of the score w.r.t. s, r and o, scaled by `g` (the logistic
+/// loss factor `σ(score) - label`) and *added* into the output buffers.
+pub fn add_score_gradients(
+    s: &[f32],
+    r: &[f32],
+    o: &[f32],
+    g: f32,
+    gs: &mut [f32],
+    gr: &mut [f32],
+    go: &mut [f32],
+) {
+    let dc = s.len() / 2;
+    for i in 0..dc {
+        let (sr, si) = (s[i], s[dc + i]);
+        let (rr, ri) = (r[i], r[dc + i]);
+        let (or_, oi) = (o[i], o[dc + i]);
+        // ∂score/∂s
+        gs[i] += g * (rr * or_ + ri * oi);
+        gs[dc + i] += g * (rr * oi - ri * or_);
+        // ∂score/∂r
+        gr[i] += g * (sr * or_ + si * oi);
+        gr[dc + i] += g * (sr * oi - si * or_);
+        // ∂score/∂o
+        go[i] += g * (sr * rr - si * ri);
+        go[dc + i] += g * (si * rr + sr * ri);
+    }
+}
+
+/// Numerically stable `σ(x)`.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Logistic loss `-log σ(x)` for label 1, `-log σ(-x)` for label 0,
+/// numerically stable.
+#[inline]
+pub fn logistic_loss(score: f32, label: f32) -> f32 {
+    // softplus(-x) for label 1, softplus(x) for label 0.
+    let z = if label > 0.5 { -score } else { score };
+    if z > 30.0 {
+        z
+    } else {
+        (1.0 + z.exp()).ln()
+    }
+}
+
+/// Approximate floating-point operations for one scored triple (score +
+/// three gradients); used for virtual-time compute pricing.
+pub fn flops_per_scored_triple(dc: usize) -> u64 {
+    // score: ~8 flops per complex dim; gradients: ~18.
+    26 * dc as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(dc: usize) {
+        // Gradients must match finite differences of the score.
+        let n = 2 * dc;
+        let base: Vec<f32> = (0..3 * n).map(|i| ((i * 37 % 13) as f32 - 6.0) * 0.1).collect();
+        let (s, rest) = base.split_at(n);
+        let (r, o) = rest.split_at(n);
+        let mut gs = vec![0.0; n];
+        let mut gr = vec![0.0; n];
+        let mut go = vec![0.0; n];
+        add_score_gradients(s, r, o, 1.0, &mut gs, &mut gr, &mut go);
+        let eps = 1e-3f32;
+        for i in 0..n {
+            let mut sp = s.to_vec();
+            sp[i] += eps;
+            let num = (score(&sp, r, o) - score(s, r, o)) / eps;
+            assert!((num - gs[i]).abs() < 1e-2, "ds[{i}]: num {num} vs {}", gs[i]);
+            let mut rp = r.to_vec();
+            rp[i] += eps;
+            let num = (score(s, &rp, o) - score(s, r, o)) / eps;
+            assert!((num - gr[i]).abs() < 1e-2, "dr[{i}]: num {num} vs {}", gr[i]);
+            let mut op = o.to_vec();
+            op[i] += eps;
+            let num = (score(s, r, &op) - score(s, r, o)) / eps;
+            assert!((num - go[i]).abs() < 1e-2, "do[{i}]: num {num} vs {}", go[i]);
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        finite_diff_check(1);
+        finite_diff_check(4);
+    }
+
+    #[test]
+    fn score_of_identity_relation_is_similarity() {
+        // With r = (1 + 0i, ...), score(s, r, o) = Re(⟨s, conj(o)⟩):
+        // maximal when s == o.
+        let dc = 4;
+        let mut r = vec![0.0; 8];
+        r[..dc].iter_mut().for_each(|x| *x = 1.0);
+        let s = vec![0.3, -0.1, 0.2, 0.5, 0.1, 0.0, -0.2, 0.4];
+        let self_score = score(&s, &r, &s);
+        let other = vec![-0.3, 0.1, -0.2, -0.5, -0.1, 0.0, 0.2, -0.4];
+        assert!(self_score > score(&s, &r, &other));
+    }
+
+    #[test]
+    fn sigmoid_and_loss_stability() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 1e-4);
+        assert!(logistic_loss(100.0, 1.0) < 1e-4);
+        assert!(logistic_loss(-100.0, 1.0) > 99.0);
+        assert!(logistic_loss(100.0, 0.0) > 99.0);
+        assert!(logistic_loss(f32::MAX / 2.0, 0.0).is_finite());
+    }
+
+    #[test]
+    fn training_step_reduces_loss() {
+        // One SGD step on a single triple must reduce its logistic loss.
+        let dc = 4;
+        let n = 2 * dc;
+        let mut s: Vec<f32> = (0..n).map(|i| 0.05 * ((i as f32) - 3.0)).collect();
+        let mut r: Vec<f32> = (0..n).map(|i| 0.04 * ((i as f32) - 2.0)).collect();
+        let mut o: Vec<f32> = (0..n).map(|i| -0.03 * ((i as f32) - 4.0)).collect();
+        let before = logistic_loss(score(&s, &r, &o), 1.0);
+        let g = sigmoid(score(&s, &r, &o)) - 1.0;
+        let mut gs = vec![0.0; n];
+        let mut gr = vec![0.0; n];
+        let mut go = vec![0.0; n];
+        add_score_gradients(&s, &r, &o, g, &mut gs, &mut gr, &mut go);
+        let lr = 0.5;
+        for i in 0..n {
+            s[i] -= lr * gs[i];
+            r[i] -= lr * gr[i];
+            o[i] -= lr * go[i];
+        }
+        let after = logistic_loss(score(&s, &r, &o), 1.0);
+        assert!(after < before, "loss {before} → {after}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Shared evaluation helpers.
+
+/// Cosine similarity; zero for degenerate vectors.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let (mut dot, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na <= 0.0 || nb <= 0.0 {
+        return 0.0;
+    }
+    dot / (na.sqrt() * nb.sqrt())
+}
+
+/// Root mean squared error of `(prediction, truth)` pairs.
+pub fn rmse(pairs: impl Iterator<Item = (f32, f32)>) -> f64 {
+    let mut sum = 0.0f64;
+    let mut n = 0u64;
+    for (p, t) in pairs {
+        sum += ((p - t) as f64).powi(2);
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    (sum / n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_basics() {
+        let pairs = vec![(1.0f32, 0.0f32), (0.0, 1.0)];
+        assert!((rmse(pairs.into_iter()) - 1.0).abs() < 1e-9);
+        assert_eq!(rmse(std::iter::empty()), 0.0);
+        let exact = vec![(2.0f32, 2.0f32); 10];
+        assert_eq!(rmse(exact.into_iter()), 0.0);
+    }
+}

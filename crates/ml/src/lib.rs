@@ -1,0 +1,34 @@
+//! # nups-ml — the paper's ML tasks on the PsWorker API
+//!
+//! The three training tasks of the NuPS evaluation (Table 2), written
+//! against [`nups_core::api::PsWorker`] so the identical task code runs on
+//! every system variant the paper compares (single node, Classic, SSP,
+//! ESSP, Lapse, NuPS):
+//!
+//! * [`kge`] — ComplEx knowledge-graph embeddings with AdaGrad and uniform
+//!   negative sampling; quality = filtered MRR.
+//! * [`word2vec`] — skip-gram word vectors with unigram^0.75 negative
+//!   sampling and frequent-word subsampling; quality = planted-topic
+//!   coherence.
+//! * [`mf`] — matrix factorization with L2 regularization and the
+//!   bold-driver learning-rate heuristic; quality = test RMSE.
+//!
+//! Supporting modules: [`complex`] (the ComplEx model), [`optimizer`]
+//! (SGD / inline-state AdaGrad / bold driver), [`eval`], [`util`]
+//! (deterministic key-addressed initialization), and [`task`] (the
+//! `TrainTask` abstraction the experiment harness drives).
+
+pub mod complex;
+pub mod eval;
+pub mod kge;
+pub mod mf;
+pub mod optimizer;
+pub mod task;
+pub mod util;
+pub mod word2vec;
+
+pub use kge::{KgeConfig, KgeTask};
+pub use mf::{MfConfig, MfTask};
+pub use optimizer::{BoldDriver, Optimizer};
+pub use task::{DistSpec, QualityDirection, TrainTask};
+pub use word2vec::{W2vConfig, W2vTask};

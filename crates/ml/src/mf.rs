@@ -1,0 +1,260 @@
+//! The matrix-factorization task (paper Section 5.1, Table 2 row 3).
+//!
+//! SGD on revealed cells of a synthetic zipf-1.1 matrix with L2
+//! regularization and the bold-driver learning-rate heuristic (whose step
+//! pattern is visible in the paper's Figure 6c). There is **no sampling
+//! access** in this task — its performance differences come entirely from
+//! parameter management.
+//!
+//! Key layout: row factor `i` → key `i`; column factor `j` → key
+//! `n_rows + j`. Cells are partitioned to nodes by row (row keys stay on
+//! their home node) and to workers within a node by column; each worker
+//! visits its cells column by column in random order, creating the column
+//! locality that relocation exploits.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use nups_core::api::PsWorker;
+use nups_core::key::{Key, KeySpace};
+use nups_workloads::matrix::{Cell, MatrixData};
+use nups_workloads::partition::column_visit_order;
+
+use crate::optimizer::BoldDriver;
+use crate::task::{DistSpec, QualityDirection, TrainTask};
+use crate::util::init_embedding;
+
+/// MF task configuration.
+#[derive(Debug, Clone)]
+pub struct MfConfig {
+    /// Factorization rank (paper: 1000).
+    pub rank: usize,
+    /// Initial SGD learning rate (adapted by bold driver).
+    pub lr0: f32,
+    /// L2 regularization.
+    pub lambda: f32,
+    pub init_scale: f32,
+    /// Cells to look ahead for column localization.
+    pub prefetch: usize,
+    pub seed: u64,
+}
+
+impl Default for MfConfig {
+    fn default() -> MfConfig {
+        MfConfig { rank: 8, lr0: 0.1, lambda: 0.01, init_scale: 0.2, prefetch: 96, seed: 41 }
+    }
+}
+
+/// The task, pre-partitioned for `n_nodes × workers_per_node` workers.
+pub struct MfTask {
+    data: Arc<MatrixData>,
+    cfg: MfConfig,
+    partitions: Vec<Vec<Cell>>,
+    /// Current learning rate (bold driver), as f32 bits.
+    lr_bits: AtomicU32,
+    driver: Mutex<BoldDriver>,
+}
+
+impl MfTask {
+    /// Partitioning needs the cluster shape: rows are assigned to the node
+    /// that is *home* to their key (so row factors never relocate), and a
+    /// node's cells are split over its workers by column.
+    pub fn new(data: Arc<MatrixData>, cfg: MfConfig, n_nodes: u16, workers_per_node: u16) -> MfTask {
+        let n_rows = data.config.n_rows as u64;
+        let n_keys = n_rows + data.config.n_cols as u64;
+        let keyspace = KeySpace::new(n_keys, n_nodes);
+        let wpn = workers_per_node as usize;
+        let mut partitions: Vec<Vec<Cell>> = vec![Vec::new(); n_nodes as usize * wpn];
+        for cell in &data.train {
+            let node = keyspace.home(cell.row as Key).index();
+            let worker = cell.col as usize % wpn;
+            partitions[node * wpn + worker].push(*cell);
+        }
+        // Column-major visiting with per-worker random column order.
+        for (i, p) in partitions.iter_mut().enumerate() {
+            *p = column_visit_order(p, |c| c.col, cfg.seed ^ (i as u64) << 8);
+        }
+        let driver = Mutex::new(BoldDriver::new(cfg.lr0));
+        let lr_bits = AtomicU32::new(cfg.lr0.to_bits());
+        MfTask { data, cfg, partitions, lr_bits, driver }
+    }
+
+    #[inline]
+    fn n_rows(&self) -> u64 {
+        self.data.config.n_rows as u64
+    }
+
+    #[inline]
+    fn col_key(&self, col: u32) -> Key {
+        self.n_rows() + col as Key
+    }
+
+    pub fn current_lr(&self) -> f32 {
+        f32::from_bits(self.lr_bits.load(Ordering::Relaxed))
+    }
+}
+
+impl TrainTask for MfTask {
+    fn name(&self) -> &'static str {
+        "mf"
+    }
+
+    fn n_keys(&self) -> u64 {
+        self.n_rows() + self.data.config.n_cols as u64
+    }
+
+    fn value_len(&self) -> usize {
+        self.cfg.rank
+    }
+
+    fn init_value(&self, key: Key, out: &mut [f32]) {
+        init_embedding(key, self.cfg.seed, self.cfg.rank, self.cfg.init_scale, out);
+    }
+
+    fn distributions(&self) -> Vec<DistSpec> {
+        Vec::new() // no sampling access in MF (Table 2)
+    }
+
+    fn n_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    fn run_epoch(&self, worker: &mut dyn PsWorker, part: usize, _epoch: usize) -> f64 {
+        let cells = &self.partitions[part];
+        let k = self.cfg.rank;
+        let lr = self.current_lr();
+        let lambda = self.cfg.lambda;
+
+        let mut u = vec![0.0f32; k];
+        let mut v = vec![0.0f32; k];
+        let mut du = vec![0.0f32; k];
+        let mut dv = vec![0.0f32; k];
+        let mut loss = 0.0f64;
+
+        for (i, cell) in cells.iter().enumerate() {
+            // Localize the upcoming column factor before we reach it.
+            if let Some(ahead) = cells.get(i + self.cfg.prefetch) {
+                if ahead.col != cell.col {
+                    worker.localize(&[self.col_key(ahead.col)]);
+                }
+            }
+            worker.pull(cell.row as Key, &mut u);
+            worker.pull(self.col_key(cell.col), &mut v);
+            let pred: f32 = u.iter().zip(&v).map(|(a, b)| a * b).sum();
+            let e = pred - cell.value;
+            loss += (e as f64).powi(2);
+            for d in 0..k {
+                du[d] = -lr * (e * v[d] + lambda * u[d]);
+                dv[d] = -lr * (e * u[d] + lambda * v[d]);
+            }
+            worker.push(cell.row as Key, &du);
+            worker.push(self.col_key(cell.col), &dv);
+            worker.charge_compute((8 * k) as u64);
+            worker.advance_clock();
+        }
+        loss
+    }
+
+    fn evaluate(&self, model: &[Vec<f32>]) -> f64 {
+        crate::eval::rmse(self.data.test.iter().map(|c| {
+            let u = &model[c.row as usize];
+            let v = &model[self.col_key(c.col) as usize];
+            let pred: f32 = u.iter().zip(v).map(|(a, b)| a * b).sum();
+            (pred, c.value)
+        }))
+    }
+
+    fn quality_direction(&self) -> QualityDirection {
+        QualityDirection::LowerIsBetter
+    }
+
+    fn direct_frequencies(&self) -> Vec<u64> {
+        let mut f = self.data.row_frequencies();
+        f.extend(self.data.col_frequencies());
+        f
+    }
+
+    fn end_of_epoch(&self, _epoch: usize, total_loss: f64) {
+        let lr = self.driver.lock().observe(total_loss);
+        self.lr_bits.store(lr.to_bits(), Ordering::Relaxed);
+    }
+
+    fn clip_policy(&self) -> nups_core::value::ClipPolicy {
+        nups_core::value::ClipPolicy::AverageNorm { factor: 2.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nups_core::config::NupsConfig;
+    use nups_core::system::{run_epoch, ParameterServer};
+    use nups_sim::cost::CostModel;
+    use nups_workloads::matrix::MatrixConfig;
+
+    fn tiny_task(n_nodes: u16, wpn: u16) -> MfTask {
+        let data = Arc::new(MatrixData::generate(MatrixConfig {
+            n_rows: 300,
+            n_cols: 60,
+            n_train: 15_000,
+            n_test: 1_000,
+            rank_gt: 3,
+            zipf_alpha: 1.1,
+            noise_std: 0.05,
+            seed: 19,
+        }));
+        MfTask::new(data, MfConfig { rank: 4, ..MfConfig::default() }, n_nodes, wpn)
+    }
+
+    #[test]
+    fn partitions_respect_row_homes_and_cover_data() {
+        let t = tiny_task(2, 2);
+        assert_eq!(t.n_partitions(), 4);
+        let total: usize = t.partitions.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 15_000);
+        let keyspace = KeySpace::new(t.n_keys(), 2);
+        for (p, cells) in t.partitions.iter().enumerate() {
+            let node = p / 2;
+            for c in cells {
+                assert_eq!(keyspace.home(c.row as Key).index(), node);
+                assert_eq!(c.col as usize % 2, p % 2);
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_training_reduces_rmse() {
+        let task = tiny_task(1, 2);
+        let cfg = NupsConfig::single_node(2, task.n_keys(), task.value_len())
+            .with_cost(CostModel::zero());
+        let ps = ParameterServer::new(cfg, |k, v| task.init_value(k, v));
+        let mut workers = ps.workers();
+        let before = task.evaluate(&ps.read_all());
+        for epoch in 0..5 {
+            let losses = Mutex::new(0.0f64);
+            run_epoch(&mut workers, |i, w| {
+                let l = task.run_epoch(w, i, epoch);
+                *losses.lock() += l;
+            });
+            task.end_of_epoch(epoch, *losses.lock());
+        }
+        let after = task.evaluate(&ps.read_all());
+        assert!(after < before * 0.8, "RMSE did not fall: {before:.4} → {after:.4}");
+        // With a noise floor of 0.05, training should approach it.
+        assert!(after < 0.4, "final RMSE {after:.4} too high");
+        ps.shutdown();
+    }
+
+    #[test]
+    fn bold_driver_reacts_to_loss() {
+        let t = tiny_task(1, 1);
+        let lr0 = t.current_lr();
+        t.end_of_epoch(0, 100.0);
+        t.end_of_epoch(1, 90.0); // improvement → grow
+        assert!(t.current_lr() > lr0);
+        let grown = t.current_lr();
+        t.end_of_epoch(2, 120.0); // regression → halve
+        assert!(t.current_lr() < grown * 0.6);
+    }
+}

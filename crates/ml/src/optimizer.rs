@@ -1,0 +1,151 @@
+//! Optimizers that cooperate with a parameter server.
+//!
+//! A PS applies *additive deltas*, so optimizers here compute the delta to
+//! push rather than mutating parameters in place. AdaGrad keeps its
+//! accumulators *inside the parameter value* (value layout:
+//! `[weights | accumulators]`), exactly as the paper's KGE implementation
+//! does — accumulator updates are additive (`+g²`) and therefore merge
+//! correctly under replication.
+
+/// How gradients turn into pushed deltas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Optimizer {
+    /// Plain SGD: `Δw = -lr · g`. Value layout: `[w; dim]`.
+    Sgd { lr: f32 },
+    /// AdaGrad: `Δacc = g²`, `Δw = -lr · g / sqrt(acc + g² + eps)`.
+    /// Value layout: `[w; dim | acc; dim]`.
+    AdaGrad { lr: f32, eps: f32 },
+}
+
+impl Optimizer {
+    /// Parameter-server value length for a `dim`-dimensional weight.
+    pub fn value_len(&self, dim: usize) -> usize {
+        match self {
+            Optimizer::Sgd { .. } => dim,
+            Optimizer::AdaGrad { .. } => 2 * dim,
+        }
+    }
+
+    /// Compute the delta to push for gradient `grad`, given the currently
+    /// pulled `value`. `delta` must be zero-filled by the caller and have
+    /// the full value length.
+    pub fn delta(&self, value: &[f32], grad: &[f32], delta: &mut [f32]) {
+        match *self {
+            Optimizer::Sgd { lr } => {
+                debug_assert!(value.len() >= grad.len() && delta.len() >= grad.len());
+                for (d, g) in delta.iter_mut().zip(grad) {
+                    *d = -lr * g;
+                }
+            }
+            Optimizer::AdaGrad { lr, eps } => {
+                let dim = grad.len();
+                debug_assert!(value.len() >= 2 * dim && delta.len() >= 2 * dim);
+                let (dw, dacc) = delta.split_at_mut(dim);
+                let acc = &value[dim..2 * dim];
+                for i in 0..dim {
+                    let g = grad[i];
+                    let g2 = g * g;
+                    dacc[i] = g2;
+                    dw[i] = -lr * g / (acc[i] + g2 + eps).sqrt();
+                }
+            }
+        }
+    }
+
+    pub fn learning_rate(&self) -> f32 {
+        match *self {
+            Optimizer::Sgd { lr } | Optimizer::AdaGrad { lr, .. } => lr,
+        }
+    }
+}
+
+/// The bold-driver learning-rate heuristic used by the paper's MF task
+/// (after Battiti '89): grow the rate while the epoch loss falls, halve it
+/// when the loss rises. This produces the step pattern visible in the
+/// paper's MF curves (Figure 6c).
+#[derive(Debug, Clone, Copy)]
+pub struct BoldDriver {
+    lr: f32,
+    prev_loss: Option<f64>,
+    grow: f32,
+    shrink: f32,
+}
+
+impl BoldDriver {
+    pub fn new(lr: f32) -> BoldDriver {
+        BoldDriver { lr, prev_loss: None, grow: 1.05, shrink: 0.5 }
+    }
+
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Report the epoch's training loss; returns the rate for the next
+    /// epoch.
+    pub fn observe(&mut self, epoch_loss: f64) -> f32 {
+        if let Some(prev) = self.prev_loss {
+            if epoch_loss <= prev {
+                self.lr *= self.grow;
+            } else {
+                self.lr *= self.shrink;
+            }
+        }
+        self.prev_loss = Some(epoch_loss);
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_delta_is_scaled_negative_gradient() {
+        let opt = Optimizer::Sgd { lr: 0.1 };
+        let mut delta = vec![0.0; 3];
+        opt.delta(&[0.0; 3], &[1.0, -2.0, 0.5], &mut delta);
+        assert_eq!(delta, vec![-0.1, 0.2, -0.05]);
+        assert_eq!(opt.value_len(3), 3);
+    }
+
+    #[test]
+    fn adagrad_scales_by_accumulated_squares() {
+        let opt = Optimizer::AdaGrad { lr: 1.0, eps: 0.0 };
+        assert_eq!(opt.value_len(2), 4);
+        // Accumulator already holds 3.0 for dim 0; gradient 1.0 →
+        // step = -1/sqrt(3+1) = -0.5. Fresh dim 1: step = -g/|g| = -1.
+        let value = vec![0.0, 0.0, 3.0, 0.0];
+        let mut delta = vec![0.0; 4];
+        opt.delta(&value, &[1.0, 2.0], &mut delta);
+        assert!((delta[0] + 0.5).abs() < 1e-6);
+        assert!((delta[1] + 1.0).abs() < 1e-6);
+        assert_eq!(delta[2], 1.0); // +g²
+        assert_eq!(delta[3], 4.0);
+    }
+
+    #[test]
+    fn adagrad_steps_shrink_over_time() {
+        let opt = Optimizer::AdaGrad { lr: 0.1, eps: 1e-8 };
+        let mut value = vec![0.0, 0.0]; // dim 1
+        let mut last_step = f32::INFINITY;
+        for _ in 0..5 {
+            let mut delta = vec![0.0; 2];
+            opt.delta(&value, &[1.0], &mut delta);
+            let step = delta[0].abs();
+            assert!(step < last_step, "steps must shrink: {step} vs {last_step}");
+            last_step = step;
+            value[0] += delta[0];
+            value[1] += delta[1];
+        }
+    }
+
+    #[test]
+    fn bold_driver_grows_then_halves() {
+        let mut bd = BoldDriver::new(0.1);
+        assert_eq!(bd.observe(10.0), 0.1); // first epoch: no change
+        let up = bd.observe(9.0);
+        assert!((up - 0.105).abs() < 1e-6);
+        let down = bd.observe(11.0);
+        assert!((down - 0.0525).abs() < 1e-6);
+    }
+}

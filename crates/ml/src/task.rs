@@ -1,0 +1,111 @@
+//! The task abstraction: one interface for all three of the paper's ML
+//! tasks, so every experiment can run any task on any system variant.
+
+use nups_core::api::PsWorker;
+use nups_core::key::Key;
+use nups_core::sampling::{ConformityLevel, DistributionKind};
+
+/// A sampling distribution a task wants registered with the PS before
+/// training (Section 4.3's `register_distribution`).
+pub struct DistSpec {
+    pub base_key: Key,
+    pub n: u64,
+    pub kind: DistributionKind,
+    pub level: ConformityLevel,
+}
+
+/// Whether larger or smaller quality values are better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QualityDirection {
+    HigherIsBetter,
+    LowerIsBetter,
+}
+
+impl QualityDirection {
+    /// The "90% of best" threshold used for effective speedups
+    /// (Section 5.1's *Measures*): for higher-is-better metrics this is
+    /// `0.9 × best`; for lower-is-better, reaching within ~11% above best.
+    pub fn effective_threshold(self, best: f64) -> f64 {
+        match self {
+            QualityDirection::HigherIsBetter => 0.9 * best,
+            QualityDirection::LowerIsBetter => best / 0.9,
+        }
+    }
+
+    /// True if `quality` meets `threshold` under this direction.
+    pub fn meets(self, quality: f64, threshold: f64) -> bool {
+        match self {
+            QualityDirection::HigherIsBetter => quality >= threshold,
+            QualityDirection::LowerIsBetter => quality <= threshold,
+        }
+    }
+
+    /// True if `a` is at least as good as `b`.
+    pub fn at_least_as_good(self, a: f64, b: f64) -> bool {
+        self.meets(a, b)
+    }
+}
+
+/// One of the paper's training tasks, pre-partitioned for a fixed number
+/// of workers.
+pub trait TrainTask: Send + Sync {
+    fn name(&self) -> &'static str;
+
+    /// Key universe the task needs.
+    fn n_keys(&self) -> u64;
+
+    /// Parameter value length (weights plus any inline optimizer state).
+    fn value_len(&self) -> usize;
+
+    /// Deterministic initial value of `key`.
+    fn init_value(&self, key: Key, out: &mut [f32]);
+
+    /// Sampling distributions to register, in `DistId` order.
+    fn distributions(&self) -> Vec<DistSpec>;
+
+    /// Number of data partitions (= workers) this task was built for.
+    fn n_partitions(&self) -> usize;
+
+    /// Run one epoch of partition `part` against `worker`. Returns the
+    /// summed training loss over the partition (for bold-driver style
+    /// schedules and sanity checks).
+    fn run_epoch(&self, worker: &mut dyn PsWorker, part: usize, epoch: usize) -> f64;
+
+    /// Evaluate model quality from a full value snapshot (index = key).
+    fn evaluate(&self, model: &[Vec<f32>]) -> f64;
+
+    fn quality_direction(&self) -> QualityDirection;
+
+    /// Direct-access frequency per key (input to the technique heuristic;
+    /// computed from dataset statistics, as in Section 5.1).
+    fn direct_frequencies(&self) -> Vec<u64>;
+
+    /// Hook called after every epoch with the cluster-wide training loss
+    /// (bold driver for MF; default no-op).
+    fn end_of_epoch(&self, _epoch: usize, _total_loss: f64) {}
+
+    /// Gradient clipping for replicated keys. The paper clips in the WV
+    /// and MF tasks; KGE relies on AdaGrad instead (Section 5.1).
+    fn clip_policy(&self) -> nups_core::value::ClipPolicy {
+        nups_core::value::ClipPolicy::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_by_direction() {
+        let h = QualityDirection::HigherIsBetter;
+        assert!((h.effective_threshold(0.2) - 0.18).abs() < 1e-12);
+        assert!(h.meets(0.19, 0.18));
+        assert!(!h.meets(0.17, 0.18));
+
+        let l = QualityDirection::LowerIsBetter;
+        let t = l.effective_threshold(0.9);
+        assert!(t > 0.9 && t < 1.01);
+        assert!(l.meets(0.95, t));
+        assert!(!l.meets(1.05, t));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the ML substrate: optimizer contracts and
+//! ComplEx gradient correctness on arbitrary inputs.
+
+use proptest::prelude::*;
+
+use nups_ml::complex::{add_score_gradients, score, sigmoid};
+use nups_ml::optimizer::{BoldDriver, Optimizer};
+use nups_ml::util::{init_embedding, init_uniform};
+
+fn finite_vec(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec((-2.0f32..2.0).prop_map(|x| x), n..=n)
+}
+
+proptest! {
+    /// SGD: the pushed delta is exactly `-lr * g`, element-wise.
+    #[test]
+    fn sgd_delta_exact(grad in finite_vec(8), lr in 0.001f32..1.0) {
+        let opt = Optimizer::Sgd { lr };
+        let mut delta = vec![0.0; 8];
+        opt.delta(&[0.0; 8], &grad, &mut delta);
+        for (d, g) in delta.iter().zip(&grad) {
+            prop_assert!((d + lr * g).abs() < 1e-6);
+        }
+    }
+
+    /// AdaGrad: per-dimension step magnitude never exceeds the learning
+    /// rate (since |g| / sqrt(acc + g²) ≤ 1), and the accumulator delta is
+    /// exactly g².
+    #[test]
+    fn adagrad_step_bounded_by_lr(
+        grad in finite_vec(6),
+        acc in proptest::collection::vec(0.0f32..10.0, 6),
+        lr in 0.001f32..1.0,
+    ) {
+        let opt = Optimizer::AdaGrad { lr, eps: 1e-8 };
+        let mut value = vec![0.0; 12];
+        value[6..].copy_from_slice(&acc);
+        let mut delta = vec![0.0; 12];
+        opt.delta(&value, &grad, &mut delta);
+        for i in 0..6 {
+            prop_assert!(delta[i].abs() <= lr * 1.0001, "step {} > lr {lr}", delta[i]);
+            prop_assert!((delta[6 + i] - grad[i] * grad[i]).abs() < 1e-5);
+        }
+    }
+
+    /// ComplEx score gradients match finite differences for arbitrary
+    /// embeddings.
+    #[test]
+    fn complex_gradients_match_finite_differences(
+        s in finite_vec(8),
+        r in finite_vec(8),
+        o in finite_vec(8),
+        g in 0.1f32..2.0,
+    ) {
+        let mut gs = vec![0.0; 8];
+        let mut gr = vec![0.0; 8];
+        let mut go = vec![0.0; 8];
+        add_score_gradients(&s, &r, &o, g, &mut gs, &mut gr, &mut go);
+        let eps = 1e-2f32;
+        // Spot-check two coordinates per argument (full check is done in
+        // unit tests; here inputs are arbitrary).
+        for i in [0usize, 5] {
+            let mut sp = s.clone();
+            sp[i] += eps;
+            let num = g * (score(&sp, &r, &o) - score(&s, &r, &o)) / eps;
+            prop_assert!((num - gs[i]).abs() < 0.05 * (1.0 + num.abs()), "ds[{i}] {num} vs {}", gs[i]);
+            let mut op = o.clone();
+            op[i] += eps;
+            let num = g * (score(&s, &r, &op) - score(&s, &r, &o)) / eps;
+            prop_assert!((num - go[i]).abs() < 0.05 * (1.0 + num.abs()), "do[{i}] {num} vs {}", go[i]);
+        }
+    }
+
+    /// Sigmoid stays in (0, 1) and is monotone.
+    #[test]
+    fn sigmoid_properties(a in -50.0f32..50.0, b in -50.0f32..50.0) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!((0.0..=1.0).contains(&sigmoid(lo)));
+        prop_assert!(sigmoid(lo) <= sigmoid(hi) + 1e-7);
+    }
+
+    /// Bold driver: the rate stays positive and halves exactly on
+    /// regression.
+    #[test]
+    fn bold_driver_stays_positive(losses in proptest::collection::vec(0.0f64..1e6, 1..30)) {
+        let mut bd = BoldDriver::new(0.1);
+        let mut prev = None;
+        for l in losses {
+            let before = bd.lr();
+            let after = bd.observe(l);
+            prop_assert!(after > 0.0);
+            if let Some(p) = prev {
+                if l > p {
+                    prop_assert!((after - before * 0.5).abs() < 1e-9);
+                } else {
+                    prop_assert!((after - before * 1.05).abs() < 1e-9);
+                }
+            }
+            prev = Some(l);
+        }
+    }
+
+    /// Key-addressed initialization is deterministic, bounded, and zeroes
+    /// the optimizer-state suffix.
+    #[test]
+    fn init_embedding_contract(key in any::<u64>(), seed in any::<u64>(), dim in 1usize..16, extra in 0usize..16, scale in 0.01f32..1.0) {
+        let mut a = vec![9.0f32; dim + extra];
+        let mut b = vec![-9.0f32; dim + extra];
+        init_embedding(key, seed, dim, scale, &mut a);
+        init_embedding(key, seed, dim, scale, &mut b);
+        prop_assert_eq!(&a, &b);
+        for &x in &a[..dim] {
+            prop_assert!((-scale..scale).contains(&x) || x.abs() <= scale);
+        }
+        prop_assert!(a[dim..].iter().all(|&x| x == 0.0));
+        prop_assert_eq!(init_uniform(key, seed, 0, scale), a[0]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-worker virtual clocks and cluster-level aggregation.
+//!
+//! Each worker thread owns a [`WorkerClock`] and charges every action it
+//! performs (compute, shared-memory access, remote round trips) to it. The
+//! clocks are backed by shared atomics so that other components — the
+//! replica-sync coordinator, the in-flight relocation bookkeeping — can read
+//! a worker's position on the virtual timeline without synchronizing with
+//! it.
+//!
+//! Virtual makespan of a phase = `max` over workers of elapsed virtual time,
+//! which is how epoch "run times" are computed (the slowest worker finishes
+//! the epoch).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{Topology, WorkerId};
+
+/// Shared storage for every worker clock in the cluster.
+#[derive(Debug)]
+pub struct ClusterClocks {
+    topology: Topology,
+    cells: Vec<Arc<AtomicU64>>,
+}
+
+impl ClusterClocks {
+    pub fn new(topology: Topology) -> ClusterClocks {
+        let cells = (0..topology.total_workers())
+            .map(|_| Arc::new(AtomicU64::new(0)))
+            .collect();
+        ClusterClocks { topology, cells }
+    }
+
+    /// Handle for the given worker. Each worker should hold exactly one.
+    pub fn worker_clock(&self, worker: WorkerId) -> WorkerClock {
+        WorkerClock {
+            cell: Arc::clone(&self.cells[self.topology.worker_index(worker)]),
+            cached: 0,
+        }
+    }
+
+    /// Earliest position of any worker on the virtual timeline.
+    pub fn min_time(&self) -> SimTime {
+        SimTime(self.cells.iter().map(|c| c.load(Ordering::Relaxed)).min().unwrap_or(0))
+    }
+
+    /// Latest position of any worker: the virtual makespan.
+    pub fn max_time(&self) -> SimTime {
+        SimTime(self.cells.iter().map(|c| c.load(Ordering::Relaxed)).max().unwrap_or(0))
+    }
+
+    /// Latest position among the workers of one node.
+    pub fn node_max_time(&self, node: crate::topology::NodeId) -> SimTime {
+        let wpn = self.topology.workers_per_node as usize;
+        let base = node.index() * wpn;
+        SimTime(
+            self.cells[base..base + wpn]
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .max()
+                .unwrap_or(0),
+        )
+    }
+
+    /// Advance every worker that lags behind `t` up to `t`. Used at epoch
+    /// barriers: a barrier means every worker waited for the slowest one.
+    pub fn align_to(&self, t: SimTime) {
+        for c in &self.cells {
+            c.fetch_max(t.0, Ordering::Relaxed);
+        }
+    }
+
+    /// Align all workers to the current makespan and return it.
+    pub fn barrier(&self) -> SimTime {
+        let t = self.max_time();
+        self.align_to(t);
+        t
+    }
+
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+}
+
+/// One worker's virtual clock. Writes go through to the shared cell so other
+/// threads observe progress; reads of our own position use a cached value
+/// (we are the only writer).
+#[derive(Debug)]
+pub struct WorkerClock {
+    cell: Arc<AtomicU64>,
+    cached: u64,
+}
+
+impl WorkerClock {
+    /// Current position on the virtual timeline.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        SimTime(self.cached)
+    }
+
+    /// Charge `d` of virtual time to this worker.
+    #[inline]
+    pub fn advance(&mut self, d: SimDuration) {
+        if d.is_zero() {
+            return;
+        }
+        self.cached += d.as_nanos();
+        self.cell.store(self.cached, Ordering::Relaxed);
+    }
+
+    /// Move this worker forward to `t` if it is behind (e.g. it blocked on
+    /// an event that completes at `t`). Returns the waiting time charged.
+    #[inline]
+    pub fn advance_to(&mut self, t: SimTime) -> SimDuration {
+        if t.0 > self.cached {
+            let waited = SimDuration(t.0 - self.cached);
+            self.cached = t.0;
+            self.cell.store(self.cached, Ordering::Relaxed);
+            waited
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Refresh the cached value from the shared cell. Only needed after an
+    /// external `align_to`/`barrier`.
+    #[inline]
+    pub fn refresh(&mut self) {
+        self.cached = self.cell.load(Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeId;
+
+    #[test]
+    fn advance_and_makespan() {
+        let t = Topology::new(2, 2);
+        let clocks = ClusterClocks::new(t);
+        let mut w0 = clocks.worker_clock(WorkerId { node: NodeId(0), local: 0 });
+        let mut w3 = clocks.worker_clock(WorkerId { node: NodeId(1), local: 1 });
+
+        w0.advance(SimDuration::from_millis(5));
+        w3.advance(SimDuration::from_millis(9));
+        assert_eq!(clocks.min_time(), SimTime::ZERO); // two workers never moved
+        assert_eq!(clocks.max_time(), SimTime(9_000_000));
+        assert_eq!(clocks.node_max_time(NodeId(0)), SimTime(5_000_000));
+        assert_eq!(clocks.node_max_time(NodeId(1)), SimTime(9_000_000));
+    }
+
+    #[test]
+    fn advance_to_charges_only_forward() {
+        let clocks = ClusterClocks::new(Topology::new(1, 1));
+        let mut w = clocks.worker_clock(WorkerId { node: NodeId(0), local: 0 });
+        w.advance(SimDuration::from_micros(10));
+        assert_eq!(w.advance_to(SimTime(5_000)), SimDuration::ZERO);
+        assert_eq!(w.now(), SimTime(10_000));
+        assert_eq!(w.advance_to(SimTime(25_000)), SimDuration(15_000));
+        assert_eq!(w.now(), SimTime(25_000));
+    }
+
+    #[test]
+    fn barrier_aligns_everyone() {
+        let t = Topology::new(2, 1);
+        let clocks = ClusterClocks::new(t);
+        let mut w0 = clocks.worker_clock(WorkerId { node: NodeId(0), local: 0 });
+        let mut w1 = clocks.worker_clock(WorkerId { node: NodeId(1), local: 0 });
+        w0.advance(SimDuration::from_secs(1));
+        w1.advance(SimDuration::from_secs(3));
+        let t_bar = clocks.barrier();
+        assert_eq!(t_bar, SimTime(3_000_000_000));
+        w0.refresh();
+        w1.refresh();
+        assert_eq!(w0.now(), t_bar);
+        assert_eq!(w1.now(), t_bar);
+        assert_eq!(clocks.min_time(), t_bar);
+    }
+}

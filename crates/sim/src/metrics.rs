@@ -1,0 +1,219 @@
+//! Counter registry for everything the experiments measure.
+//!
+//! Counters are plain relaxed atomics: they are statistics, not
+//! synchronization. Every figure in the paper is ultimately a function of
+//! these counts priced by the cost model, so the set below mirrors the
+//! quantities the paper reasons about (remote vs local accesses,
+//! relocations and their conflicts, replica-sync rounds and bytes, sampling
+//! postponements).
+
+use std::fmt;
+use std::ops::Sub;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! metrics {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        /// Live atomic counters for one node (or one logical component).
+        #[derive(Debug, Default)]
+        pub struct Metrics {
+            $($(#[$doc])* pub $name: AtomicU64,)+
+        }
+
+        /// A point-in-time copy of [`Metrics`]; supports diffing.
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+        pub struct MetricsSnapshot {
+            $($(#[$doc])* pub $name: u64,)+
+        }
+
+        impl Metrics {
+            pub fn snapshot(&self) -> MetricsSnapshot {
+                MetricsSnapshot {
+                    $($name: self.$name.load(Ordering::Relaxed),)+
+                }
+            }
+
+            /// Reset all counters to zero (between epochs/experiments).
+            pub fn reset(&self) {
+                $(self.$name.store(0, Ordering::Relaxed);)+
+            }
+        }
+
+        impl MetricsSnapshot {
+            /// Element-wise sum, for aggregating nodes into cluster totals.
+            pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+                MetricsSnapshot {
+                    $($name: self.$name + other.$name,)+
+                }
+            }
+
+            /// Iterate `(name, value)` pairs, e.g. for CSV output.
+            pub fn entries(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($name), self.$name),)+]
+            }
+        }
+
+        impl Sub for MetricsSnapshot {
+            type Output = MetricsSnapshot;
+            fn sub(self, rhs: MetricsSnapshot) -> MetricsSnapshot {
+                MetricsSnapshot {
+                    $($name: self.$name.saturating_sub(rhs.$name),)+
+                }
+            }
+        }
+
+        impl fmt::Display for MetricsSnapshot {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                $(
+                    if self.$name != 0 {
+                        writeln!(f, "{:<28} {}", stringify!($name), self.$name)?;
+                    }
+                )+
+                Ok(())
+            }
+        }
+    };
+}
+
+metrics! {
+    /// Protocol messages sent over the simulated network.
+    msgs_sent,
+    /// Payload + framing bytes sent over the simulated network.
+    bytes_sent,
+    /// Pulls served from the local store or a local replica (shared memory).
+    local_pulls,
+    /// Pulls that required a remote round trip.
+    remote_pulls,
+    /// Pushes applied locally.
+    local_pushes,
+    /// Pushes sent to a remote owner.
+    remote_pushes,
+    /// Parameter relocations completed (ownership transfers).
+    relocations,
+    /// Accesses that found their key mid-relocation and had to wait or go
+    /// remote (the hot-spot contention effect of Section 3.1.3).
+    relocation_conflicts,
+    /// Replica synchronization rounds executed.
+    sync_rounds,
+    /// Bytes exchanged by replica synchronization.
+    sync_bytes,
+    /// Pulls served by a replica.
+    replica_pulls,
+    /// Pushes absorbed by a replica's local update buffer.
+    replica_pushes,
+    /// Samples handed to the application via PullSample.
+    samples_drawn,
+    /// Samples that were postponed because their key was not local.
+    samples_postponed,
+    /// Samples whose parameters had to be fetched remotely in PullSample.
+    samples_remote,
+    /// Sample pools prepared by the background thread.
+    pools_prepared,
+    /// SSP/ESSP clock advances.
+    clock_advances,
+    /// Synchronous replica refreshes (SSP cold replicas).
+    replica_refreshes,
+}
+
+impl Metrics {
+    #[inline]
+    pub fn add(&self, field: impl Fn(&Metrics) -> &AtomicU64, n: u64) {
+        field(self).fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn inc(&self, field: impl Fn(&Metrics) -> &AtomicU64) {
+        self.add(field, 1);
+    }
+}
+
+/// Per-node metrics plus helpers to aggregate the whole cluster.
+#[derive(Debug)]
+pub struct ClusterMetrics {
+    per_node: Vec<Metrics>,
+}
+
+impl ClusterMetrics {
+    pub fn new(n_nodes: usize) -> ClusterMetrics {
+        ClusterMetrics {
+            per_node: (0..n_nodes).map(|_| Metrics::default()).collect(),
+        }
+    }
+
+    #[inline]
+    pub fn node(&self, node: crate::topology::NodeId) -> &Metrics {
+        &self.per_node[node.index()]
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.per_node.len()
+    }
+
+    pub fn snapshot_node(&self, node: crate::topology::NodeId) -> MetricsSnapshot {
+        self.per_node[node.index()].snapshot()
+    }
+
+    /// Cluster-wide totals.
+    pub fn total(&self) -> MetricsSnapshot {
+        self.per_node
+            .iter()
+            .map(|m| m.snapshot())
+            .fold(MetricsSnapshot::default(), |acc, s| acc.merge(&s))
+    }
+
+    pub fn reset(&self) {
+        for m in &self.per_node {
+            m.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeId;
+
+    #[test]
+    fn snapshot_and_diff() {
+        let m = Metrics::default();
+        m.inc(|m| &m.remote_pulls);
+        m.add(|m| &m.bytes_sent, 100);
+        let s1 = m.snapshot();
+        m.add(|m| &m.bytes_sent, 50);
+        let s2 = m.snapshot();
+        let d = s2 - s1;
+        assert_eq!(d.bytes_sent, 50);
+        assert_eq!(d.remote_pulls, 0);
+        assert_eq!(s2.remote_pulls, 1);
+    }
+
+    #[test]
+    fn cluster_totals_merge_nodes() {
+        let c = ClusterMetrics::new(3);
+        c.node(NodeId(0)).add(|m| &m.relocations, 7);
+        c.node(NodeId(2)).add(|m| &m.relocations, 5);
+        c.node(NodeId(1)).add(|m| &m.sync_bytes, 11);
+        let t = c.total();
+        assert_eq!(t.relocations, 12);
+        assert_eq!(t.sync_bytes, 11);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let c = ClusterMetrics::new(2);
+        c.node(NodeId(0)).add(|m| &m.msgs_sent, 3);
+        c.reset();
+        assert_eq!(c.total(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn entries_expose_all_fields() {
+        let m = Metrics::default();
+        m.inc(|m| &m.samples_drawn);
+        let entries = m.snapshot().entries();
+        assert!(entries.iter().any(|(n, v)| *n == "samples_drawn" && *v == 1));
+        // Display prints only non-zero counters.
+        let shown = m.snapshot().to_string();
+        assert!(shown.contains("samples_drawn"));
+        assert!(!shown.contains("sync_bytes"));
+    }
+}

@@ -1,0 +1,220 @@
+//! The simulated network: per-(node, port) inboxes connected by unbounded
+//! channels, with exact byte accounting.
+//!
+//! The network moves *encoded* frames ([`bytes::Bytes`] payloads produced by
+//! the [`crate::codec`] machinery). It does not price anything — virtual
+//! time is charged at the call sites that know the semantics (a worker
+//! blocking on a round trip charges its own clock; the sync coordinator
+//! prices an all-reduce round) — but it counts every message and every byte
+//! on the sender's node, which is what the experiments report.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::cost::WIRE_HEADER_BYTES;
+use crate::metrics::ClusterMetrics;
+use crate::time::SimTime;
+use crate::topology::{Addr, Topology};
+
+/// One message in flight: source/destination addressing, the sender's
+/// virtual send time (receivers may use it to model arrival), and the
+/// encoded payload.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    pub src: Addr,
+    pub dst: Addr,
+    /// Virtual time at which the sender issued the message.
+    pub sent_at: SimTime,
+    pub payload: bytes::Bytes,
+}
+
+impl Frame {
+    /// Bytes this frame occupies on the wire (payload + framing overhead).
+    #[inline]
+    pub fn wire_bytes(&self) -> usize {
+        self.payload.len() + WIRE_HEADER_BYTES
+    }
+}
+
+struct Mailbox {
+    sender: Sender<Frame>,
+    receiver: Mutex<Option<Receiver<Frame>>>,
+}
+
+/// The cluster-wide fabric. Create once, then [`bind`](Network::bind) one
+/// endpoint per (node, port) and hand endpoints to the threads that own
+/// them.
+pub struct Network {
+    topology: Topology,
+    mailboxes: Vec<Mailbox>,
+    metrics: Arc<ClusterMetrics>,
+}
+
+impl Network {
+    pub fn new(topology: Topology, metrics: Arc<ClusterMetrics>) -> Arc<Network> {
+        let n = topology.n_nodes as usize * topology.ports_per_node() as usize;
+        let mailboxes = (0..n)
+            .map(|_| {
+                let (tx, rx) = unbounded();
+                Mailbox { sender: tx, receiver: Mutex::new(Some(rx)) }
+            })
+            .collect();
+        Arc::new(Network { topology, mailboxes, metrics })
+    }
+
+    #[inline]
+    fn slot(&self, addr: Addr) -> usize {
+        debug_assert!(addr.port < self.topology.ports_per_node());
+        addr.node.index() * self.topology.ports_per_node() as usize + addr.port as usize
+    }
+
+    /// Take ownership of the receiving side of `addr`. Panics if the address
+    /// was already bound: each inbox has exactly one owner.
+    pub fn bind(self: &Arc<Network>, addr: Addr) -> Endpoint {
+        let rx = self.mailboxes[self.slot(addr)]
+            .receiver
+            .lock()
+            .take()
+            .unwrap_or_else(|| panic!("address {addr} bound twice"));
+        Endpoint { net: Arc::clone(self), addr, rx }
+    }
+
+    /// Send a frame. Accounted to the sending node unless source and
+    /// destination share a node (intra-node traffic is shared memory in
+    /// NuPS and is not network traffic — the paper co-locates servers and
+    /// workers in one process).
+    pub fn send(&self, frame: Frame) {
+        if frame.src.node != frame.dst.node {
+            let m = self.metrics.node(frame.src.node);
+            m.inc(|m| &m.msgs_sent);
+            m.add(|m| &m.bytes_sent, frame.wire_bytes() as u64);
+        }
+        // A send can only fail if the receiver was dropped, which happens
+        // during shutdown; losing the frame is then intended.
+        let _ = self.mailboxes[self.slot(frame.dst)].sender.send(frame);
+    }
+
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    pub fn metrics(&self) -> &Arc<ClusterMetrics> {
+        &self.metrics
+    }
+}
+
+/// The receiving half of one (node, port) plus the ability to send.
+pub struct Endpoint {
+    net: Arc<Network>,
+    addr: Addr,
+    rx: Receiver<Frame>,
+}
+
+impl Endpoint {
+    #[inline]
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Send `payload` from this endpoint.
+    pub fn send(&self, dst: Addr, sent_at: SimTime, payload: bytes::Bytes) {
+        self.net.send(Frame { src: self.addr, dst, sent_at, payload });
+    }
+
+    /// Block until a frame arrives. Returns `None` when every sender is
+    /// gone (cluster shutdown).
+    pub fn recv(&self) -> Option<Frame> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Frame> {
+        match self.rx.try_recv() {
+            Ok(f) => Some(f),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Receive with a real-time timeout (used by background loops so they
+    /// can observe shutdown flags even when idle).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Frame, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    pub fn network(&self) -> &Arc<Network> {
+        &self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeId;
+    use bytes::Bytes;
+
+    fn small_net() -> (Arc<Network>, Arc<ClusterMetrics>) {
+        let topo = Topology::new(2, 1);
+        let metrics = Arc::new(ClusterMetrics::new(2));
+        (Network::new(topo, Arc::clone(&metrics)), metrics)
+    }
+
+    #[test]
+    fn send_and_receive_across_nodes() {
+        let (net, metrics) = small_net();
+        let a = net.bind(Addr::server(NodeId(0)));
+        let b = net.bind(Addr::server(NodeId(1)));
+        a.send(b.addr(), SimTime(123), Bytes::from_static(b"hello"));
+        let f = b.recv().unwrap();
+        assert_eq!(&f.payload[..], b"hello");
+        assert_eq!(f.src, a.addr());
+        assert_eq!(f.sent_at, SimTime(123));
+        let t = metrics.total();
+        assert_eq!(t.msgs_sent, 1);
+        assert_eq!(t.bytes_sent, (5 + WIRE_HEADER_BYTES) as u64);
+    }
+
+    #[test]
+    fn intra_node_traffic_is_not_network_traffic() {
+        let topo = Topology::new(1, 2);
+        let metrics = Arc::new(ClusterMetrics::new(1));
+        let net = Network::new(topo, Arc::clone(&metrics));
+        let server = net.bind(Addr::server(NodeId(0)));
+        let w0 = net.bind(Addr::worker(NodeId(0), 0));
+        w0.send(server.addr(), SimTime::ZERO, Bytes::from_static(b"local"));
+        assert!(server.recv().is_some());
+        assert_eq!(metrics.total().msgs_sent, 0);
+        assert_eq!(metrics.total().bytes_sent, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let (net, _) = small_net();
+        let _a = net.bind(Addr::server(NodeId(0)));
+        let _b = net.bind(Addr::server(NodeId(0)));
+    }
+
+    #[test]
+    fn try_recv_and_threaded_delivery() {
+        let (net, _) = small_net();
+        let a = net.bind(Addr::server(NodeId(0)));
+        let b = net.bind(Addr::server(NodeId(1)));
+        assert!(b.try_recv().is_none());
+        let dst = b.addr();
+        let t = std::thread::spawn(move || {
+            for i in 0..100u8 {
+                a.send(dst, SimTime::ZERO, Bytes::copy_from_slice(&[i]));
+            }
+        });
+        let mut seen = 0;
+        while seen < 100 {
+            if let Some(f) = b.recv() {
+                assert_eq!(f.payload[0], seen);
+                seen += 1;
+            }
+        }
+        t.join().unwrap();
+    }
+}

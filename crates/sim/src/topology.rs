@@ -1,0 +1,194 @@
+//! Cluster shape: nodes, workers, addresses, and the recursive-doubling
+//! partner schedule used by replica synchronization.
+
+use std::fmt;
+
+/// Identifier of a simulated cluster node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a worker thread: the node it lives on plus a node-local
+/// index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct WorkerId {
+    pub node: NodeId,
+    pub local: u16,
+}
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}w{}", self.node, self.local)
+    }
+}
+
+/// A message destination: a node plus a port. Port 0 is the node's server
+/// loop; ports `1..=workers_per_node` are per-worker reply inboxes; the port
+/// after that is the replica-sync endpoint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Addr {
+    pub node: NodeId,
+    pub port: u16,
+}
+
+/// Port of the per-node server loop.
+pub const SERVER_PORT: u16 = 0;
+
+impl Addr {
+    #[inline]
+    pub fn server(node: NodeId) -> Addr {
+        Addr { node, port: SERVER_PORT }
+    }
+
+    /// Reply inbox of worker `local` on `node`.
+    #[inline]
+    pub fn worker(node: NodeId, local: u16) -> Addr {
+        Addr { node, port: 1 + local }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.node, self.port)
+    }
+}
+
+/// The shape of the simulated cluster.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Topology {
+    pub n_nodes: u16,
+    pub workers_per_node: u16,
+}
+
+impl Topology {
+    pub fn new(n_nodes: u16, workers_per_node: u16) -> Topology {
+        assert!(n_nodes >= 1, "need at least one node");
+        assert!(workers_per_node >= 1, "need at least one worker per node");
+        Topology { n_nodes, workers_per_node }
+    }
+
+    /// A single shared-memory node (the paper's single-node baseline).
+    pub fn single_node(workers: u16) -> Topology {
+        Topology::new(1, workers)
+    }
+
+    #[inline]
+    pub fn total_workers(&self) -> usize {
+        self.n_nodes as usize * self.workers_per_node as usize
+    }
+
+    /// Ports per node: server + one per worker + sync endpoint.
+    #[inline]
+    pub fn ports_per_node(&self) -> u16 {
+        1 + self.workers_per_node + 1
+    }
+
+    /// Port of the replica-sync endpoint on every node.
+    #[inline]
+    pub fn sync_port(&self) -> u16 {
+        1 + self.workers_per_node
+    }
+
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n_nodes).map(NodeId)
+    }
+
+    pub fn workers(&self) -> impl Iterator<Item = WorkerId> + '_ {
+        let wpn = self.workers_per_node;
+        self.nodes()
+            .flat_map(move |node| (0..wpn).map(move |local| WorkerId { node, local }))
+    }
+
+    /// Dense index of a worker in `0..total_workers()`.
+    #[inline]
+    pub fn worker_index(&self, w: WorkerId) -> usize {
+        w.node.index() * self.workers_per_node as usize + w.local as usize
+    }
+
+    /// Number of communication rounds of a recursive-doubling all-reduce
+    /// over the nodes (`ceil(log2(n_nodes))`; zero for a single node).
+    pub fn sync_rounds(&self) -> u32 {
+        if self.n_nodes <= 1 {
+            0
+        } else {
+            (self.n_nodes as u32).next_power_of_two().trailing_zeros()
+        }
+    }
+
+    /// Partner of `node` in round `round` of recursive doubling, or `None`
+    /// when the XOR partner falls outside a non-power-of-two cluster (that
+    /// node idles for the round).
+    pub fn sync_partner(&self, node: NodeId, round: u32) -> Option<NodeId> {
+        let p = node.0 ^ (1u16 << round);
+        (p < self.n_nodes).then_some(NodeId(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_indexing_is_dense_and_unique() {
+        let t = Topology::new(4, 3);
+        let idx: Vec<usize> = t.workers().map(|w| t.worker_index(w)).collect();
+        assert_eq!(idx, (0..12).collect::<Vec<_>>());
+        assert_eq!(t.total_workers(), 12);
+    }
+
+    #[test]
+    fn ports_layout() {
+        let t = Topology::new(2, 4);
+        assert_eq!(t.ports_per_node(), 6);
+        assert_eq!(t.sync_port(), 5);
+        assert_eq!(Addr::server(NodeId(1)).port, SERVER_PORT);
+        assert_eq!(Addr::worker(NodeId(1), 2).port, 3);
+    }
+
+    #[test]
+    fn sync_rounds_log2() {
+        assert_eq!(Topology::new(1, 1).sync_rounds(), 0);
+        assert_eq!(Topology::new(2, 1).sync_rounds(), 1);
+        assert_eq!(Topology::new(4, 1).sync_rounds(), 2);
+        assert_eq!(Topology::new(5, 1).sync_rounds(), 3);
+        assert_eq!(Topology::new(8, 1).sync_rounds(), 3);
+        assert_eq!(Topology::new(16, 1).sync_rounds(), 4);
+    }
+
+    #[test]
+    fn sync_partners_power_of_two() {
+        let t = Topology::new(4, 1);
+        // Round 0: 0<->1, 2<->3. Round 1: 0<->2, 1<->3.
+        assert_eq!(t.sync_partner(NodeId(0), 0), Some(NodeId(1)));
+        assert_eq!(t.sync_partner(NodeId(3), 0), Some(NodeId(2)));
+        assert_eq!(t.sync_partner(NodeId(0), 1), Some(NodeId(2)));
+        assert_eq!(t.sync_partner(NodeId(1), 1), Some(NodeId(3)));
+    }
+
+    #[test]
+    fn sync_partners_non_power_of_two_skip_missing() {
+        let t = Topology::new(3, 1);
+        assert_eq!(t.sync_partner(NodeId(2), 0), None); // partner 3 absent
+        assert_eq!(t.sync_partner(NodeId(0), 1), Some(NodeId(2)));
+        // Partnering is symmetric where defined.
+        for round in 0..t.sync_rounds() {
+            for n in t.nodes() {
+                if let Some(p) = t.sync_partner(n, round) {
+                    assert_eq!(t.sync_partner(p, round), Some(n));
+                }
+            }
+        }
+    }
+}

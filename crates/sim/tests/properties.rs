@@ -1,0 +1,100 @@
+//! Property-based tests of the simulation substrate: cost-model
+//! monotonicity, metric algebra, and clock invariants.
+
+use proptest::prelude::*;
+
+use nups_sim::clock::ClusterClocks;
+use nups_sim::cost::CostModel;
+use nups_sim::metrics::{ClusterMetrics, MetricsSnapshot};
+use nups_sim::time::{SimDuration, SimTime};
+use nups_sim::topology::{NodeId, Topology, WorkerId};
+
+proptest! {
+    /// Sending more bytes never costs less, and latency is a lower bound.
+    #[test]
+    fn message_cost_is_monotone_in_bytes(a in 0usize..1_000_000, b in 0usize..1_000_000) {
+        let c = CostModel::cluster_default();
+        let (small, large) = (a.min(b), a.max(b));
+        prop_assert!(c.message(small) <= c.message(large));
+        prop_assert!(c.message(small) >= c.one_way_latency);
+        prop_assert!(c.transfer(small) <= c.transfer(large));
+    }
+
+    /// A round trip always costs at least two one-way latencies, and an
+    /// all-reduce scales linearly in rounds.
+    #[test]
+    fn round_trip_and_allreduce_structure(req in 0usize..100_000, resp in 0usize..100_000, rounds in 0u32..8) {
+        let c = CostModel::cluster_default();
+        prop_assert!(c.round_trip(req, resp) >= c.one_way_latency * 2);
+        let one = c.allreduce(1, req);
+        prop_assert_eq!(c.allreduce(rounds, req), one * rounds as u64);
+    }
+
+    /// Compute cost is additive in flops.
+    #[test]
+    fn compute_cost_additive(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let c = CostModel::cluster_default();
+        let lhs = c.compute(a + b).as_nanos() as i128;
+        let rhs = (c.compute(a) + c.compute(b)).as_nanos() as i128;
+        // Floating-point conversion may wobble by a nanosecond.
+        prop_assert!((lhs - rhs).abs() <= 2, "{lhs} vs {rhs}");
+    }
+
+    /// Snapshot algebra: merge is commutative and diff inverts merge.
+    #[test]
+    fn metrics_merge_commutes(xs in proptest::collection::vec(0u64..1000, 4), ys in proptest::collection::vec(0u64..1000, 4)) {
+        let cm = ClusterMetrics::new(2);
+        let a = cm.node(NodeId(0));
+        let b = cm.node(NodeId(1));
+        a.add(|m| &m.msgs_sent, xs[0]);
+        a.add(|m| &m.bytes_sent, xs[1]);
+        a.add(|m| &m.relocations, xs[2]);
+        a.add(|m| &m.sync_bytes, xs[3]);
+        b.add(|m| &m.msgs_sent, ys[0]);
+        b.add(|m| &m.bytes_sent, ys[1]);
+        b.add(|m| &m.relocations, ys[2]);
+        b.add(|m| &m.sync_bytes, ys[3]);
+        let sa = cm.snapshot_node(NodeId(0));
+        let sb = cm.snapshot_node(NodeId(1));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        prop_assert_eq!(cm.total(), sa.merge(&sb));
+        prop_assert_eq!(sa.merge(&sb) - sb, sa);
+        prop_assert_eq!(sa - sa, MetricsSnapshot::default());
+    }
+
+    /// Clocks: makespan is the max of worker positions, barriers are
+    /// idempotent, and align never moves a clock backwards.
+    #[test]
+    fn clock_invariants(advances in proptest::collection::vec((0u16..4, 0u64..1_000_000), 1..40)) {
+        let topo = Topology::new(2, 2);
+        let clocks = ClusterClocks::new(topo);
+        let mut handles: Vec<_> = topo.workers().map(|w| clocks.worker_clock(w)).collect();
+        let mut expect = [0u64; 4];
+        for (w, d) in advances {
+            let w = w as usize % 4;
+            handles[w].advance(SimDuration::from_nanos(d));
+            expect[w] += d;
+        }
+        let makespan = *expect.iter().max().unwrap();
+        prop_assert_eq!(clocks.max_time(), SimTime(makespan));
+        prop_assert_eq!(clocks.min_time(), SimTime(*expect.iter().min().unwrap()));
+
+        let t1 = clocks.barrier();
+        let t2 = clocks.barrier();
+        prop_assert_eq!(t1, t2, "barrier must be idempotent");
+        prop_assert_eq!(clocks.min_time(), clocks.max_time());
+        prop_assert_eq!(t1, SimTime(makespan));
+    }
+
+    /// Per-node makespans bound the cluster makespan.
+    #[test]
+    fn node_makespans_bound_cluster(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let topo = Topology::new(2, 1);
+        let clocks = ClusterClocks::new(topo);
+        clocks.worker_clock(WorkerId { node: NodeId(0), local: 0 }).advance(SimDuration(a));
+        clocks.worker_clock(WorkerId { node: NodeId(1), local: 0 }).advance(SimDuration(b));
+        let n0 = clocks.node_max_time(NodeId(0));
+        let n1 = clocks.node_max_time(NodeId(1));
+        prop_assert_eq!(clocks.max_time(), n0.max(n1));
+    }
+}

@@ -1,0 +1,172 @@
+//! Synthetic matrix-factorization dataset.
+//!
+//! The paper's MF dataset is itself synthetic: a 10m × 1m matrix with one
+//! billion revealed cells whose row/column popularity follows zipf(1.1),
+//! "modeled after the Netflix Prize dataset". We generate the same shape
+//! at configurable scale: a planted low-rank matrix `U·Vᵀ` plus noise,
+//! with revealed cells drawn by zipf(1.1) row and column popularity. RMSE
+//! against held-out cells is then a meaningful quality signal with a known
+//! noise floor.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// One revealed cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    pub row: u32,
+    pub col: u32,
+    pub value: f32,
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct MatrixConfig {
+    pub n_rows: usize,
+    pub n_cols: usize,
+    pub n_train: usize,
+    pub n_test: usize,
+    /// Rank of the planted factorization.
+    pub rank_gt: usize,
+    /// Popularity skew of rows and columns (paper: 1.1).
+    pub zipf_alpha: f64,
+    /// Standard deviation of additive observation noise.
+    pub noise_std: f32,
+    pub seed: u64,
+}
+
+impl Default for MatrixConfig {
+    fn default() -> MatrixConfig {
+        MatrixConfig {
+            n_rows: 10_000,
+            n_cols: 1_000,
+            n_train: 200_000,
+            n_test: 5_000,
+            rank_gt: 8,
+            zipf_alpha: 1.1,
+            noise_std: 0.1,
+            seed: 13,
+        }
+    }
+}
+
+/// A generated dataset.
+#[derive(Debug)]
+pub struct MatrixData {
+    pub config: MatrixConfig,
+    pub train: Vec<Cell>,
+    pub test: Vec<Cell>,
+}
+
+impl MatrixData {
+    pub fn generate(config: MatrixConfig) -> MatrixData {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let k = config.rank_gt;
+        let scale = 1.0 / (k as f32).sqrt();
+        let gt_u: Vec<f32> =
+            (0..config.n_rows * k).map(|_| rng.gen_range(-1.0..1.0f32) * scale).collect();
+        let gt_v: Vec<f32> =
+            (0..config.n_cols * k).map(|_| rng.gen_range(-1.0..1.0f32) * scale).collect();
+
+        let row_pop = Zipf::new(config.n_rows, config.zipf_alpha);
+        let col_pop = Zipf::new(config.n_cols, config.zipf_alpha);
+
+        let cell = |rng: &mut StdRng| {
+            let row = row_pop.sample(rng);
+            let col = col_pop.sample(rng);
+            let mut v = 0.0f32;
+            for i in 0..k {
+                v += gt_u[row * k + i] * gt_v[col * k + i];
+            }
+            // Box-Muller for Gaussian noise (rand's StandardNormal lives in
+            // rand_distr, which we avoid depending on).
+            let (u1, u2): (f32, f32) = (rng.gen_range(1e-9..1.0), rng.gen());
+            let noise = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+            Cell { row: row as u32, col: col as u32, value: v + config.noise_std * noise }
+        };
+
+        let train: Vec<Cell> = (0..config.n_train).map(|_| cell(&mut rng)).collect();
+        let test: Vec<Cell> = (0..config.n_test).map(|_| cell(&mut rng)).collect();
+        MatrixData { config, train, test }
+    }
+
+    /// Access frequency of row-factor keys then column-factor keys
+    /// (column keys are the contended ones: rows are partitioned to nodes,
+    /// columns are shared — the paper replicates hot *column* keys).
+    pub fn row_frequencies(&self) -> Vec<u64> {
+        let mut f = vec![0u64; self.config.n_rows];
+        for c in &self.train {
+            f[c.row as usize] += 1;
+        }
+        f
+    }
+
+    pub fn col_frequencies(&self) -> Vec<u64> {
+        let mut f = vec![0u64; self.config.n_cols];
+        for c in &self.train {
+            f[c.col as usize] += 1;
+        }
+        f
+    }
+
+    /// Variance of the training values (for RMSE baselines).
+    pub fn value_variance(&self) -> f64 {
+        let n = self.train.len() as f64;
+        let mean: f64 = self.train.iter().map(|c| c.value as f64).sum::<f64>() / n;
+        self.train.iter().map(|c| (c.value as f64 - mean).powi(2)).sum::<f64>() / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MatrixData {
+        MatrixData::generate(MatrixConfig {
+            n_rows: 500,
+            n_cols: 100,
+            n_train: 20_000,
+            n_test: 1_000,
+            rank_gt: 4,
+            zipf_alpha: 1.1,
+            noise_std: 0.05,
+            seed: 17,
+        })
+    }
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = small();
+        assert_eq!(a.train.len(), 20_000);
+        assert_eq!(a.test.len(), 1_000);
+        let b = small();
+        assert_eq!(a.train, b.train);
+        for c in &a.train {
+            assert!((c.row as usize) < 500 && (c.col as usize) < 100);
+            assert!(c.value.is_finite());
+        }
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let d = small();
+        let rf = d.row_frequencies();
+        let total: u64 = rf.iter().sum();
+        let mut sorted = rf.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top1pct: u64 = sorted[..5].iter().sum();
+        assert!(top1pct as f64 > 0.08 * total as f64);
+    }
+
+    #[test]
+    fn values_have_signal_above_noise() {
+        // The planted low-rank signal must dominate the observation noise,
+        // otherwise RMSE could never improve during training.
+        let d = small();
+        let var = d.value_variance();
+        let noise_var = (d.config.noise_std as f64).powi(2);
+        assert!(var > 2.0 * noise_var, "signal variance {var} vs noise {noise_var}");
+    }
+}

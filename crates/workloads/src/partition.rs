@@ -1,0 +1,144 @@
+//! Data partitioners: how training data is split over nodes and workers.
+//!
+//! The paper partitions KGE triples randomly over nodes, WV sentences by
+//! range, and MF cells by row over nodes / by column visiting order within
+//! a node (Section 5.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Split `items` into `n_parts` by hashing a deterministic shuffle: random
+/// partitioning as used for KGE triples.
+pub fn partition_random<T: Clone>(items: &[T], n_parts: usize, seed: u64) -> Vec<Vec<T>> {
+    assert!(n_parts > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut parts = vec![Vec::with_capacity(items.len() / n_parts + 1); n_parts];
+    for item in items {
+        parts[rng.gen_range(0..n_parts)].push(item.clone());
+    }
+    parts
+}
+
+/// Split contiguously (sentence ranges for WV).
+pub fn partition_contiguous<T: Clone>(items: &[T], n_parts: usize) -> Vec<Vec<T>> {
+    assert!(n_parts > 0);
+    let chunk = items.len().div_ceil(n_parts);
+    let mut parts: Vec<Vec<T>> = items.chunks(chunk.max(1)).map(|c| c.to_vec()).collect();
+    parts.resize(n_parts, Vec::new());
+    parts
+}
+
+/// Split by a key function (MF: by row over nodes).
+pub fn partition_by<T: Clone>(
+    items: &[T],
+    n_parts: usize,
+    key: impl Fn(&T) -> usize,
+) -> Vec<Vec<T>> {
+    assert!(n_parts > 0);
+    let mut parts = vec![Vec::new(); n_parts];
+    for item in items {
+        parts[key(item) % n_parts].push(item.clone());
+    }
+    parts
+}
+
+/// MF worker visiting order: group a worker's cells by column, then visit
+/// columns in random order with the cells within a column shuffled too.
+/// This creates the column-access locality the paper's MF implementation
+/// relies on.
+pub fn column_visit_order<T: Clone>(
+    cells: &[T],
+    col: impl Fn(&T) -> u32,
+    seed: u64,
+) -> Vec<T> {
+    let mut by_col: rustc_hash::FxHashMap<u32, Vec<T>> = rustc_hash::FxHashMap::default();
+    for c in cells {
+        by_col.entry(col(c)).or_default().push(c.clone());
+    }
+    let mut cols: Vec<u32> = by_col.keys().copied().collect();
+    cols.sort_unstable();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..cols.len()).rev() {
+        cols.swap(i, rng.gen_range(0..=i));
+    }
+    let mut out = Vec::with_capacity(cells.len());
+    for c in cols {
+        let mut group = by_col.remove(&c).unwrap();
+        for i in (1..group.len()).rev() {
+            group.swap(i, rng.gen_range(0..=i));
+        }
+        out.extend(group);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_partition_preserves_items_and_balances() {
+        let items: Vec<u32> = (0..10_000).collect();
+        let parts = partition_random(&items, 4, 1);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 10_000);
+        for p in &parts {
+            assert!(p.len() > 2_000 && p.len() < 3_000, "unbalanced: {}", p.len());
+        }
+        let mut all: Vec<u32> = parts.concat();
+        all.sort_unstable();
+        assert_eq!(all, items);
+    }
+
+    #[test]
+    fn contiguous_partition_orders_and_pads() {
+        let items: Vec<u32> = (0..10).collect();
+        let parts = partition_contiguous(&items, 4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0], vec![0, 1, 2]);
+        assert_eq!(parts[3], vec![9]);
+        // More parts than items: empty tails.
+        let parts = partition_contiguous(&items[..2], 4);
+        assert_eq!(parts.len(), 4);
+        assert!(parts[3].is_empty());
+    }
+
+    #[test]
+    fn partition_by_key_routes_consistently() {
+        let items: Vec<(u32, u32)> = (0..100).map(|i| (i % 7, i)).collect();
+        let parts = partition_by(&items, 3, |&(row, _)| row as usize);
+        for (p, part) in parts.iter().enumerate() {
+            for &(row, _) in part {
+                assert_eq!(row as usize % 3, p);
+            }
+        }
+    }
+
+    #[test]
+    fn column_visit_order_groups_columns() {
+        let cells: Vec<(u32, u32)> = (0..300).map(|i| (i % 10, i)).collect();
+        let visit = column_visit_order(&cells, |&(c, _)| c, 5);
+        assert_eq!(visit.len(), 300);
+        // Each column's cells must form one contiguous run.
+        let mut seen = rustc_hash::FxHashSet::default();
+        let mut current = visit[0].0;
+        seen.insert(current);
+        for &(c, _) in &visit[1..] {
+            if c != current {
+                assert!(seen.insert(c), "column {c} visited twice");
+                current = c;
+            }
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn column_visit_order_is_seed_deterministic() {
+        let cells: Vec<(u32, u32)> = (0..100).map(|i| (i % 5, i)).collect();
+        let a = column_visit_order(&cells, |&(c, _)| c, 9);
+        let b = column_visit_order(&cells, |&(c, _)| c, 9);
+        assert_eq!(a, b);
+        let c = column_visit_order(&cells, |&(c, _)| c, 10);
+        assert_ne!(a, c, "different seed should shuffle differently");
+    }
+}

@@ -1,0 +1,180 @@
+//! Access-trace recording and skew statistics (Figure 3 / Table 2).
+//!
+//! The paper characterizes workloads by per-parameter access counts,
+//! separated into direct accesses and sampling accesses, sorted by total
+//! frequency. This module records such traces and computes the headline
+//! statistics ("18% of reads go to 0.02% of parameters", "sampling is 31%
+//! of all accesses").
+
+/// Per-key access counters, split by access class.
+#[derive(Debug, Clone)]
+pub struct AccessTrace {
+    pub direct: Vec<u64>,
+    pub sampling: Vec<u64>,
+}
+
+impl AccessTrace {
+    pub fn new(n_keys: usize) -> AccessTrace {
+        AccessTrace { direct: vec![0; n_keys], sampling: vec![0; n_keys] }
+    }
+
+    #[inline]
+    pub fn record_direct(&mut self, key: usize, n: u64) {
+        self.direct[key] += n;
+    }
+
+    #[inline]
+    pub fn record_sampling(&mut self, key: usize, n: u64) {
+        self.sampling[key] += n;
+    }
+
+    pub fn merge(&mut self, other: &AccessTrace) {
+        assert_eq!(self.direct.len(), other.direct.len());
+        for (a, b) in self.direct.iter_mut().zip(&other.direct) {
+            *a += b;
+        }
+        for (a, b) in self.sampling.iter_mut().zip(&other.sampling) {
+            *a += b;
+        }
+    }
+
+    pub fn total_direct(&self) -> u64 {
+        self.direct.iter().sum()
+    }
+
+    pub fn total_sampling(&self) -> u64 {
+        self.sampling.iter().sum()
+    }
+
+    /// Share of all accesses that are sampling accesses (Table 2's
+    /// rightmost columns: 31% for KGE, 56% for WV, 0% for MF).
+    pub fn sampling_share(&self) -> f64 {
+        let d = self.total_direct();
+        let s = self.total_sampling();
+        if d + s == 0 {
+            return 0.0;
+        }
+        s as f64 / (d + s) as f64
+    }
+
+    /// Total accesses per key (direct + sampling).
+    pub fn totals(&self) -> Vec<u64> {
+        self.direct.iter().zip(&self.sampling).map(|(d, s)| d + s).collect()
+    }
+
+    /// Keys sorted by decreasing total access count, with their direct and
+    /// sampling counts: the series plotted in Figure 3.
+    pub fn sorted_series(&self) -> Vec<(usize, u64, u64)> {
+        let mut keys: Vec<usize> = (0..self.direct.len()).collect();
+        let totals = self.totals();
+        keys.sort_by_key(|&k| std::cmp::Reverse(totals[k]));
+        keys.into_iter().map(|k| (k, self.direct[k], self.sampling[k])).collect()
+    }
+
+    /// The share of all accesses received by the hottest `key_share`
+    /// fraction of keys (e.g. Figure 3a's "18% of reads go to 0.02% of
+    /// parameters" is `share_of_top(0.0002) ≈ 0.18`).
+    pub fn share_of_top(&self, key_share: f64) -> f64 {
+        let totals = self.totals();
+        let grand: u64 = totals.iter().sum();
+        if grand == 0 {
+            return 0.0;
+        }
+        let mut sorted = totals;
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let k = ((sorted.len() as f64 * key_share).ceil() as usize).clamp(1, sorted.len());
+        let top: u64 = sorted[..k].iter().sum();
+        top as f64 / grand as f64
+    }
+
+    /// Down-sampled log-log series for printing Figure 3-style plots:
+    /// `(rank, total_accesses)` at geometrically spaced ranks.
+    pub fn loglog_points(&self, points: usize) -> Vec<(usize, u64)> {
+        let series = self.sorted_series();
+        if series.is_empty() {
+            return Vec::new();
+        }
+        let n = series.len();
+        let mut out = Vec::with_capacity(points);
+        for i in 0..points {
+            let rank = ((n as f64).powf(i as f64 / (points - 1).max(1) as f64) as usize)
+                .clamp(1, n);
+            let (_, d, s) = series[rank - 1];
+            out.push((rank, d + s));
+        }
+        out.dedup_by_key(|p| p.0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> AccessTrace {
+        let mut t = AccessTrace::new(100);
+        // Key 0 extremely hot, the rest cold.
+        t.record_direct(0, 900);
+        for k in 1..100 {
+            t.record_direct(k, 1);
+        }
+        t.record_sampling(5, 100);
+        t
+    }
+
+    #[test]
+    fn totals_and_shares() {
+        let t = trace();
+        assert_eq!(t.total_direct(), 999);
+        assert_eq!(t.total_sampling(), 100);
+        let share = t.sampling_share();
+        assert!((share - 100.0 / 1099.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sorted_series_hottest_first() {
+        let t = trace();
+        let s = t.sorted_series();
+        assert_eq!(s[0].0, 0);
+        assert_eq!(s[0].1, 900);
+        assert_eq!(s[1].0, 5); // 1 direct + 100 sampling
+        assert_eq!(s[1].2, 100);
+    }
+
+    #[test]
+    fn share_of_top_concentration() {
+        let t = trace();
+        // Top 1% of keys (1 key) receives 900/1099 of accesses.
+        let s = t.share_of_top(0.01);
+        assert!((s - 900.0 / 1099.0).abs() < 1e-9);
+        assert!((t.share_of_top(1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = trace();
+        let b = trace();
+        a.merge(&b);
+        assert_eq!(a.total_direct(), 2 * 999);
+        assert_eq!(a.total_sampling(), 200);
+    }
+
+    #[test]
+    fn loglog_points_are_monotone_ranks() {
+        let t = trace();
+        let pts = t.loglog_points(10);
+        assert!(!pts.is_empty());
+        for w in pts.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        assert_eq!(pts[0].0, 1);
+    }
+
+    #[test]
+    fn empty_trace_is_stable() {
+        let t = AccessTrace::new(0);
+        assert_eq!(t.sampling_share(), 0.0);
+        assert!(t.sorted_series().is_empty());
+        assert!(t.loglog_points(5).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Zipf-distributed sampling and weight tables.
+//!
+//! Every skewed quantity in the paper's workloads — word frequencies,
+//! entity popularity, revealed matrix cells (zipf 1.1) — follows a Zipf
+//! law: outcome `k` (1-based rank) has probability proportional to
+//! `1 / k^alpha`. Workload generation samples a few million draws once per
+//! experiment, so an O(log n) inverse-CDF sampler over a precomputed
+//! cumulative table is simple, exact, and fast enough; the table also
+//! doubles as the weight vector handed to alias-based samplers downstream.
+
+use rand::Rng;
+
+/// Unnormalized Zipf weights `1 / (k+1)^alpha` for outcomes `0..n`.
+pub fn zipf_weights(n: usize, alpha: f64) -> Vec<f64> {
+    assert!(n > 0, "empty outcome space");
+    assert!(alpha >= 0.0 && alpha.is_finite());
+    (1..=n).map(|k| 1.0 / (k as f64).powf(alpha)).collect()
+}
+
+/// An O(log n) sampler over a fixed discrete distribution.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl Zipf {
+    /// Zipf(alpha) over `0..n` (outcome 0 is the most popular).
+    pub fn new(n: usize, alpha: f64) -> Zipf {
+        Zipf::from_weights(zipf_weights(n, alpha))
+    }
+
+    /// Sampler over arbitrary non-negative weights.
+    pub fn from_weights(weights: Vec<f64>) -> Zipf {
+        assert!(!weights.is_empty());
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in &weights {
+            assert!(w.is_finite() && w >= 0.0);
+            acc += w;
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "all-zero weights");
+        Zipf { cumulative, weights }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// The (unnormalized) weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Draw one outcome in `0..n`.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let u: f64 = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= u).min(self.len() - 1)
+    }
+
+    /// Probability of outcome `k`.
+    pub fn probability(&self, k: usize) -> f64 {
+        self.weights[k] / self.cumulative.last().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_decay_by_power_law() {
+        let w = zipf_weights(100, 1.0);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+        assert!((w[9] - 0.1).abs() < 1e-12);
+        // alpha = 0 is uniform.
+        let u = zipf_weights(10, 0.0);
+        assert!(u.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn sample_frequencies_match_probabilities() {
+        let z = Zipf::new(8, 1.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mut counts = [0u64; 8];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in 0..8 {
+            let got = counts[k] as f64 / n as f64;
+            let want = z.probability(k);
+            assert!(
+                (got - want).abs() < 0.01,
+                "outcome {k}: got {got:.4}, want {want:.4}"
+            );
+        }
+        // Rank order: outcome 0 strictly most popular.
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+    }
+
+    #[test]
+    fn heavy_skew_concentrates_mass() {
+        // The paper's premise: a tiny share of keys receives a large share
+        // of accesses. With alpha = 1.0 over 100k outcomes, the top 0.1%
+        // must draw >= 10% of samples.
+        let z = Zipf::new(100_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let hot = (0..n).filter(|_| z.sample(&mut rng) < 100).count();
+        let share = hot as f64 / n as f64;
+        assert!(share > 0.10, "hot share {share}");
+    }
+
+    #[test]
+    fn from_weights_skips_zero_weight_outcomes() {
+        let z = Zipf::from_weights(vec![0.0, 2.0, 0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let s = z.sample(&mut rng);
+            assert!(s == 1 || s == 3, "drew zero-weight outcome {s}");
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let z = Zipf::new(1, 1.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the workload generators: partitioners preserve
+//! data, samplers respect their weights, traces aggregate consistently.
+
+use proptest::prelude::*;
+
+use nups_workloads::partition::{column_visit_order, partition_by, partition_contiguous, partition_random};
+use nups_workloads::trace::AccessTrace;
+use nups_workloads::zipf::{zipf_weights, Zipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Every partitioner is a permutation-preserving split: nothing lost,
+    /// nothing duplicated.
+    #[test]
+    fn partitioners_preserve_multiset(
+        items in proptest::collection::vec(0u32..1000, 0..500),
+        parts in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        for split in [
+            partition_random(&items, parts, seed),
+            partition_contiguous(&items, parts),
+            partition_by(&items, parts, |&x| x as usize),
+        ] {
+            prop_assert_eq!(split.len(), parts);
+            let mut merged: Vec<u32> = split.concat();
+            merged.sort_unstable();
+            let mut expect = items.clone();
+            expect.sort_unstable();
+            prop_assert_eq!(merged, expect);
+        }
+    }
+
+    /// Column visiting preserves the multiset and keeps each column
+    /// contiguous.
+    #[test]
+    fn column_visit_preserves_and_groups(
+        cells in proptest::collection::vec((0u32..12, 0u32..1000), 0..300),
+        seed in any::<u64>(),
+    ) {
+        let visit = column_visit_order(&cells, |&(c, _)| c, seed);
+        let mut a = visit.clone();
+        let mut b = cells.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        let mut seen = std::collections::HashSet::new();
+        let mut current = None;
+        for (c, _) in visit {
+            if Some(c) != current {
+                prop_assert!(seen.insert(c), "column {c} split into two runs");
+                current = Some(c);
+            }
+        }
+    }
+
+    /// Zipf weights are positive, decreasing, and the sampler only emits
+    /// valid outcomes with hotter outcomes at lower ranks (statistically).
+    #[test]
+    fn zipf_weights_decrease(n in 2usize..2000, alpha in 0.0f64..2.5) {
+        let w = zipf_weights(n, alpha);
+        prop_assert_eq!(w.len(), n);
+        for pair in w.windows(2) {
+            prop_assert!(pair[0] >= pair[1]);
+            prop_assert!(pair[1] > 0.0);
+        }
+    }
+
+    #[test]
+    fn zipf_sampler_stays_in_range(n in 1usize..500, alpha in 0.0f64..2.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, alpha);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+        let p_total: f64 = (0..n).map(|k| z.probability(k)).sum();
+        prop_assert!((p_total - 1.0).abs() < 1e-9);
+    }
+
+    /// Trace algebra: merge adds, share_of_top is monotone in the share
+    /// and reaches 1, sampling share stays in [0, 1].
+    #[test]
+    fn trace_shares_are_consistent(
+        direct in proptest::collection::vec(0u64..1000, 1..100),
+        sampling in proptest::collection::vec(0u64..1000, 1..100),
+    ) {
+        let n = direct.len().min(sampling.len());
+        let mut t = AccessTrace::new(n);
+        for k in 0..n {
+            t.record_direct(k, direct[k]);
+            t.record_sampling(k, sampling[k]);
+        }
+        let share = t.sampling_share();
+        prop_assert!((0.0..=1.0).contains(&share));
+        let s_small = t.share_of_top(0.1);
+        let s_big = t.share_of_top(0.5);
+        prop_assert!(s_small <= s_big + 1e-12);
+        let total: u64 = t.totals().iter().sum();
+        if total > 0 {
+            prop_assert!((t.share_of_top(1.0) - 1.0).abs() < 1e-9);
+        }
+        let mut merged = AccessTrace::new(n);
+        merged.merge(&t);
+        merged.merge(&t);
+        prop_assert_eq!(merged.total_direct(), 2 * t.total_direct());
+        prop_assert_eq!(merged.total_sampling(), 2 * t.total_sampling());
+    }
+}

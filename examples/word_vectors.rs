@@ -1,0 +1,76 @@
+//! Word vectors with different sampling conformity levels: the same
+//! skip-gram training run with CONFORM (independent), BOUNDED (pooled
+//! reuse) and NON-CONFORM (local) sampling — a miniature of the paper's
+//! Figure 10b.
+//!
+//! Run with: cargo run --release --example word_vectors
+
+use std::sync::Arc;
+
+use nups::core::system::run_epoch;
+use nups::core::{NupsConfig, ParameterServer, ReuseParams, SamplingScheme};
+use nups::core::heuristic_replicated_keys;
+use nups::ml::task::TrainTask;
+use nups::ml::word2vec::{W2vConfig, W2vTask};
+use nups::sim::topology::Topology;
+use nups::workloads::corpus::{Corpus, CorpusConfig};
+
+fn train(scheme_name: &str, scheme: SamplingScheme, corpus: &Arc<Corpus>) {
+    let topology = Topology::new(4, 2);
+    let task = W2vTask::new(
+        Arc::clone(corpus),
+        W2vConfig { dim: 16, n_neg: 3, ..W2vConfig::default() },
+        topology.total_workers(),
+    );
+    let replicated = heuristic_replicated_keys(&task.direct_frequencies());
+    let cfg = NupsConfig::nups(topology, task.n_keys(), task.value_len())
+        .with_replicated_keys(replicated)
+        .with_clip(task.clip_policy());
+    let ps = ParameterServer::new(cfg, |k, v| task.init_value(k, v));
+    for d in task.distributions() {
+        ps.register_distribution_with_scheme(d.base_key, d.n, d.kind, scheme);
+    }
+
+    let mut workers = ps.workers();
+    for epoch in 0..2 {
+        run_epoch(&mut workers, |i, w| {
+            task.run_epoch(w, i, epoch);
+        });
+    }
+    ps.flush_replicas();
+    let coherence = task.evaluate(&ps.read_all());
+    let m = ps.metrics();
+    println!(
+        "{scheme_name:<28} virtual time {:>12}  coherence {:>6.2}  samples {:>8}  remote samples {:>7}",
+        ps.virtual_time(),
+        coherence,
+        m.samples_drawn,
+        m.samples_remote,
+    );
+    drop(workers);
+    ps.shutdown();
+}
+
+fn main() {
+    let corpus = Arc::new(Corpus::generate(CorpusConfig {
+        vocab_size: 2_000,
+        n_sentences: 3_000,
+        sentence_len: 10,
+        n_topics: 20,
+        zipf_alpha: 1.0,
+        noise: 0.1,
+        seed: 11,
+    }));
+    println!(
+        "synthetic corpus: {} words, {} sentences, {} tokens\n",
+        corpus.config.vocab_size,
+        corpus.sentences.len(),
+        corpus.n_tokens()
+    );
+
+    let reuse = ReuseParams { pool_size: 250, use_frequency: 16 };
+    train("Independent (CONFORM)", SamplingScheme::Independent, &corpus);
+    train("Sample reuse U=16 (BOUNDED)", SamplingScheme::Reuse(reuse), &corpus);
+    train("Postponing U=16 (LONG-TERM)", SamplingScheme::ReuseWithPostponing(reuse), &corpus);
+    train("Local sampling (NON-CONFORM)", SamplingScheme::Local, &corpus);
+}

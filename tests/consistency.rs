@@ -1,0 +1,146 @@
+//! Cross-crate consistency tests: the guarantees Section 3 claims for each
+//! management technique, exercised under real thread concurrency.
+
+use nups::core::system::run_epoch;
+use nups::core::{NupsConfig, ParameterServer, PsWorker};
+use nups::sim::cost::CostModel;
+use nups::sim::topology::Topology;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn zero_cost(cfg: NupsConfig) -> NupsConfig {
+    cfg.with_cost(CostModel::zero())
+}
+
+/// Relocated keys provide per-key sequential consistency: concurrent
+/// additive pushes from every worker on every node must all be applied
+/// exactly once, while localize storms bounce ownership around.
+#[test]
+fn relocation_under_churn_loses_no_updates() {
+    let topo = Topology::new(4, 2);
+    let n_keys = 16u64;
+    let rounds = 200u64;
+    let cfg = zero_cost(NupsConfig::lapse(topo, n_keys, 1));
+    let ps = ParameterServer::new(cfg, |_, v| v.fill(0.0));
+    let mut workers = ps.workers();
+    run_epoch(&mut workers, |i, w| {
+        let mut rng = SmallRng::seed_from_u64(i as u64);
+        for round in 0..rounds {
+            let key = rng.gen_range(0..n_keys);
+            // Aggressive churn: one in four operations first relocates.
+            if round % 4 == 0 {
+                w.localize(&[key]);
+            }
+            w.push(key, &[1.0]);
+        }
+    });
+    drop(workers);
+    let total: f32 = (0..n_keys).map(|k| ps.read_value(k)[0]).sum();
+    assert_eq!(total, (topo.total_workers() as u64 * rounds) as f32);
+    ps.shutdown();
+}
+
+/// Replicated keys converge to the exact sum of all pushed deltas after a
+/// final synchronization, including under concurrent pushes from all
+/// nodes.
+#[test]
+fn replication_converges_to_exact_sum() {
+    let topo = Topology::new(4, 2);
+    let cfg = zero_cost(NupsConfig::nups(topo, 8, 2).with_replicated_keys(vec![0, 1, 2]));
+    let ps = ParameterServer::new(cfg, |_, v| v.fill(0.0));
+    let mut workers = ps.workers();
+    run_epoch(&mut workers, |_, w| {
+        for _ in 0..500 {
+            w.push(0, &[1.0, -1.0]);
+            w.push(2, &[0.5, 0.5]);
+        }
+    });
+    drop(workers);
+    ps.flush_replicas();
+    let n = topo.total_workers() as f32;
+    assert_eq!(ps.read_value(0), vec![500.0 * n, -500.0 * n]);
+    assert_eq!(ps.read_value(1), vec![0.0, 0.0]);
+    assert_eq!(ps.read_value(2), vec![250.0 * n, 250.0 * n]);
+    ps.shutdown();
+}
+
+/// Classic mode (relocation disabled) must produce the same final model as
+/// relocation mode for the same sequential workload: management technique
+/// changes performance, not semantics.
+#[test]
+fn classic_and_lapse_agree_on_sequential_workload() {
+    let run = |relocation: bool| -> Vec<Vec<f32>> {
+        let mut cfg = zero_cost(NupsConfig::lapse(Topology::new(2, 1), 10, 2));
+        cfg.relocation_enabled = relocation;
+        let ps = ParameterServer::new(cfg, |k, v| v.fill(k as f32));
+        let mut workers = ps.workers();
+        run_epoch(&mut workers, |i, w| {
+            // Worker i touches a disjoint key slice: fully deterministic.
+            let base = i as u64 * 5;
+            for round in 0..50 {
+                for k in base..base + 5 {
+                    if round % 10 == 0 {
+                        w.localize(&[k]);
+                    }
+                    w.push(k, &[1.0, 2.0]);
+                }
+            }
+        });
+        drop(workers);
+        let all = ps.read_all();
+        ps.shutdown();
+        all
+    };
+    assert_eq!(run(true), run(false));
+}
+
+/// Mixed techniques coexist: replicated and relocated keys interleaved in
+/// one workload, both exact after the final flush.
+#[test]
+fn mixed_technique_workload_is_exact() {
+    let topo = Topology::new(2, 2);
+    let cfg = zero_cost(NupsConfig::nups(topo, 20, 1).with_replicated_keys(vec![0, 10]));
+    let ps = ParameterServer::new(cfg, |_, v| v.fill(0.0));
+    let mut workers = ps.workers();
+    run_epoch(&mut workers, |i, w| {
+        let mut rng = SmallRng::seed_from_u64(42 + i as u64);
+        for _ in 0..300 {
+            let replicated_key = if rng.gen() { 0 } else { 10 };
+            w.push(replicated_key, &[1.0]);
+            let relocated_key = rng.gen_range(1..10u64);
+            if rng.gen_ratio(1, 8) {
+                w.localize(&[relocated_key]);
+            }
+            w.push(relocated_key, &[1.0]);
+        }
+    });
+    drop(workers);
+    ps.flush_replicas();
+    let total: f32 = (0..20).map(|k| ps.read_value(k)[0]).sum();
+    // 300 replicated + 300 relocated pushes per worker.
+    assert_eq!(total, (topo.total_workers() * 600) as f32);
+    ps.shutdown();
+}
+
+/// Workers blocked on in-flight transfers (relocation conflicts) must not
+/// deadlock even when every worker fights over a single key.
+#[test]
+fn single_hot_key_contention_terminates() {
+    let topo = Topology::new(4, 2);
+    let cfg = zero_cost(NupsConfig::lapse(topo, 1, 4));
+    let ps = ParameterServer::new(cfg, |_, v| v.fill(0.0));
+    let mut workers = ps.workers();
+    run_epoch(&mut workers, |_, w| {
+        let mut buf = vec![0.0; 4];
+        for _ in 0..100 {
+            w.localize(&[0]);
+            w.pull(0, &mut buf);
+            w.push(0, &[1.0; 4]);
+        }
+    });
+    drop(workers);
+    assert_eq!(ps.read_value(0), vec![800.0; 4]);
+    let m = ps.metrics();
+    assert!(m.relocations > 0, "hot key never moved");
+    ps.shutdown();
+}

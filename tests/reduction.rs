@@ -1,0 +1,77 @@
+//! The paper's "no overhead" reduction property (Section 3.2): NuPS
+//! configured as a single-technique PS must not pay for the technique it
+//! does not use — no replication messages without replicated keys, no
+//! relocation messages without relocation, no network at all on a single
+//! node.
+
+use nups::core::system::run_epoch;
+use nups::core::{NupsConfig, ParameterServer, PsWorker};
+use nups::sim::cost::CostModel;
+use nups::sim::topology::Topology;
+
+fn exercise(ps: &ParameterServer) {
+    let mut workers = ps.workers();
+    run_epoch(&mut workers, |i, w| {
+        let mut buf = vec![0.0f32; 2];
+        for k in 0..20u64 {
+            if i % 2 == 0 {
+                w.localize(&[k]);
+            }
+            w.pull(k, &mut buf);
+            w.push(k, &[1.0, 1.0]);
+            w.charge_compute(100);
+        }
+    });
+    ps.flush_replicas();
+}
+
+#[test]
+fn no_replicated_keys_means_no_sync_traffic() {
+    let cfg = NupsConfig::lapse(Topology::new(4, 2), 40, 2).with_cost(CostModel::zero());
+    let ps = ParameterServer::new(cfg, |_, v| v.fill(0.0));
+    exercise(&ps);
+    let m = ps.metrics();
+    assert_eq!(m.sync_rounds, 0);
+    assert_eq!(m.sync_bytes, 0);
+    assert_eq!(m.replica_pulls + m.replica_pushes, 0);
+    assert_eq!(ps.sync_stats().syncs_done, 0, "sync gate ran despite no replicas");
+    ps.shutdown();
+}
+
+#[test]
+fn all_keys_replicated_means_no_relocation_traffic() {
+    let keys: Vec<u64> = (0..40).collect();
+    let cfg = NupsConfig::nups(Topology::new(4, 2), 40, 2)
+        .with_cost(CostModel::zero())
+        .with_replicated_keys(keys);
+    let ps = ParameterServer::new(cfg, |_, v| v.fill(0.0));
+    exercise(&ps);
+    let m = ps.metrics();
+    assert_eq!(m.relocations, 0);
+    assert_eq!(m.remote_pulls + m.remote_pushes, 0);
+    assert_eq!(m.relocation_conflicts, 0);
+    ps.shutdown();
+}
+
+#[test]
+fn single_node_sends_nothing_over_the_network() {
+    let cfg = NupsConfig::single_node(4, 40, 2).with_cost(CostModel::zero());
+    let ps = ParameterServer::new(cfg, |_, v| v.fill(0.0));
+    exercise(&ps);
+    let m = ps.metrics();
+    assert_eq!(m.msgs_sent, 0);
+    assert_eq!(m.bytes_sent, 0);
+    assert_eq!(m.remote_pulls + m.remote_pushes, 0);
+    ps.shutdown();
+}
+
+#[test]
+fn classic_never_relocates() {
+    let cfg = NupsConfig::classic(Topology::new(4, 2), 40, 2).with_cost(CostModel::zero());
+    let ps = ParameterServer::new(cfg, |_, v| v.fill(0.0));
+    exercise(&ps);
+    let m = ps.metrics();
+    assert_eq!(m.relocations, 0, "classic PS must keep static allocation");
+    assert!(m.remote_pulls > 0, "classic PS must access remote keys over the network");
+    ps.shutdown();
+}

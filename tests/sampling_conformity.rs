@@ -1,0 +1,213 @@
+//! Statistical tests of the sampling manager's conformity guarantees
+//! (paper Section 4): first-order inclusion probabilities, dependency
+//! bounds, postponement behaviour, and the locality of local sampling.
+
+use nups::core::{
+    ConformityLevel, DistributionKind, NupsConfig, ParameterServer, PsWorker, ReuseParams,
+    SamplingScheme,
+};
+use nups::sim::cost::CostModel;
+use nups::sim::topology::{NodeId, Topology, WorkerId};
+use rustc_hash::FxHashMap;
+
+fn ps_with_scheme(
+    topo: Topology,
+    n_keys: u64,
+    kind: DistributionKind,
+    scheme: SamplingScheme,
+) -> (ParameterServer, nups::core::DistId) {
+    let cfg = NupsConfig::nups(topo, n_keys, 1).with_cost(CostModel::zero());
+    let ps = ParameterServer::new(cfg, |_, v| v.fill(1.0));
+    let dist = ps.register_distribution_with_scheme(0, n_keys, kind, scheme);
+    (ps, dist)
+}
+
+fn draw_n(w: &mut dyn PsWorker, dist: nups::core::DistId, n: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    let mut remaining = n;
+    while remaining > 0 {
+        let batch = remaining.min(200);
+        let mut h = w.prepare_sample(dist, batch);
+        for (k, _) in w.pull_sample(&mut h, batch) {
+            out.push(k);
+        }
+        remaining -= batch;
+    }
+    out
+}
+
+/// Chi-square-style check that empirical frequencies match the target.
+fn frequencies_match(samples: &[u64], weights: &[f64]) -> bool {
+    let total_w: f64 = weights.iter().sum();
+    let n = samples.len() as f64;
+    let mut counts = vec![0u64; weights.len()];
+    for &s in samples {
+        counts[s as usize] += 1;
+    }
+    let mut chi2 = 0.0;
+    let mut dof = 0;
+    for (c, w) in counts.iter().zip(weights) {
+        let expect = w / total_w * n;
+        if expect >= 5.0 {
+            chi2 += (*c as f64 - expect).powi(2) / expect;
+            dof += 1;
+        }
+    }
+    chi2 < 2.0 * dof as f64 + 30.0
+}
+
+/// L1 (CONFORM): independent sampling matches the target distribution.
+#[test]
+fn conform_first_order_inclusion_matches_target() {
+    let weights: Vec<f64> = (1..=50).map(|i| 1.0 / i as f64).collect();
+    let (ps, dist) = ps_with_scheme(
+        Topology::new(2, 1),
+        50,
+        DistributionKind::Weighted(weights.clone()),
+        SamplingScheme::Independent,
+    );
+    let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+    let samples = draw_n(&mut w, dist, 60_000);
+    assert!(frequencies_match(&samples, &weights), "CONFORM frequencies off");
+    drop(w);
+    ps.shutdown();
+}
+
+/// L2 (BOUNDED): pooled reuse still matches first-order inclusion
+/// probabilities, every pool key is used exactly U times, and the
+/// dependency window stays within U·G.
+#[test]
+fn bounded_reuse_matches_target_and_bounds_dependencies() {
+    let weights: Vec<f64> = (1..=50).map(|i| 1.0 / i as f64).collect();
+    let params = ReuseParams { pool_size: 20, use_frequency: 4 };
+    let (ps, dist) = ps_with_scheme(
+        Topology::new(2, 1),
+        50,
+        DistributionKind::Weighted(weights.clone()),
+        SamplingScheme::Reuse(params),
+    );
+    let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+    let samples = draw_n(&mut w, dist, 60_000);
+    // First-order inclusion matches π, but samples are *clustered*: each
+    // iid pool draw is emitted exactly U times, which inflates count
+    // variance by U and would fail a naive chi-square. Test the
+    // de-clustered draws instead (counts / U are the iid pool draws).
+    let mut draw_counts = vec![0u64; 50];
+    for &s in &samples {
+        draw_counts[s as usize] += 1;
+    }
+    let pool_draws: Vec<u64> = draw_counts
+        .iter()
+        .enumerate()
+        .flat_map(|(k, &c)| {
+            assert_eq!(
+                c % params.use_frequency as u64,
+                0,
+                "key {k} used {c} times, not a multiple of U"
+            );
+            std::iter::repeat_n(k as u64, (c / params.use_frequency as u64) as usize)
+        })
+        .collect();
+    assert!(frequencies_match(&pool_draws, &weights), "BOUNDED first-order inclusion off");
+
+    drop(w);
+    ps.shutdown();
+
+    // Dependency window, tested where key collisions inside a pool are
+    // negligible (uniform π over many keys): any window of U·G
+    // consecutive samples holds at most ~2·U occurrences of one key (a
+    // key can straddle one pool boundary; rare collisions allow a third).
+    let (ps, dist) = ps_with_scheme(
+        Topology::new(2, 1),
+        10_000,
+        DistributionKind::Uniform,
+        SamplingScheme::Reuse(params),
+    );
+    let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+    let samples = draw_n(&mut w, dist, 40_000);
+    let bound = params.pool_size * params.use_frequency;
+    for window in samples.chunks(bound) {
+        let mut counts: FxHashMap<u64, usize> = FxHashMap::default();
+        for &k in window {
+            *counts.entry(k).or_default() += 1;
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        assert!(
+            max <= 3 * params.use_frequency,
+            "key used {max} times inside one dependency window"
+        );
+    }
+    drop(w);
+    ps.shutdown();
+}
+
+/// L3 (LONG-TERM): postponing postpones each sample at most once, never
+/// loses samples, and long-run frequencies still match the target.
+#[test]
+fn longterm_postponing_loses_no_samples() {
+    let n_keys = 200u64;
+    let (ps, dist) = ps_with_scheme(
+        Topology::new(2, 1),
+        n_keys,
+        DistributionKind::Uniform,
+        SamplingScheme::ReuseWithPostponing(ReuseParams { pool_size: 25, use_frequency: 4 }),
+    );
+    let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+    let mut total = 0usize;
+    for _ in 0..100 {
+        let mut h = w.prepare_sample(dist, 40);
+        // Partial pulls so postponing has room to reorder.
+        for _ in 0..4 {
+            total += w.pull_sample(&mut h, 10).len();
+        }
+        assert_eq!(h.remaining(), 0, "samples lost in handle");
+    }
+    assert_eq!(total, 4000, "postponing must deliver every requested sample");
+    drop(w);
+    let m = ps.metrics();
+    assert_eq!(m.samples_drawn, 4000);
+    ps.shutdown();
+}
+
+/// L4 (NON-CONFORM): local sampling never touches the network.
+#[test]
+fn local_sampling_is_free_of_network_traffic() {
+    let (ps, dist) = ps_with_scheme(
+        Topology::new(4, 1),
+        1000,
+        DistributionKind::Uniform,
+        SamplingScheme::Local,
+    );
+    let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+    let samples = draw_n(&mut w, dist, 5000);
+    assert_eq!(samples.len(), 5000);
+    drop(w);
+    let m = ps.metrics();
+    assert_eq!(m.samples_remote, 0, "local sampling reached the network");
+    assert_eq!(m.remote_pulls, 0);
+    // With a static allocation (no relocation happened), node 0 only ever
+    // sees its own partition: the NON-CONFORM bias the paper warns about
+    // (Figure 10c's "local sampling with static allocation").
+    let max_key = samples.iter().max().copied().unwrap();
+    assert!(max_key < 250, "node 0 sampled key {max_key} outside its partition");
+    ps.shutdown();
+}
+
+/// The hierarchy: the manager never selects a scheme weaker than the
+/// requested level.
+#[test]
+fn manager_scheme_selection_respects_hierarchy() {
+    for level in [
+        ConformityLevel::Conform,
+        ConformityLevel::Bounded,
+        ConformityLevel::LongTerm,
+        ConformityLevel::NonConform,
+    ] {
+        let cfg = NupsConfig::nups(Topology::new(1, 1), 10, 1).with_cost(CostModel::zero());
+        let ps = ParameterServer::new(cfg, |_, v| v.fill(0.0));
+        let _ = ps.register_distribution(0, 10, DistributionKind::Uniform, level);
+        let scheme = SamplingScheme::for_level(level, ReuseParams::default());
+        assert!(scheme.provides().satisfies(level));
+        ps.shutdown();
+    }
+}

@@ -1,0 +1,152 @@
+//! Properties of the virtual-time performance model: determinism,
+//! ordering between techniques, and the cost asymmetries the paper's
+//! analysis in Section 3.1 relies on.
+
+use nups::core::system::run_epoch;
+use nups::core::{NupsConfig, ParameterServer, PsWorker};
+use nups::sim::cost::CostModel;
+use nups::sim::time::SimTime;
+use nups::sim::topology::{NodeId, Topology, WorkerId};
+
+/// A deterministic single-worker workload yields bit-identical virtual
+/// time and model state across runs.
+#[test]
+fn single_worker_run_is_deterministic() {
+    let run = || -> (SimTime, Vec<Vec<f32>>) {
+        let cfg = NupsConfig::lapse(Topology::new(2, 1), 20, 2);
+        let ps = ParameterServer::new(cfg, |k, v| v.fill(k as f32));
+        let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+        let mut buf = vec![0.0f32; 2];
+        for round in 0..30 {
+            for k in 0..20u64 {
+                if round % 5 == 0 {
+                    w.localize(&[k]);
+                }
+                w.pull(k, &mut buf);
+                w.push(k, &[0.5, 0.5]);
+                w.charge_compute(1000);
+            }
+        }
+        let t = w.now();
+        drop(w);
+        let model = ps.read_all();
+        ps.shutdown();
+        (t, model)
+    };
+    let (t1, m1) = run();
+    let (t2, m2) = run();
+    assert_eq!(t1, t2, "virtual time must be deterministic");
+    assert_eq!(m1, m2, "model must be deterministic");
+    assert!(t1 > SimTime::ZERO);
+}
+
+/// Section 3.1's cost ordering for a *remote* key: classic pays a round
+/// trip per access; relocation pays once and then accesses locally;
+/// replication pays nothing at access time.
+#[test]
+fn technique_cost_ordering_for_repeated_access() {
+    let accesses = 100;
+    let workload = |cfg: NupsConfig, localize_first: bool| -> u64 {
+        let ps = ParameterServer::new(cfg, |_, v| v.fill(0.0));
+        let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+        // Key 9 is homed at node 1 of 2.
+        if localize_first {
+            w.localize(&[9]);
+        }
+        let mut buf = vec![0.0f32; 4];
+        for _ in 0..accesses {
+            w.pull(9, &mut buf);
+            w.push(9, &[1.0; 4]);
+        }
+        let t = w.now().as_nanos();
+        drop(w);
+        ps.shutdown();
+        t
+    };
+    let topo = Topology::new(2, 1);
+    let classic = workload(NupsConfig::classic(topo, 10, 4), false);
+    let lapse = workload(NupsConfig::lapse(topo, 10, 4), true);
+    let nups_repl =
+        workload(NupsConfig::nups(topo, 10, 4).with_replicated_keys(vec![9]), false);
+
+    assert!(
+        classic > 10 * lapse,
+        "classic ({classic}ns) must dwarf relocation ({lapse}ns) on repeated access"
+    );
+    assert!(
+        lapse > nups_repl,
+        "relocation ({lapse}ns) must cost more than replication ({nups_repl}ns) here"
+    );
+    // Classic pays ~2 messages per access.
+    let per_access = classic / accesses;
+    let round_trip = CostModel::cluster_default().round_trip(50, 50).as_nanos();
+    assert!(
+        per_access as f64 > 0.8 * round_trip as f64,
+        "classic per-access cost {per_access} vs round trip {round_trip}"
+    );
+}
+
+/// More workers make the virtual epoch shorter when work is
+/// embarrassingly parallel — the basis of every scalability figure.
+#[test]
+fn virtual_makespan_scales_with_workers() {
+    let epoch_time = |workers: u16| -> u64 {
+        let cfg = NupsConfig::single_node(workers, 64, 2);
+        let ps = ParameterServer::new(cfg, |_, v| v.fill(0.0));
+        let mut ws = ps.workers();
+        let total_points = 9600usize;
+        let per_worker = total_points / workers as usize;
+        run_epoch(&mut ws, |_, w| {
+            let mut buf = vec![0.0f32; 2];
+            for i in 0..per_worker {
+                w.pull((i % 64) as u64, &mut buf);
+                w.charge_compute(10_000);
+            }
+        });
+        drop(ws);
+        let t = ps.virtual_time().as_nanos();
+        ps.shutdown();
+        t
+    };
+    let t1 = epoch_time(1);
+    let t4 = epoch_time(4);
+    let speedup = t1 as f64 / t4 as f64;
+    assert!(
+        (3.5..=4.5).contains(&speedup),
+        "expected ~4x virtual speedup from 4 workers, got {speedup:.2}"
+    );
+}
+
+/// The congestion model: remote accesses get more expensive while replica
+/// sync saturates the network (Section 5.6's bandwidth competition).
+#[test]
+fn sync_congestion_inflates_remote_access_cost() {
+    // Run with an absurdly slow network so sync dominates the window and
+    // the gate's busy fraction (the congestion multiplier input) engages.
+    let topo = Topology::new(2, 1);
+    let slow = CostModel { network_bandwidth: 1e4, ..CostModel::cluster_default() };
+    let keys: Vec<u64> = (0..32).collect();
+    let cfg = NupsConfig::nups(topo, 64, 8)
+        .with_cost(slow)
+        .with_replicated_keys(keys)
+        .with_sync_period(nups::sim::time::SimDuration::from_micros(100));
+    let ps = ParameterServer::new(cfg, |_, v| v.fill(0.0));
+    let mut ws = ps.workers();
+    run_epoch(&mut ws, |_, w| {
+        for round in 0..50 {
+            for k in 0..32u64 {
+                w.push(k, &[1.0; 8]);
+            }
+            w.charge_compute(1_000_000);
+            let _ = round;
+        }
+    });
+    drop(ws);
+    let stats = ps.sync_stats();
+    assert!(stats.syncs_done > 0, "sync never ran");
+    assert!(
+        stats.total_sync_time.as_nanos() > 0,
+        "sync must accumulate modelled time on a slow network"
+    );
+    ps.shutdown();
+}
