@@ -33,9 +33,7 @@ fn bench_access(c: &mut Criterion) {
         let ps = ParameterServer::new(cfg, |_, v| v.fill(1.0));
         let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
         let mut buf = vec![0.0f32; VALUE_LEN];
-        g.bench_function("pull_local_relocated", |b| {
-            b.iter(|| w.pull(black_box(7), &mut buf))
-        });
+        g.bench_function("pull_local_relocated", |b| b.iter(|| w.pull(black_box(7), &mut buf)));
         g.bench_function("push_local_relocated", |b| {
             b.iter(|| w.push(black_box(7), black_box(&buf)))
         });
@@ -52,9 +50,7 @@ fn bench_access(c: &mut Criterion) {
         let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
         let mut buf = vec![0.0f32; VALUE_LEN];
         g.bench_function("pull_replicated", |b| b.iter(|| w.pull(black_box(7), &mut buf)));
-        g.bench_function("push_replicated", |b| {
-            b.iter(|| w.push(black_box(7), black_box(&buf)))
-        });
+        g.bench_function("push_replicated", |b| b.iter(|| w.push(black_box(7), black_box(&buf))));
         drop(w);
         ps.shutdown();
     }
@@ -67,9 +63,7 @@ fn bench_access(c: &mut Criterion) {
         let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
         let mut buf = vec![0.0f32; VALUE_LEN];
         // Key 900 is homed at node 1.
-        g.bench_function("pull_remote_roundtrip", |b| {
-            b.iter(|| w.pull(black_box(900), &mut buf))
-        });
+        g.bench_function("pull_remote_roundtrip", |b| b.iter(|| w.pull(black_box(900), &mut buf)));
         drop(w);
         ps.shutdown();
     }
@@ -83,10 +77,7 @@ fn bench_sampling(c: &mut Criterion) {
         ("reuse_u16", SamplingScheme::Reuse(ReuseParams { pool_size: 250, use_frequency: 16 })),
         (
             "postponing_u16",
-            SamplingScheme::ReuseWithPostponing(ReuseParams {
-                pool_size: 250,
-                use_frequency: 16,
-            }),
+            SamplingScheme::ReuseWithPostponing(ReuseParams { pool_size: 250, use_frequency: 16 }),
         ),
         ("local", SamplingScheme::Local),
     ];
@@ -116,10 +107,9 @@ fn bench_alias(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     g.bench_function("alias_sample", |b| b.iter(|| black_box(alias.sample(&mut rng))));
     g.bench_function("cdf_binary_search_sample", |b| b.iter(|| black_box(cdf.sample(&mut rng))));
-    g.bench_function(
-        "alias_build_100k",
-        |b| b.iter(|| black_box(AliasTable::new(black_box(&weights.clone())))),
-    );
+    g.bench_function("alias_build_100k", |b| {
+        b.iter(|| black_box(AliasTable::new(black_box(&weights.clone()))))
+    });
     g.finish();
 }
 
@@ -169,12 +159,5 @@ fn bench_allreduce(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_access,
-    bench_sampling,
-    bench_alias,
-    bench_store,
-    bench_allreduce
-);
+criterion_group!(benches, bench_access, bench_sampling, bench_alias, bench_store, bench_allreduce);
 criterion_main!(benches);

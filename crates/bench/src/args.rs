@@ -13,10 +13,10 @@ pub struct Args {
 
 impl Args {
     pub fn parse() -> Args {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_from(std::env::args().skip(1))
     }
 
-    pub fn from_iter(iter: impl IntoIterator<Item = String>) -> Args {
+    pub fn parse_from(iter: impl IntoIterator<Item = String>) -> Args {
         let mut pairs = Vec::new();
         let mut it = iter.into_iter().peekable();
         while let Some(arg) = it.next() {
@@ -78,7 +78,7 @@ mod tests {
     use super::*;
 
     fn args(s: &str) -> Args {
-        Args::from_iter(s.split_whitespace().map(|x| x.to_string()))
+        Args::parse_from(s.split_whitespace().map(|x| x.to_string()))
     }
 
     #[test]

@@ -64,7 +64,9 @@ impl BareMetal {
                 clock: self.clocks.worker_clock(w),
                 cost: self.cost,
                 value_len: self.value_len,
-                rng: SmallRng::seed_from_u64(0xBA7E ^ self.clocks.topology().worker_index(w) as u64),
+                rng: SmallRng::seed_from_u64(
+                    0xBA7E ^ self.clocks.topology().worker_index(w) as u64,
+                ),
             })
             .collect()
     }
@@ -93,8 +95,7 @@ impl BareWorker {
     /// constant.
     fn charge_raw_access(&mut self) {
         let bytes = 4 * self.value_len;
-        self.clock
-            .advance(SimDuration::from_secs_f64(bytes as f64 / self.cost.memory_bandwidth));
+        self.clock.advance(SimDuration::from_secs_f64(bytes as f64 / self.cost.memory_bandwidth));
     }
 }
 

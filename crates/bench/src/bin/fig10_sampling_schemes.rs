@@ -5,7 +5,9 @@
 //! Usage: cargo run --release -p nups-bench --bin fig10_sampling_schemes -- \
 //!   [--task kge|wv] [--nodes 4] [--workers 2] [--epochs 5] [--scale small]
 
-use nups_bench::report::{fmt_duration, fmt_quality, fmt_speedup, print_series, print_table, raw_speedup};
+use nups_bench::report::{
+    fmt_duration, fmt_quality, fmt_speedup, print_series, print_table, raw_speedup,
+};
 use nups_bench::{build_task, run, Args, RunConfig, TaskKind, VariantSpec};
 
 fn main() {

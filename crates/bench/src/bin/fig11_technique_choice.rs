@@ -12,8 +12,7 @@ use nups_bench::runner::replicated_keys_for;
 use nups_bench::variant::VariantKind;
 use nups_bench::{build_task, run, Args, RunConfig, VariantSpec};
 
-const FACTORS: [f64; 9] =
-    [0.0, 1.0 / 64.0, 1.0 / 16.0, 0.25, 1.0, 4.0, 16.0, 64.0, 256.0];
+const FACTORS: [f64; 9] = [0.0, 1.0 / 64.0, 1.0 / 16.0, 0.25, 1.0, 4.0, 16.0, 64.0, 256.0];
 
 fn main() {
     let args = Args::parse();
@@ -41,8 +40,7 @@ fn main() {
             }
             // Table 3 columns.
             let key_share = 100.0 * r.replicated_keys as f64 / task.n_keys() as f64;
-            let replica_mb =
-                r.replicated_keys as f64 * task.value_len() as f64 * 4.0 / 1e6;
+            let replica_mb = r.replicated_keys as f64 * task.value_len() as f64 * 4.0 / 1e6;
             let total_accesses = r.metrics.local_pulls
                 + r.metrics.remote_pulls
                 + r.metrics.local_pushes

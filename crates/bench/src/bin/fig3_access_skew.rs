@@ -67,13 +67,14 @@ fn wv_trace(scale: Scale) -> AccessTrace {
     for sent in &corpus.sentences {
         for (i, &center) in sent.iter().enumerate() {
             let b = 1 + (i % window);
-            for j in i.saturating_sub(b)..(i + b + 1).min(sent.len()) {
+            let (lo, hi) = (i.saturating_sub(b), (i + b + 1).min(sent.len()));
+            for (j, &ctx) in sent.iter().enumerate().take(hi).skip(lo) {
                 if j == i {
                     continue;
                 }
                 // Direct: input vector of the center, output of context.
                 trace.record_direct(center as usize, 2);
-                trace.record_direct(v + sent[j] as usize, 2);
+                trace.record_direct(v + ctx as usize, 2);
                 // Sampling: n_neg negatives from the output layer.
                 for _ in 0..n_neg {
                     trace.record_sampling(v + noise.sample(&mut rng), 2);
@@ -101,11 +102,7 @@ fn report(name: &str, trace: &AccessTrace) {
         .into_iter()
         .map(|(rank, total)| vec![format!("{rank}"), format!("{total}")])
         .collect();
-    print_table(
-        &format!("accesses per parameter, by rank ({name})"),
-        &["rank", "accesses"],
-        &rows,
-    );
+    print_table(&format!("accesses per parameter, by rank ({name})"), &["rank", "accesses"], &rows);
 }
 
 fn main() {

@@ -33,7 +33,12 @@ fn main() {
             VariantSpec::nups_tuned(task.name()),
         ];
 
-        println!("\n##### Figure 6 — task {} on {} nodes x {} workers #####", task.name(), topology.n_nodes, topology.workers_per_node);
+        println!(
+            "\n##### Figure 6 — task {} on {} nodes x {} workers #####",
+            task.name(),
+            topology.n_nodes,
+            topology.workers_per_node
+        );
         let mut results = Vec::new();
         for v in &variants {
             eprintln!("[fig6] {} / {}", task.name(), v.name);

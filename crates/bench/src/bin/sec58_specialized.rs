@@ -43,11 +43,8 @@ fn main() {
 
         // NuPS on a single node and on the cluster.
         let single = run(&factory, &VariantSpec::single_node(), &RunConfig::new(topology, epochs));
-        let nups = run(
-            &factory,
-            &VariantSpec::nups_tuned(kind.name()),
-            &RunConfig::new(topology, epochs),
-        );
+        let nups =
+            run(&factory, &VariantSpec::nups_tuned(kind.name()), &RunConfig::new(topology, epochs));
 
         let rows = vec![
             vec![

@@ -69,7 +69,5 @@ fn main() {
         &["task", "model", "dataset", "keys", "values", "MB", "direct", "sampling"],
         &rows,
     );
-    println!(
-        "\n(Paper, full scale: KGE 69%/31%, WV 44%/56%, MF 100%/0% direct/sampling.)"
-    );
+    println!("\n(Paper, full scale: KGE 69%/31%, WV 44%/56%, MF 100%/0% direct/sampling.)");
 }

@@ -15,8 +15,7 @@ use nups_bench::runner::replicated_keys_for;
 use nups_bench::variant::VariantKind;
 use nups_bench::{build_task, run, Args, RunConfig, VariantSpec};
 
-const FACTORS: [f64; 9] =
-    [0.0, 1.0 / 64.0, 1.0 / 16.0, 0.25, 1.0, 4.0, 16.0, 64.0, 256.0];
+const FACTORS: [f64; 9] = [0.0, 1.0 / 64.0, 1.0 / 16.0, 0.25, 1.0, 4.0, 16.0, 64.0, 256.0];
 
 fn main() {
     let args = Args::parse();
@@ -37,7 +36,11 @@ fn main() {
             let key_share = 100.0 * keys.len() as f64 / task.n_keys() as f64;
             let replica_mb = keys.len() as f64 * task.value_len() as f64 * 4.0 / 1e6;
             let access_share = if static_only || keys.is_empty() {
-                if keys.is_empty() { Some(0.0) } else { None }
+                if keys.is_empty() {
+                    Some(0.0)
+                } else {
+                    None
+                }
             } else {
                 eprintln!("[table3] {} / factor {factor}", kind.name());
                 let r = run(&factory, &spec, &cfg);

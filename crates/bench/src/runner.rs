@@ -286,10 +286,6 @@ fn run_ssp(
 }
 
 /// Convenience: run a list of variants against one task factory.
-pub fn run_all(
-    factory: TaskFactory,
-    variants: &[VariantSpec],
-    cfg: &RunConfig,
-) -> Vec<RunResult> {
+pub fn run_all(factory: TaskFactory, variants: &[VariantSpec], cfg: &RunConfig) -> Vec<RunResult> {
     variants.iter().map(|v| run(factory, v, cfg)).collect()
 }

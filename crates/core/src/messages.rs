@@ -211,45 +211,35 @@ impl WireEncode for Msg {
     fn decode(buf: &mut Bytes) -> Result<Msg, CodecError> {
         let t = get_u8(buf)?;
         Ok(match t {
-            tag::PULL_REQ => Msg::PullReq {
-                key: get_u64(buf)?,
-                reply_to: get_addr(buf)?,
-                hops: get_u8(buf)?,
-            },
+            tag::PULL_REQ => {
+                Msg::PullReq { key: get_u64(buf)?, reply_to: get_addr(buf)?, hops: get_u8(buf)? }
+            }
             tag::PUSH_REQ => Msg::PushReq {
                 key: get_u64(buf)?,
                 delta: get_f32_vec(buf)?,
                 reply_to: get_addr(buf)?,
                 hops: get_u8(buf)?,
             },
-            tag::PULL_RESP => Msg::PullResp {
-                key: get_u64(buf)?,
-                value: get_f32_vec(buf)?,
-                hops: get_u8(buf)?,
-            },
+            tag::PULL_RESP => {
+                Msg::PullResp { key: get_u64(buf)?, value: get_f32_vec(buf)?, hops: get_u8(buf)? }
+            }
             tag::PUSH_ACK => Msg::PushAck { key: get_u64(buf)?, hops: get_u8(buf)? },
-            tag::LOCALIZE_REQ => Msg::LocalizeReq {
-                key: get_u64(buf)?,
-                requester: NodeId(get_u16(buf)?),
-            },
-            tag::FORWARD_LOCALIZE => Msg::ForwardLocalize {
-                key: get_u64(buf)?,
-                requester: NodeId(get_u16(buf)?),
-            },
+            tag::LOCALIZE_REQ => {
+                Msg::LocalizeReq { key: get_u64(buf)?, requester: NodeId(get_u16(buf)?) }
+            }
+            tag::FORWARD_LOCALIZE => {
+                Msg::ForwardLocalize { key: get_u64(buf)?, requester: NodeId(get_u16(buf)?) }
+            }
             tag::TRANSFER => Msg::Transfer { key: get_u64(buf)?, value: get_f32_vec(buf)? },
             tag::SSP_PULL_REQ => Msg::SspPullReq { key: get_u64(buf)?, reply_to: get_addr(buf)? },
-            tag::SSP_PULL_RESP => {
-                Msg::SspPullResp { key: get_u64(buf)?, value: get_f32_vec(buf)? }
+            tag::SSP_PULL_RESP => Msg::SspPullResp { key: get_u64(buf)?, value: get_f32_vec(buf)? },
+            tag::SSP_FLUSH => {
+                Msg::SspFlush { from: NodeId(get_u16(buf)?), updates: get_updates(buf)? }
             }
-            tag::SSP_FLUSH => Msg::SspFlush {
-                from: NodeId(get_u16(buf)?),
-                updates: get_updates(buf)?,
-            },
             tag::SSP_BROADCAST => Msg::SspBroadcast { updates: get_updates(buf)? },
-            tag::SSP_SUBSCRIBE => Msg::SspSubscribe {
-                from: NodeId(get_u16(buf)?),
-                keys: codec::get_u64_vec(buf)?,
-            },
+            tag::SSP_SUBSCRIBE => {
+                Msg::SspSubscribe { from: NodeId(get_u16(buf)?), keys: codec::get_u64_vec(buf)? }
+            }
             tag::STOP => Msg::Stop,
             other => return Err(CodecError::UnknownTag(other)),
         })
@@ -309,25 +299,26 @@ mod tests {
     }
 
     fn arb_msg() -> impl Strategy<Value = Msg> {
-        let val = proptest::collection::vec(any::<f32>().prop_filter("finite", |f| f.is_finite()), 0..50);
-        let addr = (any::<u16>(), any::<u16>())
-            .prop_map(|(n, p)| Addr { node: NodeId(n), port: p });
+        let val =
+            proptest::collection::vec(any::<f32>().prop_filter("finite", |f| f.is_finite()), 0..50);
+        let addr =
+            (any::<u16>(), any::<u16>()).prop_map(|(n, p)| Addr { node: NodeId(n), port: p });
         prop_oneof![
             (any::<u64>(), addr.clone(), any::<u8>())
                 .prop_map(|(key, reply_to, hops)| Msg::PullReq { key, reply_to, hops }),
-            (any::<u64>(), val.clone(), addr, any::<u8>()).prop_map(|(key, delta, reply_to, hops)| {
-                Msg::PushReq { key, delta, reply_to, hops }
+            (any::<u64>(), val.clone(), addr, any::<u8>()).prop_map(
+                |(key, delta, reply_to, hops)| { Msg::PushReq { key, delta, reply_to, hops } }
+            ),
+            (any::<u64>(), val.clone(), any::<u8>()).prop_map(|(key, value, hops)| Msg::PullResp {
+                key,
+                value,
+                hops
             }),
-            (any::<u64>(), val.clone(), any::<u8>())
-                .prop_map(|(key, value, hops)| Msg::PullResp { key, value, hops }),
             (any::<u64>(), val.clone()).prop_map(|(key, value)| Msg::Transfer { key, value }),
             (any::<u16>(), proptest::collection::vec((any::<u64>(), val), 0..8)).prop_map(
                 |(from, kv)| Msg::SspFlush {
                     from: NodeId(from),
-                    updates: kv
-                        .into_iter()
-                        .map(|(key, delta)| KeyUpdate { key, delta })
-                        .collect(),
+                    updates: kv.into_iter().map(|(key, delta)| KeyUpdate { key, delta }).collect(),
                 }
             ),
         ]

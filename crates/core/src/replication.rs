@@ -43,11 +43,7 @@ impl ReplicaSet {
             slots: initial
                 .iter()
                 .map(|v| {
-                    Mutex::new(Slot {
-                        value: v.clone(),
-                        accum: vec![0.0; v.len()],
-                        dirty: false,
-                    })
+                    Mutex::new(Slot { value: v.clone(), accum: vec![0.0; v.len()], dirty: false })
                 })
                 .collect(),
             clip_policy,

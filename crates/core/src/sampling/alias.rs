@@ -20,10 +20,7 @@ impl AliasTable {
     /// an empty table, all-zero weights, or non-finite weights.
     pub fn new(weights: &[f64]) -> AliasTable {
         assert!(!weights.is_empty(), "alias table needs at least one outcome");
-        assert!(
-            weights.len() <= u32::MAX as usize,
-            "alias table outcome space exceeds u32"
-        );
+        assert!(weights.len() <= u32::MAX as usize, "alias table outcome space exceeds u32");
         let n = weights.len();
         let total: f64 = weights
             .iter()

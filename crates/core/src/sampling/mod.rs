@@ -78,7 +78,12 @@ pub struct Distribution {
 pub struct DistId(pub usize);
 
 impl Distribution {
-    pub fn new(base_key: Key, n: u64, kind: DistributionKind, level: ConformityLevel) -> Distribution {
+    pub fn new(
+        base_key: Key,
+        n: u64,
+        kind: DistributionKind,
+        level: ConformityLevel,
+    ) -> Distribution {
         assert!(n > 0, "empty sampling range");
         let table = match kind {
             DistributionKind::Uniform => AliasTable::uniform(n as usize),
@@ -202,12 +207,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "cover the key range")]
     fn weight_length_mismatch_panics() {
-        Distribution::new(
-            0,
-            4,
-            DistributionKind::Weighted(vec![1.0; 3]),
-            ConformityLevel::Conform,
-        );
+        Distribution::new(0, 4, DistributionKind::Weighted(vec![1.0; 3]), ConformityLevel::Conform);
     }
 
     #[test]

@@ -168,8 +168,10 @@ impl Server {
 
     /// Third message: the value arrives; serve everything that queued up.
     fn handle_transfer(&mut self, key: Key, value: Vec<f32>, at: SimTime) {
-        let out = self.state.store.install(key, value);
+        // Count before installing: install wakes workers blocked on the
+        // key, and an observer must not see the wake before the count.
         self.shared.metrics.node(self.me()).inc(|m| &m.relocations);
+        let out = self.state.store.install(key, value);
         for (value, reply_to, hops) in out.pull_replies {
             let resp = Msg::PullResp { key, value, hops: hops.saturating_add(1) };
             self.send(reply_to, at, &resp);

@@ -67,7 +67,12 @@ pub struct SspConfig {
 }
 
 impl SspConfig {
-    pub fn new(topology: Topology, n_keys: u64, value_len: usize, protocol: SspProtocol) -> SspConfig {
+    pub fn new(
+        topology: Topology,
+        n_keys: u64,
+        value_len: usize,
+        protocol: SspProtocol,
+    ) -> SspConfig {
         SspConfig {
             topology,
             n_keys,
@@ -194,11 +199,8 @@ impl SspPs {
     pub fn worker(&self, id: WorkerId) -> SspWorker {
         let endpoint = self.shared.network.bind(Addr::worker(id.node, id.local));
         let clock = self.shared.clocks.worker_clock(id);
-        let seed = self
-            .shared
-            .cfg
-            .seed
-            .wrapping_add(1 + self.shared.cfg.topology.worker_index(id) as u64);
+        let seed =
+            self.shared.cfg.seed.wrapping_add(1 + self.shared.cfg.topology.worker_index(id) as u64);
         SspWorker {
             id,
             node: Arc::clone(&self.shared.nodes[id.node.index()]),
@@ -278,14 +280,16 @@ fn run_ssp_server(shared: Arc<SspShared>, me: NodeId, endpoint: Endpoint) {
             Err(_) => continue,
         };
         match msg {
-            Msg::SspPullReq { key, reply_to } => {
-                match state.store.server_pull(key, reply_to, 1) {
-                    ServerAccess::Served(Some(value)) => {
-                        endpoint.send(reply_to, frame.sent_at, Msg::SspPullResp { key, value }.to_bytes());
-                    }
-                    _ => debug_assert!(false, "SSP key {key} not at home {me}"),
+            Msg::SspPullReq { key, reply_to } => match state.store.server_pull(key, reply_to, 1) {
+                ServerAccess::Served(Some(value)) => {
+                    endpoint.send(
+                        reply_to,
+                        frame.sent_at,
+                        Msg::SspPullResp { key, value }.to_bytes(),
+                    );
                 }
-            }
+                _ => debug_assert!(false, "SSP key {key} not at home {me}"),
+            },
             Msg::SspFlush { from, updates } => {
                 // Apply, then (ESSP) propagate to subscribers.
                 let mut per_subscriber: FxHashMap<NodeId, Vec<KeyUpdate>> = FxHashMap::default();
@@ -307,9 +311,10 @@ fn run_ssp_server(shared: Arc<SspShared>, me: NodeId, endpoint: Endpoint) {
                     let bytes = msg.encoded_len();
                     endpoint.send(Addr::server(dst), frame.sent_at, msg.to_bytes());
                     // Eager propagation is background server work.
-                    state
-                        .background_busy
-                        .fetch_add(shared.cfg.cost.message(bytes).as_nanos(), std::sync::atomic::Ordering::Relaxed);
+                    state.background_busy.fetch_add(
+                        shared.cfg.cost.message(bytes).as_nanos(),
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
                 }
             }
             Msg::SspBroadcast { updates } => {
@@ -422,7 +427,9 @@ impl PsWorker for SspWorker {
         let fresh_enough = {
             let cache = self.node.cache.lock();
             match cache.get(&key) {
-                Some(e) if e.subscribed || e.tag + self.shared.cfg.staleness >= self.logical_clock => {
+                Some(e)
+                    if e.subscribed || e.tag + self.shared.cfg.staleness >= self.logical_clock =>
+                {
                     out.copy_from_slice(&e.value);
                     true
                 }
@@ -535,9 +542,8 @@ mod tests {
 
     #[test]
     fn pull_caches_and_serves_stale_reads() {
-        let ps = SspPs::new(zero_cfg(Topology::new(2, 1), SspProtocol::Ssp), |k, v| {
-            v.fill(k as f32)
-        });
+        let ps =
+            SspPs::new(zero_cfg(Topology::new(2, 1), SspProtocol::Ssp), |k, v| v.fill(k as f32));
         let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
         let mut buf = vec![0.0; 2];
         w.pull(7, &mut buf); // key 7 homed at node 1 → refresh

@@ -43,7 +43,14 @@ pub enum QueuedOp {
 /// State of one key at one node.
 #[derive(Debug)]
 enum Entry {
-    Local(Vec<f32>),
+    Local {
+        value: Vec<f32>,
+        /// Virtual time at which the value became available here: ZERO for
+        /// seeded keys, the transfer's expected completion for installed
+        /// ones. Workers racing a real-time install use it so the virtual
+        /// charge does not depend on which side of the install they land.
+        available_at: SimTime,
+    },
     InFlightIn {
         /// Estimated virtual completion time of the inbound transfer, used
         /// to price local waits.
@@ -60,8 +67,12 @@ enum Entry {
 
 /// Outcome of a local (same-node worker) access attempt.
 pub enum LocalAccess<R> {
-    /// The key was local; the closure ran under the latch.
-    Done(R),
+    /// The key was local; the closure ran under the latch. The time is the
+    /// virtual instant the value became available at this node (ZERO for
+    /// keys that did not arrive by relocation), so callers can charge a
+    /// wait consistent with the in-flight path regardless of real-time
+    /// install races.
+    Done(R, SimTime),
     /// The key is being relocated here; `expected_at` prices the wait.
     InFlight(SimTime),
     /// The key is elsewhere; `Some(node)` if a tombstone names the owner.
@@ -136,7 +147,11 @@ impl Store {
 
     /// Pre-populate an owned key (setup: home node seeds its range).
     pub fn seed(&self, key: Key, value: Vec<f32>) {
-        let prev = self.shard(key).map.lock().insert(key, Entry::Local(value));
+        let prev = self
+            .shard(key)
+            .map
+            .lock()
+            .insert(key, Entry::Local { value, available_at: SimTime::ZERO });
         debug_assert!(prev.is_none(), "key {key} seeded twice");
     }
 
@@ -144,7 +159,9 @@ impl Store {
     pub fn with_local<R>(&self, key: Key, f: impl FnOnce(&mut Vec<f32>) -> R) -> LocalAccess<R> {
         let mut map = self.shard(key).map.lock();
         match map.get_mut(&key) {
-            Some(Entry::Local(v)) => LocalAccess::Done(f(v)),
+            Some(Entry::Local { value, available_at }) => {
+                LocalAccess::Done(f(value), *available_at)
+            }
             Some(Entry::InFlightIn { expected_at, .. }) => LocalAccess::InFlight(*expected_at),
             Some(Entry::ForwardedTo(n)) => LocalAccess::Remote(Some(*n)),
             None => LocalAccess::Remote(None),
@@ -152,14 +169,25 @@ impl Store {
     }
 
     /// Worker slow path: block until an in-flight key installs, then run
-    /// `f`. Returns `None` if the key was released to another node before
+    /// `f`. Returns the closure result together with the installed entry's
+    /// `available_at` — the entry may have been re-relocated while the
+    /// caller blocked, so the stamp observed *before* the wait can be
+    /// stale; callers must charge this one for race-independent virtual
+    /// time. Returns `None` if the key was released to another node before
     /// this worker could access it (caller falls back to remote access).
-    pub fn wait_local<R>(&self, key: Key, f: impl FnOnce(&mut Vec<f32>) -> R) -> Option<R> {
+    pub fn wait_local<R>(
+        &self,
+        key: Key,
+        f: impl FnOnce(&mut Vec<f32>) -> R,
+    ) -> Option<(R, SimTime)> {
         let shard = self.shard(key);
         let mut map = shard.map.lock();
         loop {
             match map.get_mut(&key) {
-                Some(Entry::Local(v)) => return Some(f(v)),
+                Some(Entry::Local { value, available_at }) => {
+                    let at = *available_at;
+                    return Some((f(value), at));
+                }
                 Some(Entry::InFlightIn { .. }) => shard.installed.wait(&mut map),
                 _ => return None,
             }
@@ -169,7 +197,7 @@ impl Store {
     /// True if the key is currently owned here (used by sampling schemes;
     /// in-flight does not count as local).
     pub fn is_local(&self, key: Key) -> bool {
-        matches!(self.shard(key).map.lock().get(&key), Some(Entry::Local(_)))
+        matches!(self.shard(key).map.lock().get(&key), Some(Entry::Local { .. }))
     }
 
     /// Begin an inbound relocation: transition Remote/Forwarded → InFlight.
@@ -178,7 +206,7 @@ impl Store {
     pub fn mark_inflight(&self, key: Key, expected_at: SimTime) -> bool {
         let mut map = self.shard(key).map.lock();
         match map.get(&key) {
-            Some(Entry::Local(_)) | Some(Entry::InFlightIn { .. }) => false,
+            Some(Entry::Local { .. }) | Some(Entry::InFlightIn { .. }) => false,
             _ => {
                 map.insert(
                     key,
@@ -193,7 +221,7 @@ impl Store {
     pub fn server_pull(&self, key: Key, reply_to: Addr, hops: u8) -> ServerAccess {
         let mut map = self.shard(key).map.lock();
         match map.get_mut(&key) {
-            Some(Entry::Local(v)) => ServerAccess::Served(Some(v.clone())),
+            Some(Entry::Local { value, .. }) => ServerAccess::Served(Some(value.clone())),
             Some(Entry::InFlightIn { waiters, .. }) => {
                 waiters.push(QueuedOp::Pull { reply_to, hops });
                 ServerAccess::Queued
@@ -207,8 +235,8 @@ impl Store {
     pub fn server_push(&self, key: Key, delta: Vec<f32>, reply_to: Addr, hops: u8) -> ServerAccess {
         let mut map = self.shard(key).map.lock();
         match map.get_mut(&key) {
-            Some(Entry::Local(v)) => {
-                add_assign(v, &delta);
+            Some(Entry::Local { value, .. }) => {
+                add_assign(value, &delta);
                 ServerAccess::Served(None)
             }
             Some(Entry::InFlightIn { waiters, .. }) => {
@@ -224,12 +252,13 @@ impl Store {
     pub fn take_for_transfer(&self, key: Key, requester: NodeId) -> TakeOutcome {
         let mut map = self.shard(key).map.lock();
         match map.get_mut(&key) {
-            Some(entry @ Entry::Local(_)) => {
-                let Entry::Local(v) = std::mem::replace(entry, Entry::ForwardedTo(requester))
+            Some(entry @ Entry::Local { .. }) => {
+                let Entry::Local { value, .. } =
+                    std::mem::replace(entry, Entry::ForwardedTo(requester))
                 else {
                     unreachable!()
                 };
-                TakeOutcome::Taken(v)
+                TakeOutcome::Taken(value)
             }
             Some(Entry::InFlightIn { release_to, .. }) => {
                 debug_assert!(
@@ -251,13 +280,15 @@ impl Store {
         let shard = self.shard(key);
         let mut map = shard.map.lock();
         let mut out = InstallOutcome::default();
-        let (waiters, release_to) = match map.remove(&key) {
-            Some(Entry::InFlightIn { waiters, release_to, .. }) => (waiters, release_to),
+        let (waiters, release_to, available_at) = match map.remove(&key) {
+            Some(Entry::InFlightIn { waiters, release_to, expected_at }) => {
+                (waiters, release_to, expected_at)
+            }
             // A transfer can only arrive for an entry we marked in-flight;
             // tolerate (drop-in value) to stay robust in release builds.
             other => {
                 debug_assert!(other.is_none(), "transfer for non-inflight entry: {other:?}");
-                (Vec::new(), None)
+                (Vec::new(), None, SimTime::ZERO)
             }
         };
         for op in waiters {
@@ -277,7 +308,7 @@ impl Store {
                 out.release = Some((node, value));
             }
             None => {
-                map.insert(key, Entry::Local(value));
+                map.insert(key, Entry::Local { value, available_at });
             }
         }
         drop(map);
@@ -289,7 +320,7 @@ impl Store {
     pub fn get(&self, key: Key) -> Option<Vec<f32>> {
         let map = self.shard(key).map.lock();
         match map.get(&key) {
-            Some(Entry::Local(v)) => Some(v.clone()),
+            Some(Entry::Local { value, .. }) => Some(value.clone()),
             _ => None,
         }
     }
@@ -299,7 +330,9 @@ impl Store {
         let mut out = Vec::new();
         for s in &self.shards {
             let map = s.map.lock();
-            out.extend(map.iter().filter_map(|(k, e)| matches!(e, Entry::Local(_)).then_some(*k)));
+            out.extend(
+                map.iter().filter_map(|(k, e)| matches!(e, Entry::Local { .. }).then_some(*k)),
+            );
         }
         out
     }
@@ -308,7 +341,7 @@ impl Store {
     pub fn n_local(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.map.lock().values().filter(|e| matches!(e, Entry::Local(_))).count())
+            .map(|s| s.map.lock().values().filter(|e| matches!(e, Entry::Local { .. })).count())
             .sum()
     }
 }
@@ -329,7 +362,10 @@ mod tests {
             v[0] += 1.0;
             v[0]
         }) {
-            LocalAccess::Done(x) => assert_eq!(x, 2.0),
+            LocalAccess::Done(x, at) => {
+                assert_eq!(x, 2.0);
+                assert_eq!(at, SimTime::ZERO, "seeded keys are available from the start");
+            }
             _ => panic!("expected local"),
         }
         assert_eq!(s.get(7), Some(vec![2.0, 2.0]));
@@ -344,10 +380,7 @@ mod tests {
         assert!(s.mark_inflight(1, SimTime(500)));
         assert!(!s.mark_inflight(1, SimTime(900)), "double mark must no-op");
         // Remote push then pull queue up.
-        assert!(matches!(
-            s.server_push(1, vec![10.0], addr(2), 2),
-            ServerAccess::Queued
-        ));
+        assert!(matches!(s.server_push(1, vec![10.0], addr(2), 2), ServerAccess::Queued));
         assert!(matches!(s.server_pull(1, addr(3), 2), ServerAccess::Queued));
         let out = s.install(1, vec![1.0]);
         // Push applied before the later pull sees the value.
@@ -356,6 +389,11 @@ mod tests {
         assert_eq!(out.pull_replies[0].0, vec![11.0]);
         assert!(out.release.is_none());
         assert_eq!(s.get(1), Some(vec![11.0]));
+        // The installed entry reports the transfer's expected completion.
+        match s.with_local(1, |_| ()) {
+            LocalAccess::Done((), at) => assert_eq!(at, SimTime(500)),
+            _ => panic!("expected local after install"),
+        }
     }
 
     #[test]
@@ -403,12 +441,13 @@ mod tests {
     #[test]
     fn wait_local_blocks_until_install() {
         let s = std::sync::Arc::new(Store::new(2));
-        s.mark_inflight(1, SimTime(0));
+        s.mark_inflight(1, SimTime(70));
         let s2 = std::sync::Arc::clone(&s);
         let t = std::thread::spawn(move || s2.wait_local(1, |v| v[0]));
         std::thread::sleep(std::time::Duration::from_millis(20));
         s.install(1, vec![42.0]);
-        assert_eq!(t.join().unwrap(), Some(42.0));
+        // The waiter sees the value and the *installed* availability stamp.
+        assert_eq!(t.join().unwrap(), Some((42.0, SimTime(70))));
     }
 
     #[test]

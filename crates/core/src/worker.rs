@@ -118,6 +118,22 @@ impl NupsWorker {
         self.clock.advance(cost * self.congestion());
     }
 
+    /// Charge the residual wait for a value that arrived by relocation:
+    /// advance to its virtual availability, with each access's wait capped
+    /// at one full relocation on our own timeline (the stamp comes from
+    /// the *initiator's* clock, which may be far ahead). An access that
+    /// waited is counted as a relocation conflict — the *virtual* notion
+    /// (the access happened before the transfer's virtual completion),
+    /// which is identical on both sides of the real-time install race and
+    /// therefore reproducible.
+    fn charge_install_wait(&mut self, available_at: SimTime) {
+        if available_at > self.clock.now() {
+            let cap = self.relocation_estimate();
+            self.clock.advance_to(available_at.min(cap));
+            self.metrics().inc(|m| &m.relocation_conflicts);
+        }
+    }
+
     /// Estimated completion of a relocation initiated now: the 3-message
     /// Lapse protocol, two small messages plus the value transfer.
     fn relocation_estimate(&self) -> SimTime {
@@ -143,23 +159,20 @@ impl NupsWorker {
     }
 
     fn pull_relocated(&mut self, key: Key, out: &mut [f32]) {
-        let m = self.metrics();
         match self.node.store.with_local(key, |v| out.copy_from_slice(v)) {
-            LocalAccess::Done(()) => {
-                m.inc(|m| &m.local_pulls);
+            LocalAccess::Done((), available_at) => {
+                self.metrics().inc(|m| &m.local_pulls);
+                self.charge_install_wait(available_at);
                 self.charge_shared_memory();
             }
-            LocalAccess::InFlight(expected) => {
-                m.inc(|m| &m.relocation_conflicts);
+            LocalAccess::InFlight(_) => {
+                // Charge the *installed* entry's stamp, not the one seen
+                // before blocking: the key may have been re-relocated
+                // while this worker waited.
                 match self.node.store.wait_local(key, |v| out.copy_from_slice(v)) {
-                    Some(()) => {
+                    Some(((), available_at)) => {
                         self.metrics().inc(|m| &m.local_pulls);
-                        // The transfer estimate is stamped from the
-                        // *initiator's* clock; cap the wait at one full
-                        // relocation on our own timeline (worst case the
-                        // transfer started just now).
-                        let cap = self.relocation_estimate();
-                        self.clock.advance_to(expected.min(cap));
+                        self.charge_install_wait(available_at);
                         self.charge_shared_memory();
                     }
                     None => self.remote_pull(key, out, None),
@@ -172,11 +185,8 @@ impl NupsWorker {
     fn remote_pull(&mut self, key: Key, out: &mut [f32], hint: Option<NodeId>) {
         self.metrics().inc(|m| &m.remote_pulls);
         let dst = hint.unwrap_or_else(|| self.shared.keyspace.home(key));
-        let req = Msg::PullReq {
-            key,
-            reply_to: Addr::worker(self.id.node, self.id.local),
-            hops: 1,
-        };
+        let req =
+            Msg::PullReq { key, reply_to: Addr::worker(self.id.node, self.id.local), hops: 1 };
         match self.remote_roundtrip(dst, &req) {
             Msg::PullResp { key: k, value, .. } => {
                 debug_assert_eq!(k, key);
@@ -187,19 +197,17 @@ impl NupsWorker {
     }
 
     fn push_relocated(&mut self, key: Key, delta: &[f32]) {
-        let m = self.metrics();
         match self.node.store.with_local(key, |v| add_assign(v, delta)) {
-            LocalAccess::Done(()) => {
-                m.inc(|m| &m.local_pushes);
+            LocalAccess::Done((), available_at) => {
+                self.metrics().inc(|m| &m.local_pushes);
+                self.charge_install_wait(available_at);
                 self.charge_shared_memory();
             }
-            LocalAccess::InFlight(expected) => {
-                m.inc(|m| &m.relocation_conflicts);
+            LocalAccess::InFlight(_) => {
                 match self.node.store.wait_local(key, |v| add_assign(v, delta)) {
-                    Some(()) => {
+                    Some(((), available_at)) => {
                         self.metrics().inc(|m| &m.local_pushes);
-                        let cap = self.relocation_estimate();
-                        self.clock.advance_to(expected.min(cap));
+                        self.charge_install_wait(available_at);
                         self.charge_shared_memory();
                     }
                     None => self.remote_push(key, delta, None),
@@ -338,9 +346,7 @@ impl PsWorker for NupsWorker {
         let c = self.shared.cost.compute(flops);
         self.clock.advance(c);
         let shared = Arc::clone(&self.shared);
-        self.shared
-            .gate
-            .poll(self.clock.now(), || shared.sync.sync_once(&shared.metrics));
+        self.shared.gate.poll(self.clock.now(), || shared.sync.sync_once(&shared.metrics));
     }
 
     fn prepare_sample(&mut self, dist: DistId, n: usize) -> SampleHandle {
@@ -348,8 +354,7 @@ impl PsWorker for NupsWorker {
         let dist_arc = Arc::clone(&self.dists[idx]);
         match &mut self.samplers[idx] {
             SamplerState::Independent => {
-                let keys: Vec<Key> =
-                    (0..n).map(|_| dist_arc.0.sample(&mut self.rng)).collect();
+                let keys: Vec<Key> = (0..n).map(|_| dist_arc.0.sample(&mut self.rng)).collect();
                 // The manual baseline draws in "application code" and gets
                 // no preparatory localization from the PS.
                 if dist_arc.1 != SamplingScheme::Manual {
@@ -362,9 +367,7 @@ impl PsWorker for NupsWorker {
                 // issue localizes for the announced pools.
                 let mut new_pools: Vec<Vec<Key>> = Vec::new();
                 let keys = {
-                    let SamplerState::Pool(pool) = &mut self.samplers[idx] else {
-                        unreachable!()
-                    };
+                    let SamplerState::Pool(pool) = &mut self.samplers[idx] else { unreachable!() };
                     let mut rng = self.rng.clone();
                     let out = pool.next_batch(
                         n,

@@ -66,7 +66,7 @@ proptest! {
                 Op::LocalAdd(k, d) => {
                     let r = store.with_local(k as u64, |v| v[0] += d as f32);
                     match (&mut model[k as usize], r) {
-                        (ModelState::Local(x), LocalAccess::Done(())) => *x += d as f64,
+                        (ModelState::Local(x), LocalAccess::Done((), _)) => *x += d as f64,
                         (ModelState::Inflight(..), LocalAccess::InFlight(_)) => {}
                         (ModelState::Absent, LocalAccess::Remote(None)) => {}
                         (ModelState::Forwarded, LocalAccess::Remote(Some(_))) => {}

@@ -152,7 +152,8 @@ impl TrainTask for KgeTask {
         let vl = self.value_len();
         let n_neg = self.cfg.n_neg;
         let dist = DistId(0);
-        let mut rng = SmallRng::seed_from_u64(self.cfg.seed ^ (part as u64) ^ ((epoch as u64) << 32));
+        let mut rng =
+            SmallRng::seed_from_u64(self.cfg.seed ^ (part as u64) ^ ((epoch as u64) << 32));
 
         // Visit order reshuffles every epoch.
         let mut order: Vec<u32> = (0..triples.len() as u32).collect();
@@ -199,7 +200,15 @@ impl TrainTask for KgeTask {
             let sc = score(&s_val[..emb], &r_val[..emb], &o_val[..emb]);
             loss += logistic_loss(sc, 1.0) as f64;
             let g = sigmoid(sc) - 1.0;
-            add_score_gradients(&s_val[..emb], &r_val[..emb], &o_val[..emb], g, &mut gs, &mut gr, &mut go);
+            add_score_gradients(
+                &s_val[..emb],
+                &r_val[..emb],
+                &o_val[..emb],
+                g,
+                &mut gs,
+                &mut gr,
+                &mut go,
+            );
 
             // Object perturbations: (s, r, n), label 0.
             for (nk, nv) in worker.pull_sample(&mut handle, n_neg) {
@@ -207,7 +216,15 @@ impl TrainTask for KgeTask {
                 loss += logistic_loss(sc, 0.0) as f64;
                 let g = sigmoid(sc);
                 gneg.fill(0.0);
-                add_score_gradients(&s_val[..emb], &r_val[..emb], &nv[..emb], g, &mut gs, &mut gr, &mut gneg);
+                add_score_gradients(
+                    &s_val[..emb],
+                    &r_val[..emb],
+                    &nv[..emb],
+                    g,
+                    &mut gs,
+                    &mut gr,
+                    &mut gneg,
+                );
                 delta.fill(0.0);
                 self.opt.delta(&nv, &gneg, &mut delta);
                 worker.push(nk, &delta);
@@ -218,7 +235,15 @@ impl TrainTask for KgeTask {
                 loss += logistic_loss(sc, 0.0) as f64;
                 let g = sigmoid(sc);
                 gneg.fill(0.0);
-                add_score_gradients(&nv[..emb], &r_val[..emb], &o_val[..emb], g, &mut gneg, &mut gr, &mut go);
+                add_score_gradients(
+                    &nv[..emb],
+                    &r_val[..emb],
+                    &o_val[..emb],
+                    g,
+                    &mut gneg,
+                    &mut gr,
+                    &mut go,
+                );
                 delta.fill(0.0);
                 self.opt.delta(&nv, &gneg, &mut delta);
                 worker.push(nk, &delta);
@@ -236,7 +261,8 @@ impl TrainTask for KgeTask {
             worker.push(ok, &delta);
 
             worker.charge_compute(
-                (1 + 2 * n_neg as u64) * flops_per_scored_triple(dc) + (3 + 2 * n_neg as u64) * 8 * dc as u64,
+                (1 + 2 * n_neg as u64) * flops_per_scored_triple(dc)
+                    + (3 + 2 * n_neg as u64) * 8 * dc as u64,
             );
             worker.advance_clock();
         }
@@ -255,20 +281,24 @@ impl TrainTask for KgeTask {
             // Object side.
             let mut rank = 1u64;
             for e in 0..n_e {
-                if e != t.o && !self.filter.contains(&(t.s, t.r, e))
-                    && self.snapshot_score(model, t.s, t.r, e) > true_score {
-                        rank += 1;
-                    }
+                if e != t.o
+                    && !self.filter.contains(&(t.s, t.r, e))
+                    && self.snapshot_score(model, t.s, t.r, e) > true_score
+                {
+                    rank += 1;
+                }
             }
             rr_sum += 1.0 / rank as f64;
             n_ranked += 1;
             // Subject side.
             let mut rank = 1u64;
             for e in 0..n_e {
-                if e != t.s && !self.filter.contains(&(e, t.r, t.o))
-                    && self.snapshot_score(model, e, t.r, t.o) > true_score {
-                        rank += 1;
-                    }
+                if e != t.s
+                    && !self.filter.contains(&(e, t.r, t.o))
+                    && self.snapshot_score(model, e, t.r, t.o) > true_score
+                {
+                    rank += 1;
+                }
             }
             rr_sum += 1.0 / rank as f64;
             n_ranked += 1;
@@ -350,10 +380,7 @@ mod tests {
             last_loss = loss;
         }
         let after = task.evaluate(&ps.read_all());
-        assert!(
-            after > before + 0.05,
-            "MRR did not improve: {before:.4} → {after:.4}"
-        );
+        assert!(after > before + 0.05, "MRR did not improve: {before:.4} → {after:.4}");
         assert!(last_loss < first_loss.unwrap(), "training loss did not fall");
         ps.shutdown();
     }

@@ -60,7 +60,12 @@ impl MfTask {
     /// Partitioning needs the cluster shape: rows are assigned to the node
     /// that is *home* to their key (so row factors never relocate), and a
     /// node's cells are split over its workers by column.
-    pub fn new(data: Arc<MatrixData>, cfg: MfConfig, n_nodes: u16, workers_per_node: u16) -> MfTask {
+    pub fn new(
+        data: Arc<MatrixData>,
+        cfg: MfConfig,
+        n_nodes: u16,
+        workers_per_node: u16,
+    ) -> MfTask {
         let n_rows = data.config.n_rows as u64;
         let n_keys = n_rows + data.config.n_cols as u64;
         let keyspace = KeySpace::new(n_keys, n_nodes);

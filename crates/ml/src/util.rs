@@ -18,7 +18,8 @@ pub fn splitmix64(mut x: u64) -> u64 {
 /// Uniform f32 in `[-scale, scale)`, a pure function of its inputs.
 #[inline]
 pub fn init_uniform(key: u64, seed: u64, index: usize, scale: f32) -> f32 {
-    let bits = splitmix64(key ^ seed.rotate_left(17) ^ (index as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    let bits =
+        splitmix64(key ^ seed.rotate_left(17) ^ (index as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
     // 24 mantissa-ish bits → [0, 1), then center.
     let u = (bits >> 40) as f32 / (1u64 << 24) as f32;
     (2.0 * u - 1.0) * scale

@@ -178,21 +178,17 @@ impl TrainTask for W2vTask {
             let sentence = &self.corpus.sentences[sid as usize];
             kept.clear();
             kept.extend(
-                sentence
-                    .iter()
-                    .copied()
-                    .filter(|&w| rng.gen::<f32>() < self.keep_prob[w as usize]),
+                sentence.iter().copied().filter(|&w| rng.gen::<f32>() < self.keep_prob[w as usize]),
             );
             for i in 0..kept.len() {
                 let center = kept[i];
                 let b = rng.gen_range(1..=self.cfg.window);
                 let lo = i.saturating_sub(b);
                 let hi = (i + b + 1).min(kept.len());
-                for j in lo..hi {
+                for (j, &ctx) in kept.iter().enumerate().take(hi).skip(lo) {
                     if j == i {
                         continue;
                     }
-                    let ctx = kept[j];
                     let mut handle = worker.prepare_sample(dist, n_neg);
                     worker.pull(center as Key, &mut v);
                     worker.pull(self.output_key(ctx), &mut u);
@@ -348,10 +344,7 @@ mod tests {
             });
         }
         let after = task.evaluate(&ps.read_all());
-        assert!(
-            after > before + 3.0,
-            "coherence did not improve: {before:.2} → {after:.2}"
-        );
+        assert!(after > before + 3.0, "coherence did not improve: {before:.2} → {after:.2}");
         ps.shutdown();
     }
 }

@@ -26,18 +26,13 @@ pub struct ClusterClocks {
 
 impl ClusterClocks {
     pub fn new(topology: Topology) -> ClusterClocks {
-        let cells = (0..topology.total_workers())
-            .map(|_| Arc::new(AtomicU64::new(0)))
-            .collect();
+        let cells = (0..topology.total_workers()).map(|_| Arc::new(AtomicU64::new(0))).collect();
         ClusterClocks { topology, cells }
     }
 
     /// Handle for the given worker. Each worker should hold exactly one.
     pub fn worker_clock(&self, worker: WorkerId) -> WorkerClock {
-        WorkerClock {
-            cell: Arc::clone(&self.cells[self.topology.worker_index(worker)]),
-            cached: 0,
-        }
+        WorkerClock { cell: Arc::clone(&self.cells[self.topology.worker_index(worker)]), cached: 0 }
     }
 
     /// Earliest position of any worker on the virtual timeline.

@@ -39,7 +39,7 @@ impl CostModel {
     pub fn cluster_default() -> CostModel {
         CostModel {
             one_way_latency: SimDuration::from_micros(25),
-            network_bandwidth: 10e9,    // ~100 Gbit effective
+            network_bandwidth: 10e9, // ~100 Gbit effective
             local_access: SimDuration::from_nanos(300),
             memory_bandwidth: 20e9,
             seconds_per_flop: 0.5e-9, // ~2 GFLOP/s scalar per worker

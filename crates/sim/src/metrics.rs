@@ -89,8 +89,12 @@ metrics! {
     remote_pushes,
     /// Parameter relocations completed (ownership transfers).
     relocations,
-    /// Accesses that found their key mid-relocation and had to wait or go
-    /// remote (the hot-spot contention effect of Section 3.1.3).
+    /// Accesses that reached a relocated key before the transfer's
+    /// *virtual* completion and were charged a wait (the hot-spot
+    /// contention effect of Section 3.1.3). Counted from virtual time so
+    /// the tally is identical on both sides of the real-time install
+    /// race; an access that falls back to a remote round trip counts as a
+    /// remote pull/push instead.
     relocation_conflicts,
     /// Replica synchronization rounds executed.
     sync_rounds,
@@ -134,9 +138,7 @@ pub struct ClusterMetrics {
 
 impl ClusterMetrics {
     pub fn new(n_nodes: usize) -> ClusterMetrics {
-        ClusterMetrics {
-            per_node: (0..n_nodes).map(|_| Metrics::default()).collect(),
-        }
+        ClusterMetrics { per_node: (0..n_nodes).map(|_| Metrics::default()).collect() }
     }
 
     #[inline]

@@ -107,8 +107,7 @@ impl Topology {
 
     pub fn workers(&self) -> impl Iterator<Item = WorkerId> + '_ {
         let wpn = self.workers_per_node;
-        self.nodes()
-            .flat_map(move |node| (0..wpn).map(move |local| WorkerId { node, local }))
+        self.nodes().flat_map(move |node| (0..wpn).map(move |local| WorkerId { node, local }))
     }
 
     /// Dense index of a worker in `0..total_workers()`.

@@ -46,11 +46,7 @@ pub fn partition_by<T: Clone>(
 /// columns in random order with the cells within a column shuffled too.
 /// This creates the column-access locality the paper's MF implementation
 /// relies on.
-pub fn column_visit_order<T: Clone>(
-    cells: &[T],
-    col: impl Fn(&T) -> u32,
-    seed: u64,
-) -> Vec<T> {
+pub fn column_visit_order<T: Clone>(cells: &[T], col: impl Fn(&T) -> u32, seed: u64) -> Vec<T> {
     let mut by_col: rustc_hash::FxHashMap<u32, Vec<T>> = rustc_hash::FxHashMap::default();
     for c in cells {
         by_col.entry(col(c)).or_default().push(c.clone());

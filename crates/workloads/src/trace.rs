@@ -97,8 +97,8 @@ impl AccessTrace {
         let n = series.len();
         let mut out = Vec::with_capacity(points);
         for i in 0..points {
-            let rank = ((n as f64).powf(i as f64 / (points - 1).max(1) as f64) as usize)
-                .clamp(1, n);
+            let rank =
+                ((n as f64).powf(i as f64 / (points - 1).max(1) as f64) as usize).clamp(1, n);
             let (_, d, s) = series[rank - 1];
             out.push((rank, d + s));
         }

@@ -99,13 +99,10 @@ mod tests {
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 0..8 {
-            let got = counts[k] as f64 / n as f64;
+        for (k, &c) in counts.iter().enumerate() {
+            let got = c as f64 / n as f64;
             let want = z.probability(k);
-            assert!(
-                (got - want).abs() < 0.01,
-                "outcome {k}: got {got:.4}, want {want:.4}"
-            );
+            assert!((got - want).abs() < 0.01, "outcome {k}: got {got:.4}, want {want:.4}");
         }
         // Rank order: outcome 0 strictly most popular.
         assert!(counts[0] > counts[1] && counts[1] > counts[2]);
@@ -139,5 +136,50 @@ mod tests {
         let z = Zipf::new(1, 1.5);
         let mut rng = StdRng::seed_from_u64(4);
         assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn boundary_n_equals_one() {
+        // n = 1 is the degenerate distribution for every alpha, including
+        // the alpha = 0 corner: one outcome, probability exactly 1.
+        for alpha in [0.0, 0.5, 1.0, 1.1, 2.0] {
+            let w = zipf_weights(1, alpha);
+            assert_eq!(w, vec![1.0], "alpha={alpha}");
+            let z = Zipf::new(1, alpha);
+            assert_eq!(z.len(), 1);
+            assert!((z.probability(0) - 1.0).abs() < 1e-12);
+            let mut rng = StdRng::seed_from_u64(7);
+            for _ in 0..100 {
+                assert_eq!(z.sample(&mut rng), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_alpha_zero_is_uniform() {
+        // alpha = 0 must behave exactly like a uniform distribution: equal
+        // weights, equal probabilities, and empirically flat frequencies.
+        let n = 16;
+        let z = Zipf::new(n, 0.0);
+        for k in 0..n {
+            assert!((z.probability(k) - 1.0 / n as f64).abs() < 1e-12, "outcome {k}");
+        }
+        let mut rng = StdRng::seed_from_u64(8);
+        let draws = 160_000;
+        let mut counts = vec![0u64; n];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let expect = draws as f64 / n as f64;
+        let chi2: f64 = counts.iter().map(|&c| (c as f64 - expect).powi(2) / expect).sum();
+        // dof = 15; the 99.9% quantile is ~37.7. Comfortably below with a
+        // correct sampler, far above for any rank-dependent bias.
+        assert!(chi2 < 40.0, "alpha=0 draws not uniform: chi2={chi2:.1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty outcome space")]
+    fn boundary_n_zero_panics() {
+        zipf_weights(0, 1.0);
     }
 }

@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use nups_workloads::partition::{column_visit_order, partition_by, partition_contiguous, partition_random};
+use nups_workloads::partition::{
+    column_visit_order, partition_by, partition_contiguous, partition_random,
+};
 use nups_workloads::trace::AccessTrace;
 use nups_workloads::zipf::{zipf_weights, Zipf};
 use rand::rngs::StdRng;

@@ -6,7 +6,6 @@
 //!
 //! Run with: cargo run --release --example custom_task
 
-
 use nups::core::system::run_epoch;
 use nups::core::{
     heuristic_replicated_keys, ConformityLevel, DistributionKind, NupsConfig, ParameterServer,
@@ -38,7 +37,9 @@ impl SkewedClassifier {
         let zipf = Zipf::new(n_classes as usize, 1.0);
         // Planted class prototypes; samples = prototype + noise.
         let prototypes: Vec<Vec<f32>> = (0..n_classes)
-            .map(|c| (0..dim).map(|i| ((c as usize * 31 + i * 7) % 13) as f32 / 13.0 - 0.5).collect())
+            .map(|c| {
+                (0..dim).map(|i| ((c as usize * 31 + i * 7) % 13) as f32 / 13.0 - 0.5).collect()
+            })
             .collect();
         let sample = |rng: &mut StdRng| {
             let class = zipf.sample(rng) as u64;

@@ -7,8 +7,8 @@
 
 use std::sync::Arc;
 
-use nups::core::{heuristic_replicated_keys, NupsConfig, ParameterServer};
 use nups::core::system::run_epoch;
+use nups::core::{heuristic_replicated_keys, NupsConfig, ParameterServer};
 use nups::ml::kge::{KgeConfig, KgeTask};
 use nups::ml::task::TrainTask;
 use nups::sim::topology::Topology;

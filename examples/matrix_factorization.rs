@@ -26,7 +26,10 @@ fn main() {
     }));
     println!(
         "synthetic matrix: {}x{}, {} revealed cells (zipf 1.1), noise floor RMSE ~{}",
-        data.config.n_rows, data.config.n_cols, data.train.len(), data.config.noise_std
+        data.config.n_rows,
+        data.config.n_cols,
+        data.train.len(),
+        data.config.noise_std
     );
 
     let topology = Topology::new(4, 2);

@@ -19,12 +19,8 @@ fn main() {
     // Register a sampling distribution over keys [500, 1000) at the
     // BOUNDED conformity level; the sampling manager picks pooled sample
     // reuse (U=16) for it.
-    let dist = ps.register_distribution(
-        500,
-        500,
-        DistributionKind::Uniform,
-        ConformityLevel::Bounded,
-    );
+    let dist =
+        ps.register_distribution(500, 500, DistributionKind::Uniform, ConformityLevel::Bounded);
 
     // One worker handle per worker thread; here we drive a single worker
     // inline for brevity (see kge_training.rs for the threaded pattern).
@@ -50,9 +46,11 @@ fn main() {
     let mut handle = worker.prepare_sample(dist, 8);
     let first = worker.pull_sample(&mut handle, 3);
     let rest = worker.pull_sample(&mut handle, 5);
-    println!("sampled keys: {:?} then {:?}",
+    println!(
+        "sampled keys: {:?} then {:?}",
         first.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
-        rest.iter().map(|(k, _)| *k).collect::<Vec<_>>());
+        rest.iter().map(|(k, _)| *k).collect::<Vec<_>>()
+    );
 
     // The hot key is replicated: reads on the other node see pushed
     // updates after a replica synchronization.

@@ -22,10 +22,7 @@ fn main() {
         ConformityLevel::NonConform,
     ] {
         let scheme = SamplingScheme::for_level(level, reuse);
-        println!(
-            "  {level:?} -> {scheme:?} (dependency bound: {:?})",
-            scheme.dependency_bound()
-        );
+        println!("  {level:?} -> {scheme:?} (dependency bound: {:?})", scheme.dependency_bound());
     }
 
     // Drive each scheme on a 2-node cluster and compare what it cost.

@@ -7,9 +7,9 @@
 
 use std::sync::Arc;
 
+use nups::core::heuristic_replicated_keys;
 use nups::core::system::run_epoch;
 use nups::core::{NupsConfig, ParameterServer, ReuseParams, SamplingScheme};
-use nups::core::heuristic_replicated_keys;
 use nups::ml::task::TrainTask;
 use nups::ml::word2vec::{W2vConfig, W2vTask};
 use nups::sim::topology::Topology;

@@ -55,8 +55,8 @@ fn train_nups(task: &dyn TrainTask, cfg: NupsConfig, epochs: usize) -> (f64, f64
 fn kge_learns_on_classic_ps() {
     let topo = Topology::new(2, 2);
     let task = tiny_kge(topo.total_workers());
-    let cfg = NupsConfig::classic(topo, task.n_keys(), task.value_len())
-        .with_cost(CostModel::zero());
+    let cfg =
+        NupsConfig::classic(topo, task.n_keys(), task.value_len()).with_cost(CostModel::zero());
     let (before, after) = train_nups(&task, cfg, 3);
     assert!(after > before + 0.03, "classic: MRR {before:.4} → {after:.4}");
 }
@@ -65,8 +65,7 @@ fn kge_learns_on_classic_ps() {
 fn kge_learns_on_lapse() {
     let topo = Topology::new(2, 2);
     let task = tiny_kge(topo.total_workers());
-    let cfg =
-        NupsConfig::lapse(topo, task.n_keys(), task.value_len()).with_cost(CostModel::zero());
+    let cfg = NupsConfig::lapse(topo, task.n_keys(), task.value_len()).with_cost(CostModel::zero());
     let (before, after) = train_nups(&task, cfg, 3);
     assert!(after > before + 0.03, "lapse: MRR {before:.4} → {after:.4}");
 }
@@ -110,10 +109,7 @@ fn kge_learns_on_ssp_and_essp() {
         std::thread::sleep(std::time::Duration::from_millis(20));
         let after = task.evaluate(&ps.read_all());
         ps.shutdown();
-        assert!(
-            after > before + 0.02,
-            "{protocol:?}: MRR {before:.4} → {after:.4}"
-        );
+        assert!(after > before + 0.02, "{protocol:?}: MRR {before:.4} → {after:.4}");
     }
 }
 

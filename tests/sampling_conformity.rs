@@ -1,13 +1,19 @@
 //! Statistical tests of the sampling manager's conformity guarantees
 //! (paper Section 4): first-order inclusion probabilities, dependency
-//! bounds, postponement behaviour, and the locality of local sampling.
+//! bounds, postponement behaviour, and the locality of local sampling —
+//! plus chi-squared goodness-of-fit of the alias-table sampler against
+//! the Zipf targets the workloads actually use.
 
+use nups::core::sampling::alias::AliasTable;
 use nups::core::{
     ConformityLevel, DistributionKind, NupsConfig, ParameterServer, PsWorker, ReuseParams,
     SamplingScheme,
 };
 use nups::sim::cost::CostModel;
 use nups::sim::topology::{NodeId, Topology, WorkerId};
+use nups::workloads::{zipf_weights, Zipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rustc_hash::FxHashMap;
 
 fn ps_with_scheme(
@@ -172,12 +178,8 @@ fn longterm_postponing_loses_no_samples() {
 /// L4 (NON-CONFORM): local sampling never touches the network.
 #[test]
 fn local_sampling_is_free_of_network_traffic() {
-    let (ps, dist) = ps_with_scheme(
-        Topology::new(4, 1),
-        1000,
-        DistributionKind::Uniform,
-        SamplingScheme::Local,
-    );
+    let (ps, dist) =
+        ps_with_scheme(Topology::new(4, 1), 1000, DistributionKind::Uniform, SamplingScheme::Local);
     let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
     let samples = draw_n(&mut w, dist, 5000);
     assert_eq!(samples.len(), 5000);
@@ -190,6 +192,118 @@ fn local_sampling_is_free_of_network_traffic() {
     // (Figure 10c's "local sampling with static allocation").
     let max_key = samples.iter().max().copied().unwrap();
     assert!(max_key < 250, "node 0 sampled key {max_key} outside its partition");
+    ps.shutdown();
+}
+
+/// Pearson chi-squared statistic of observed counts against expected
+/// probabilities, pooling outcomes with expectation < 5 into one cell (the
+/// standard validity condition for the chi-squared approximation).
+fn chi_squared(counts: &[u64], weights: &[f64], draws: usize) -> (f64, usize) {
+    let total_w: f64 = weights.iter().sum();
+    let mut chi2 = 0.0;
+    let mut cells = 0usize;
+    let (mut tail_c, mut tail_e) = (0.0f64, 0.0f64);
+    for (&c, &w) in counts.iter().zip(weights) {
+        let expect = w / total_w * draws as f64;
+        if expect >= 5.0 {
+            chi2 += (c as f64 - expect).powi(2) / expect;
+            cells += 1;
+        } else {
+            tail_c += c as f64;
+            tail_e += expect;
+        }
+    }
+    if tail_e > 0.0 {
+        chi2 += (tail_c - tail_e).powi(2) / tail_e;
+        cells += 1;
+    }
+    (chi2, cells.saturating_sub(1)) // dof = cells - 1
+}
+
+/// Upper bound that a correct sampler stays below with overwhelming
+/// probability: the ~99.99% chi-squared quantile via the Wilson–Hilferty
+/// normal approximation (z = 3.7).
+fn chi2_bound(dof: usize) -> f64 {
+    let d = dof as f64;
+    let z = 3.7;
+    d * (1.0 - 2.0 / (9.0 * d) + z * (2.0 / (9.0 * d)).sqrt()).powi(3)
+}
+
+/// Chi-squared goodness-of-fit of alias-table draws against the Zipf
+/// targets the paper's workloads use (alpha = 1.1 for the synthetic
+/// matrix; alpha = 1.0 word frequencies; alpha = 0 uniform corner).
+#[test]
+fn alias_table_draws_conform_to_zipf_targets() {
+    for (alpha, n, draws, seed) in
+        [(1.1, 64, 256_000, 11u64), (1.0, 200, 400_000, 12), (0.0, 50, 250_000, 13)]
+    {
+        let weights = zipf_weights(n, alpha);
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; n];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let (chi2, dof) = chi_squared(&counts, &weights, draws);
+        assert!(
+            chi2 < chi2_bound(dof),
+            "alias draws diverge from Zipf({alpha}) over {n}: chi2={chi2:.1}, dof={dof}, \
+             bound={:.1}",
+            chi2_bound(dof)
+        );
+    }
+}
+
+/// The alias table and the inverse-CDF Zipf sampler are two
+/// implementations of the same distribution: their empirical frequencies
+/// must agree with each other, not just with the analytic target.
+#[test]
+fn alias_and_inverse_cdf_samplers_agree() {
+    let n = 64;
+    let weights = zipf_weights(n, 1.1);
+    let table = AliasTable::new(&weights);
+    let z = Zipf::from_weights(weights.clone());
+    let draws = 200_000;
+    let mut rng_a = StdRng::seed_from_u64(21);
+    let mut rng_b = StdRng::seed_from_u64(22);
+    let mut counts_a = vec![0u64; n];
+    let mut counts_b = vec![0u64; n];
+    for _ in 0..draws {
+        counts_a[table.sample(&mut rng_a)] += 1;
+        counts_b[z.sample(&mut rng_b)] += 1;
+    }
+    // Two-sample chi-squared: test A's counts against B's empirical
+    // frequencies (B's counts as "weights").
+    let b_freq: Vec<f64> = counts_b.iter().map(|&c| c as f64).collect();
+    let (chi2, dof) = chi_squared(&counts_a, &b_freq, draws);
+    // Both samples fluctuate, doubling the variance of the discrepancy.
+    assert!(
+        chi2 < 2.0 * chi2_bound(dof),
+        "alias and inverse-CDF disagree: chi2={chi2:.1}, dof={dof}"
+    );
+}
+
+/// The end-to-end path (registered weighted distribution → PrepareSample →
+/// PullSample) preserves Zipf conformity, not just the raw table.
+#[test]
+fn registered_zipf_distribution_conforms_end_to_end() {
+    let n = 64u64;
+    let weights = zipf_weights(n as usize, 1.1);
+    let (ps, dist) = ps_with_scheme(
+        Topology::new(2, 1),
+        n,
+        DistributionKind::Weighted(weights.clone()),
+        SamplingScheme::Independent,
+    );
+    let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+    let samples = draw_n(&mut w, dist, 120_000);
+    let mut counts = vec![0u64; n as usize];
+    for &s in &samples {
+        counts[s as usize] += 1;
+    }
+    let (chi2, dof) = chi_squared(&counts, &weights, samples.len());
+    assert!(chi2 < chi2_bound(dof), "end-to-end Zipf sampling diverges: chi2={chi2:.1}, dof={dof}");
+    drop(w);
     ps.shutdown();
 }
 

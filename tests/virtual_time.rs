@@ -66,8 +66,7 @@ fn technique_cost_ordering_for_repeated_access() {
     let topo = Topology::new(2, 1);
     let classic = workload(NupsConfig::classic(topo, 10, 4), false);
     let lapse = workload(NupsConfig::lapse(topo, 10, 4), true);
-    let nups_repl =
-        workload(NupsConfig::nups(topo, 10, 4).with_replicated_keys(vec![9]), false);
+    let nups_repl = workload(NupsConfig::nups(topo, 10, 4).with_replicated_keys(vec![9]), false);
 
     assert!(
         classic > 10 * lapse,

@@ -1,0 +1,329 @@
+//! Vendored stand-in for the `bytes` crate (the build environment has no
+//! network access to crates.io). Provides cheaply-cloneable immutable
+//! [`Bytes`], growable [`BytesMut`], and the little-endian subset of the
+//! [`Buf`]/[`BufMut`] traits this workspace's codec uses.
+
+use std::fmt;
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, contiguous, immutable byte buffer: a reference-counted
+/// backing allocation plus a view window. Reads consume from the front by
+/// advancing the window.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes { data: Arc::from(s), start: 0, end: s.len() }
+    }
+
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes { data: Arc::from(s), start: 0, end: s.len() }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-view of this buffer; `range` is relative to the current window.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice {lo}..{hi} out of range for {}", self.len());
+        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+    }
+
+    #[inline]
+    fn take_front(&mut self, n: usize) -> &[u8] {
+        assert!(self.len() >= n, "advance past end of buffer");
+        let s = &self.data[self.start..self.start + n];
+        self.start += n;
+        s
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes { data: Arc::from(v), start: 0, end }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from_static(s)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self[..] == other
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for e in std::ascii::escape_default(b) {
+                write!(f, "{}", e as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A growable byte buffer; writes append at the back.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { vec: Vec::with_capacity(cap) }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Bytes::copy_from_slice(&self.vec).fmt(f)
+    }
+}
+
+/// Read access to a byte buffer, consumed from the front.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn advance(&mut self, cnt: usize);
+    fn get_u8(&mut self) -> u8;
+    fn get_u16_le(&mut self) -> u16;
+    fn get_u32_le(&mut self) -> u32;
+    fn get_u64_le(&mut self) -> u64;
+    fn get_f32_le(&mut self) -> f32;
+    fn get_f64_le(&mut self) -> f64;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+macro_rules! get_le {
+    ($self:ident, $ty:ty) => {{
+        let n = std::mem::size_of::<$ty>();
+        <$ty>::from_le_bytes($self.take_front(n).try_into().unwrap())
+    }};
+}
+
+impl Buf for Bytes {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn advance(&mut self, cnt: usize) {
+        self.take_front(cnt);
+    }
+
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        self.take_front(1)[0]
+    }
+
+    #[inline]
+    fn get_u16_le(&mut self) -> u16 {
+        get_le!(self, u16)
+    }
+
+    #[inline]
+    fn get_u32_le(&mut self) -> u32 {
+        get_le!(self, u32)
+    }
+
+    #[inline]
+    fn get_u64_le(&mut self) -> u64 {
+        get_le!(self, u64)
+    }
+
+    #[inline]
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    #[inline]
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let src = self.take_front(dst.len());
+        dst.copy_from_slice(src);
+    }
+}
+
+/// Write access to a byte buffer, appended at the back.
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16_le(&mut self, v: u16);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_f32_le(&mut self, v: f32);
+    fn put_f64_le(&mut self, v: f64);
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.vec.push(v);
+    }
+
+    #[inline]
+    fn put_u16_le(&mut self, v: u16) {
+        self.vec.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_u32_le(&mut self, v: u32) {
+        self.vec.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_u64_le(&mut self, v: u64) {
+        self.vec.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+
+    #[inline]
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u16_le(300);
+        b.put_u32_le(70_000);
+        b.put_u64_le(1 << 40);
+        b.put_f32_le(1.5);
+        let mut r = b.freeze();
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 300);
+        assert_eq!(r.get_u32_le(), 70_000);
+        assert_eq!(r.get_u64_le(), 1 << 40);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn slice_is_a_window() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[1, 2, 3]);
+        let s2 = s.slice(..2);
+        assert_eq!(&s2[..], &[1, 2]);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let b = Bytes::from(vec![9; 1024]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(c.len(), 1024);
+    }
+}

@@ -1,0 +1,200 @@
+//! Vendored stand-in for the `criterion` crate (the build environment has
+//! no network access to crates.io). Provides the `Criterion` /
+//! `BenchmarkGroup` / `Bencher` API surface the workspace's benches use.
+//! Measurement is a simple warmup-plus-timed-loop that prints a per-bench
+//! mean; it has none of criterion's statistics, but keeps `cargo bench`
+//! runnable and the bench code compiling.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A named benchmark id, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Things usable as a benchmark id: `&str`, `String`, or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+/// Wall time the calibrated measurement loop aims for. Long enough that
+/// `Instant` overhead and resolution are negligible even for
+/// nanosecond-scale closures, short enough that whole-experiment closures
+/// run exactly once.
+const TARGET_MEASURE_TIME: Duration = Duration::from_millis(20);
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup, then a single-shot estimate to calibrate the iteration
+        // count: fast closures get enough iterations to amortize timer
+        // overhead; slow ones (whole simulated experiments) run once.
+        black_box(f());
+        let t0 = Instant::now();
+        black_box(f());
+        let est = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_MEASURE_TIME.as_nanos() / est.as_nanos()).clamp(1, 10_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&id.into_id(), self.sample_size, f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_bench(&full, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher { iters: sample_size.max(1) as u64, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = if b.elapsed.is_zero() {
+        Duration::ZERO
+    } else {
+        Duration::from_nanos((b.elapsed.as_nanos() / b.iters as u128) as u64)
+    };
+    println!("bench {name:<60} {per_iter:>12.3?}/iter ({} iters)", b.iters);
+}
+
+/// Collect benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_closure() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.bench_function(BenchmarkId::new("inc", 1), |b| b.iter(|| count += 1));
+            g.finish();
+        }
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,457 @@
+//! Vendored stand-in for the `proptest` crate (the build environment has no
+//! network access to crates.io). Implements the subset this workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map`/`prop_filter`,
+//! strategies for primitive `any`, numeric ranges, tuples, and
+//! [`collection::vec`], plus the `proptest!`, `prop_oneof!`, and
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case prints its
+//! inputs instead), and rejection sampling is bounded rather than tracked
+//! globally. Case count comes from `PROPTEST_CASES` (default 64); seeds are
+//! derived deterministically from the test name so failures reproduce.
+
+use std::fmt::Debug;
+
+pub use rand;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// A generator of test inputs. `generate` returns `None` when a filter
+/// rejected the candidate; the runner retries.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, pred, reason }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    #[allow(dead_code)]
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Bounded local retry; the runner retries the whole case on None.
+        for _ in 0..100 {
+            if let Some(v) = self.inner.generate(rng) {
+                if (self.pred)(&v) {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A type-erased strategy, as produced by [`Strategy::boxed`] and
+/// [`prop_oneof!`].
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> Option<V>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.generate(rng)
+    }
+}
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<V> {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice between strategies of a common value type; the engine
+/// behind [`prop_oneof!`].
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<V> {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone)]
+pub struct Just<V>(pub V);
+
+impl<V: Clone + Debug> Strategy for Just<V> {
+    type Value = V;
+
+    fn generate(&self, _rng: &mut TestRng) -> Option<V> {
+        Some(self.0.clone())
+    }
+}
+
+/// `any::<T>()` — the full value space of a primitive type.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+#[derive(Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+/// Primitive types with a canonical whole-domain strategy.
+pub trait Arbitrary: Debug + Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    /// Any bit pattern, NaN and infinities included (filter if unwanted).
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_strategy_for_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(A);
+impl_strategy_for_tuple!(A, B);
+impl_strategy_for_tuple!(A, B, C);
+impl_strategy_for_tuple!(A, B, C, D);
+impl_strategy_for_tuple!(A, B, C, D, E);
+impl_strategy_for_tuple!(A, B, C, D, E, F);
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// Sizes acceptable to [`vec`]: a fixed `usize`, `lo..hi`, or `lo..=hi`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// `Vec`s of values from `element`, with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.generate(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, Strategy,
+    };
+}
+
+/// Number of cases per property (`PROPTEST_CASES`, default 64).
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// Deterministic per-test seed so failures reproduce across runs.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let cases = $crate::case_count();
+            let mut rng = <$crate::TestRng as $crate::rand::SeedableRng>::seed_from_u64(
+                $crate::seed_for(stringify!($name)),
+            );
+            let mut done: u32 = 0;
+            let mut attempts: u32 = 0;
+            while done < cases {
+                attempts += 1;
+                assert!(
+                    attempts < cases.saturating_mul(20) + 1000,
+                    "proptest {}: too many rejected samples",
+                    stringify!($name)
+                );
+                $(
+                    let $arg = match $crate::Strategy::generate(&$strat, &mut rng) {
+                        Some(v) => v,
+                        None => continue,
+                    };
+                )+
+                done += 1;
+                let case_desc =
+                    format!(concat!($(stringify!($arg), " = {:?}; "),+), $(&$arg),+);
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || $body));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest {} failed on case {}: {}",
+                        stringify!($name),
+                        done,
+                        case_desc
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn tagged() -> impl Strategy<Value = (bool, u8)> {
+        prop_oneof![(0u8..10).prop_map(|v| (false, v)), (100u8..110).prop_map(|v| (true, v)),]
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -2.0f32..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in collection::vec(0u32..5, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn filters_apply(f in any::<f32>().prop_filter("finite", |f| f.is_finite())) {
+            prop_assert!(f.is_finite());
+        }
+
+        #[test]
+        fn oneof_arms_consistent(t in tagged()) {
+            let (hi, v) = t;
+            if hi {
+                prop_assert!((100..110).contains(&v));
+            } else {
+                prop_assert!(v < 10);
+            }
+        }
+
+        #[test]
+        fn tuples_and_exact_size(pair in (0u8..4, 0u8..4), v in collection::vec(0u64..9, 6)) {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+            prop_assert_eq!(v.len(), 6);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(crate::seed_for("a"), crate::seed_for("b"));
+        assert_eq!(crate::seed_for("a"), crate::seed_for("a"));
+    }
+}
