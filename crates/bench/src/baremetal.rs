@@ -119,6 +119,9 @@ impl PsWorker for BareWorker {
         self.charge_raw_access();
     }
 
+    // `pull_many`/`push_many` keep the trait's per-key defaults: shared
+    // memory has no per-message framing to amortize.
+
     fn localize(&mut self, _keys: &[Key]) {}
 
     fn advance_clock(&mut self) {}
@@ -134,14 +137,15 @@ impl PsWorker for BareWorker {
     }
 
     fn pull_sample(&mut self, handle: &mut SampleHandle, n: usize) -> Vec<(Key, Vec<f32>)> {
-        let mut out = Vec::with_capacity(n);
+        let mut keys = Vec::with_capacity(n);
         for _ in 0..n {
             let Some((key, _)) = handle.pop_key() else { break };
-            let mut value = vec![0.0; self.value_len];
-            self.pull(key, &mut value);
-            out.push((key, value));
+            keys.push(key);
         }
-        out
+        let vl = self.value_len;
+        let mut flat = vec![0.0f32; keys.len() * vl];
+        self.pull_many(&keys, &mut flat);
+        keys.into_iter().zip(flat.chunks_exact(vl).map(|c| c.to_vec())).collect()
     }
 
     fn begin_epoch(&mut self) {

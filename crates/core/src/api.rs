@@ -3,7 +3,9 @@
 //! NuPS keeps the classic `pull`/`push` primitives, adds `localize` (from
 //! relocation PSs like Lapse), keeps `advance_clock` (from replication PSs
 //! like Petuum; a no-op on NuPS itself), and extends the API with the
-//! sampling primitives of Section 4.3. ML tasks are written against this
+//! sampling primitives of Section 4.3. `pull_many`/`push_many` expose
+//! multi-key access so the PS can coalesce a minibatch's remote keys into
+//! one request per destination node. ML tasks are written against this
 //! trait so the same task code runs on every system variant the paper
 //! compares.
 
@@ -22,6 +24,26 @@ pub trait PsWorker: Send {
 
     /// Additively apply `delta` to `key`.
     fn push(&mut self, key: Key, delta: &[f32]);
+
+    /// Read the values of all of `keys` into `out` (concatenated:
+    /// `keys.len() * value_len()` floats, request order). Batching
+    /// implementations coalesce the remote subset into one request per
+    /// destination node; the default falls back to per-key pulls.
+    fn pull_many(&mut self, keys: &[Key], out: &mut [f32]) {
+        let vl = self.value_len();
+        for (i, &key) in keys.iter().enumerate() {
+            self.pull(key, &mut out[i * vl..(i + 1) * vl]);
+        }
+    }
+
+    /// Additively apply one delta per key (`deltas` concatenated as in
+    /// [`PsWorker::pull_many`]). Duplicate keys apply once per occurrence.
+    fn push_many(&mut self, keys: &[Key], deltas: &[f32]) {
+        let vl = self.value_len();
+        for (i, &key) in keys.iter().enumerate() {
+            self.push(key, &deltas[i * vl..(i + 1) * vl]);
+        }
+    }
 
     /// Hint that this node is about to work on `keys` (asynchronous
     /// relocation; no-op on non-relocation servers).
@@ -65,6 +87,12 @@ impl<P: PsWorker + ?Sized> PsWorker for Box<P> {
     }
     fn push(&mut self, key: Key, delta: &[f32]) {
         (**self).push(key, delta)
+    }
+    fn pull_many(&mut self, keys: &[Key], out: &mut [f32]) {
+        (**self).pull_many(keys, out)
+    }
+    fn push_many(&mut self, keys: &[Key], deltas: &[f32]) {
+        (**self).push_many(keys, deltas)
     }
     fn localize(&mut self, keys: &[Key]) {
         (**self).localize(keys)

@@ -48,6 +48,24 @@ pub enum Msg {
     /// Ownership transfer carrying the parameter value.
     Transfer { key: Key, value: Vec<f32> },
 
+    /// Multi-key read: one request per destination node instead of one
+    /// message per key. The receiving server answers its locally-owned
+    /// subset in a single [`Msg::PullBatchResp`], parks entries that are
+    /// in flight (answered individually at install time), and forwards the
+    /// remainder along the ownership chain — so replies to one request may
+    /// arrive split across several messages.
+    PullBatchReq { keys: Vec<Key>, reply_to: Addr, hops: u8 },
+    /// The subset of a [`Msg::PullBatchReq`] one server answered. `hops`
+    /// counts the chain this subset took, including this response.
+    PullBatchResp { values: Vec<KeyUpdate>, hops: u8 },
+    /// Multi-key additive update, grouped like [`Msg::PullBatchReq`].
+    PushBatchReq { updates: Vec<KeyUpdate>, reply_to: Addr, hops: u8 },
+    /// Ack for the subset of a [`Msg::PushBatchReq`] applied at one node.
+    PushBatchAck { keys: Vec<Key>, hops: u8 },
+    /// Batched relocation intent: `requester` asks a home node for all of
+    /// `keys` (each homed there) in one message.
+    LocalizeBatchReq { keys: Vec<Key>, requester: NodeId },
+
     /// SSP/ESSP: synchronous replica refresh request.
     SspPullReq { key: Key, reply_to: Addr },
     /// SSP/ESSP: refresh response.
@@ -78,6 +96,11 @@ mod tag {
     pub const SSP_BROADCAST: u8 = 11;
     pub const SSP_SUBSCRIBE: u8 = 12;
     pub const STOP: u8 = 13;
+    pub const PULL_BATCH_REQ: u8 = 14;
+    pub const PULL_BATCH_RESP: u8 = 15;
+    pub const PUSH_BATCH_REQ: u8 = 16;
+    pub const PUSH_BATCH_ACK: u8 = 17;
+    pub const LOCALIZE_BATCH_REQ: u8 = 18;
 }
 
 const ADDR_LEN: usize = 4;
@@ -103,6 +126,38 @@ fn put_updates(buf: &mut BytesMut, updates: &[KeyUpdate]) {
         buf.put_u64_le(u.key);
         put_f32_slice(buf, &u.delta);
     }
+}
+
+/// Wire sizes of the request messages a forwarding chain repeats. A
+/// requester that receives a response with `hops > 2` never saw the
+/// intermediate forwards, but it knows they carried (a superset of) the
+/// answered entries — these helpers let it price the chain it can
+/// reconstruct. Each is asserted against `encoded_len` in the tests below.
+impl Msg {
+    /// Encoded size of a [`Msg::PullReq`].
+    pub fn pull_req_len() -> usize {
+        1 + 8 + ADDR_LEN + 1
+    }
+
+    /// Encoded size of a [`Msg::PushReq`] carrying one `value_len` delta.
+    pub fn push_req_len(value_len: usize) -> usize {
+        1 + 8 + f32_slice_len_for(value_len) + ADDR_LEN + 1
+    }
+
+    /// Encoded size of a [`Msg::PullBatchReq`] over `n_keys` keys.
+    pub fn pull_batch_req_len(n_keys: usize) -> usize {
+        1 + 4 + 8 * n_keys + ADDR_LEN + 1
+    }
+
+    /// Encoded size of a [`Msg::PushBatchReq`] over `n_keys` deltas of
+    /// `value_len` floats each.
+    pub fn push_batch_req_len(n_keys: usize, value_len: usize) -> usize {
+        1 + 4 + n_keys * (8 + f32_slice_len_for(value_len)) + ADDR_LEN + 1
+    }
+}
+
+fn f32_slice_len_for(n: usize) -> usize {
+    4 + 4 * n
 }
 
 fn get_updates(buf: &mut Bytes) -> Result<Vec<KeyUpdate>, CodecError> {
@@ -136,6 +191,11 @@ impl WireEncode for Msg {
             Msg::SspBroadcast { updates } => updates_len(updates),
             Msg::SspSubscribe { keys, .. } => 2 + codec::u64_slice_len(keys),
             Msg::Stop => 0,
+            Msg::PullBatchReq { keys, .. } => codec::u64_slice_len(keys) + ADDR_LEN + 1,
+            Msg::PullBatchResp { values, .. } => updates_len(values) + 1,
+            Msg::PushBatchReq { updates, .. } => updates_len(updates) + ADDR_LEN + 1,
+            Msg::PushBatchAck { keys, .. } => codec::u64_slice_len(keys) + 1,
+            Msg::LocalizeBatchReq { keys, .. } => codec::u64_slice_len(keys) + 2,
         }
     }
 
@@ -205,6 +265,33 @@ impl WireEncode for Msg {
                 codec::put_u64_slice(buf, keys);
             }
             Msg::Stop => buf.put_u8(tag::STOP),
+            Msg::PullBatchReq { keys, reply_to, hops } => {
+                buf.put_u8(tag::PULL_BATCH_REQ);
+                codec::put_u64_slice(buf, keys);
+                put_addr(buf, *reply_to);
+                buf.put_u8(*hops);
+            }
+            Msg::PullBatchResp { values, hops } => {
+                buf.put_u8(tag::PULL_BATCH_RESP);
+                put_updates(buf, values);
+                buf.put_u8(*hops);
+            }
+            Msg::PushBatchReq { updates, reply_to, hops } => {
+                buf.put_u8(tag::PUSH_BATCH_REQ);
+                put_updates(buf, updates);
+                put_addr(buf, *reply_to);
+                buf.put_u8(*hops);
+            }
+            Msg::PushBatchAck { keys, hops } => {
+                buf.put_u8(tag::PUSH_BATCH_ACK);
+                codec::put_u64_slice(buf, keys);
+                buf.put_u8(*hops);
+            }
+            Msg::LocalizeBatchReq { keys, requester } => {
+                buf.put_u8(tag::LOCALIZE_BATCH_REQ);
+                codec::put_u64_slice(buf, keys);
+                buf.put_u16_le(requester.0);
+            }
         }
     }
 
@@ -241,6 +328,26 @@ impl WireEncode for Msg {
                 Msg::SspSubscribe { from: NodeId(get_u16(buf)?), keys: codec::get_u64_vec(buf)? }
             }
             tag::STOP => Msg::Stop,
+            tag::PULL_BATCH_REQ => Msg::PullBatchReq {
+                keys: codec::get_u64_vec(buf)?,
+                reply_to: get_addr(buf)?,
+                hops: get_u8(buf)?,
+            },
+            tag::PULL_BATCH_RESP => {
+                Msg::PullBatchResp { values: get_updates(buf)?, hops: get_u8(buf)? }
+            }
+            tag::PUSH_BATCH_REQ => Msg::PushBatchReq {
+                updates: get_updates(buf)?,
+                reply_to: get_addr(buf)?,
+                hops: get_u8(buf)?,
+            },
+            tag::PUSH_BATCH_ACK => {
+                Msg::PushBatchAck { keys: codec::get_u64_vec(buf)?, hops: get_u8(buf)? }
+            }
+            tag::LOCALIZE_BATCH_REQ => Msg::LocalizeBatchReq {
+                keys: codec::get_u64_vec(buf)?,
+                requester: NodeId(get_u16(buf)?),
+            },
             other => return Err(CodecError::UnknownTag(other)),
         })
     }
@@ -281,6 +388,59 @@ mod tests {
         roundtrip(Msg::SspBroadcast { updates: vec![] });
         roundtrip(Msg::SspSubscribe { from: NodeId(0), keys: vec![1, 2, 3] });
         roundtrip(Msg::Stop);
+        roundtrip(Msg::PullBatchReq { keys: vec![1, 5, 9], reply_to: addr, hops: 1 });
+        roundtrip(Msg::PullBatchResp {
+            values: vec![
+                KeyUpdate { key: 1, delta: vec![0.5, 1.5] },
+                KeyUpdate { key: 5, delta: vec![] },
+            ],
+            hops: 2,
+        });
+        roundtrip(Msg::PushBatchReq {
+            updates: vec![KeyUpdate { key: 7, delta: vec![-1.0] }],
+            reply_to: addr,
+            hops: 3,
+        });
+        roundtrip(Msg::PushBatchAck { keys: vec![7, 8], hops: 2 });
+        roundtrip(Msg::LocalizeBatchReq { keys: vec![], requester: NodeId(2) });
+        roundtrip(Msg::LocalizeBatchReq { keys: vec![3, 4, 5], requester: NodeId(2) });
+    }
+
+    #[test]
+    fn chain_reconstruction_lens_match_real_encodings() {
+        let addr = Addr::worker(NodeId(3), 1);
+        assert_eq!(
+            Msg::pull_req_len(),
+            Msg::PullReq { key: 1, reply_to: addr, hops: 9 }.encoded_len()
+        );
+        assert_eq!(
+            Msg::push_req_len(5),
+            Msg::PushReq { key: 1, delta: vec![0.0; 5], reply_to: addr, hops: 1 }.encoded_len()
+        );
+        assert_eq!(
+            Msg::pull_batch_req_len(4),
+            Msg::PullBatchReq { keys: vec![0; 4], reply_to: addr, hops: 1 }.encoded_len()
+        );
+        assert_eq!(
+            Msg::push_batch_req_len(3, 7),
+            Msg::PushBatchReq {
+                updates: vec![KeyUpdate { key: 0, delta: vec![0.0; 7] }; 3],
+                reply_to: addr,
+                hops: 1,
+            }
+            .encoded_len()
+        );
+    }
+
+    #[test]
+    fn batch_framing_amortizes_over_entries() {
+        // The point of the batch messages: n keys in one request cost far
+        // less wire than n single-key requests.
+        let addr = Addr::worker(NodeId(0), 0);
+        let n = 64;
+        let batched = Msg::PullBatchReq { keys: vec![0; n], reply_to: addr, hops: 1 }.encoded_len();
+        let singles = n * Msg::PullReq { key: 0, reply_to: addr, hops: 1 }.encoded_len();
+        assert!(batched < singles / 10 * 6, "batched {batched} vs singles {singles}");
     }
 
     #[test]
@@ -306,7 +466,7 @@ mod tests {
         prop_oneof![
             (any::<u64>(), addr.clone(), any::<u8>())
                 .prop_map(|(key, reply_to, hops)| Msg::PullReq { key, reply_to, hops }),
-            (any::<u64>(), val.clone(), addr, any::<u8>()).prop_map(
+            (any::<u64>(), val.clone(), addr.clone(), any::<u8>()).prop_map(
                 |(key, delta, reply_to, hops)| { Msg::PushReq { key, delta, reply_to, hops } }
             ),
             (any::<u64>(), val.clone(), any::<u8>()).prop_map(|(key, value, hops)| Msg::PullResp {
@@ -315,10 +475,19 @@ mod tests {
                 hops
             }),
             (any::<u64>(), val.clone()).prop_map(|(key, value)| Msg::Transfer { key, value }),
-            (any::<u16>(), proptest::collection::vec((any::<u64>(), val), 0..8)).prop_map(
+            (any::<u16>(), proptest::collection::vec((any::<u64>(), val.clone()), 0..8)).prop_map(
                 |(from, kv)| Msg::SspFlush {
                     from: NodeId(from),
                     updates: kv.into_iter().map(|(key, delta)| KeyUpdate { key, delta }).collect(),
+                }
+            ),
+            (proptest::collection::vec(any::<u64>(), 0..16), addr.clone(), any::<u8>())
+                .prop_map(|(keys, reply_to, hops)| Msg::PullBatchReq { keys, reply_to, hops }),
+            (proptest::collection::vec((any::<u64>(), val), 0..8), addr, any::<u8>()).prop_map(
+                |(kv, reply_to, hops)| Msg::PushBatchReq {
+                    updates: kv.into_iter().map(|(key, delta)| KeyUpdate { key, delta }).collect(),
+                    reply_to,
+                    hops,
                 }
             ),
         ]

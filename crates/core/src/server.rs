@@ -15,9 +15,19 @@ use nups_sim::time::SimTime;
 use nups_sim::topology::{Addr, NodeId};
 
 use crate::key::Key;
-use crate::messages::Msg;
+use crate::messages::{KeyUpdate, Msg};
 use crate::node::{NodeState, Shared};
 use crate::store::{ServerAccess, TakeOutcome};
+
+/// Append `item` to `dst`'s group, keeping one group per destination in
+/// first-appearance order (node counts are small; linear scan wins over a
+/// map).
+pub(crate) fn group_by_node<T>(groups: &mut Vec<(NodeId, Vec<T>)>, dst: NodeId, item: T) {
+    match groups.iter_mut().find(|(n, _)| *n == dst) {
+        Some((_, items)) => items.push(item),
+        None => groups.push((dst, vec![item])),
+    }
+}
 
 pub struct Server {
     shared: Arc<Shared>,
@@ -67,6 +77,17 @@ impl Server {
                 self.handle_forward_localize(key, requester, at)
             }
             Msg::Transfer { key, value } => self.handle_transfer(key, value, at),
+            Msg::PullBatchReq { keys, reply_to, hops } => {
+                self.handle_pull_batch(keys, reply_to, hops, at)
+            }
+            Msg::PushBatchReq { updates, reply_to, hops } => {
+                self.handle_push_batch(updates, reply_to, hops, at)
+            }
+            Msg::LocalizeBatchReq { keys, requester } => {
+                for key in keys {
+                    self.handle_localize(key, requester, at);
+                }
+            }
             Msg::Stop => return false,
             other => {
                 debug_assert!(false, "unexpected message at relocation server: {other:?}");
@@ -84,13 +105,10 @@ impl Server {
     fn handle_pull(&mut self, key: Key, reply_to: Addr, hops: u8, at: SimTime) {
         // At the home node, consult the directory first: the request may
         // need forwarding to the current owner.
-        if self.shared.keyspace.home(key) == self.me() {
-            let owner = self.state.directory.owner(key);
-            if owner != self.me() {
-                let fwd = Msg::PullReq { key, reply_to, hops: hops.saturating_add(1) };
-                self.send(Addr::server(owner), at, &fwd);
-                return;
-            }
+        if let Some(owner) = self.directory_detour(key) {
+            let fwd = Msg::PullReq { key, reply_to, hops: hops.saturating_add(1) };
+            self.send(Addr::server(owner), at, &fwd);
+            return;
         }
         match self.state.store.server_pull(key, reply_to, hops) {
             ServerAccess::Served(Some(value)) => {
@@ -108,15 +126,15 @@ impl Server {
     }
 
     fn handle_push(&mut self, key: Key, delta: Vec<f32>, reply_to: Addr, hops: u8, at: SimTime) {
-        if self.shared.keyspace.home(key) == self.me() {
-            let owner = self.state.directory.owner(key);
-            if owner != self.me() {
-                let fwd = Msg::PushReq { key, delta, reply_to, hops: hops.saturating_add(1) };
-                self.send(Addr::server(owner), at, &fwd);
-                return;
-            }
+        if let Some(owner) = self.directory_detour(key) {
+            let fwd = Msg::PushReq { key, delta, reply_to, hops: hops.saturating_add(1) };
+            self.send(Addr::server(owner), at, &fwd);
+            return;
         }
-        match self.state.store.server_push(key, delta.clone(), reply_to, hops) {
+        // The store borrows the delta: the served fast path applies it in
+        // place, and only the queued path copies. On the not-here path we
+        // still own `delta` and move it into the forward.
+        match self.state.store.server_push(key, &delta, reply_to, hops) {
             ServerAccess::Served(_) => {
                 let ack = Msg::PushAck { key, hops: hops.saturating_add(1) };
                 self.send(reply_to, at, &ack);
@@ -128,6 +146,76 @@ impl Server {
                 self.send(Addr::server(dst), at, &fwd);
             }
         }
+    }
+
+    /// Batched pull: answer the locally-owned subset in one message, park
+    /// in-flight entries (each answers individually at install), and
+    /// forward the remainder grouped by next hop.
+    fn handle_pull_batch(&mut self, keys: Vec<Key>, reply_to: Addr, hops: u8, at: SimTime) {
+        let mut fwd: Vec<(NodeId, Vec<Key>)> = Vec::new();
+        let mut local = Vec::with_capacity(keys.len());
+        for key in keys {
+            match self.directory_detour(key) {
+                Some(owner) => group_by_node(&mut fwd, owner, key),
+                None => local.push(key),
+            }
+        }
+        let out = self.state.store.server_pull_batch(&local, reply_to, hops);
+        for (key, hint) in out.not_here {
+            group_by_node(&mut fwd, self.chase(key, hint), key);
+        }
+        if !out.served.is_empty() {
+            let resp = Msg::PullBatchResp { values: out.served, hops: hops.saturating_add(1) };
+            self.send(reply_to, at, &resp);
+        }
+        for (dst, keys) in fwd {
+            let m = Msg::PullBatchReq { keys, reply_to, hops: hops.saturating_add(1) };
+            self.send(Addr::server(dst), at, &m);
+        }
+    }
+
+    /// Batched push, mirroring [`Server::handle_pull_batch`].
+    fn handle_push_batch(
+        &mut self,
+        updates: Vec<KeyUpdate>,
+        reply_to: Addr,
+        hops: u8,
+        at: SimTime,
+    ) {
+        let mut fwd: Vec<(NodeId, Vec<KeyUpdate>)> = Vec::new();
+        let mut local = Vec::with_capacity(updates.len());
+        for update in updates {
+            match self.directory_detour(update.key) {
+                Some(owner) => group_by_node(&mut fwd, owner, update),
+                None => local.push(update),
+            }
+        }
+        let out = self.state.store.server_push_batch(local, reply_to, hops);
+        for (update, hint) in out.not_here {
+            let dst = self.chase(update.key, hint);
+            group_by_node(&mut fwd, dst, update);
+        }
+        if !out.served.is_empty() {
+            let ack = Msg::PushBatchAck { keys: out.served, hops: hops.saturating_add(1) };
+            self.send(reply_to, at, &ack);
+        }
+        for (dst, updates) in fwd {
+            let m = Msg::PushBatchReq { updates, reply_to, hops: hops.saturating_add(1) };
+            self.send(Addr::server(dst), at, &m);
+        }
+    }
+
+    /// At the home node, the location directory may say the key lives
+    /// elsewhere even though no tombstone survives locally; such requests
+    /// detour straight to the recorded owner.
+    fn directory_detour(&self, key: Key) -> Option<NodeId> {
+        if self.shared.keyspace.home(key) == self.me() {
+            let owner = self.state.directory.owner(key);
+            if owner != self.me() {
+                return Some(owner);
+            }
+        }
+        None
     }
 
     /// First message of the relocation protocol, handled at the home node:

@@ -294,7 +294,7 @@ fn run_ssp_server(shared: Arc<SspShared>, me: NodeId, endpoint: Endpoint) {
                 // Apply, then (ESSP) propagate to subscribers.
                 let mut per_subscriber: FxHashMap<NodeId, Vec<KeyUpdate>> = FxHashMap::default();
                 for u in updates {
-                    let _ = state.store.server_push(u.key, u.delta.clone(), Addr::server(me), 1);
+                    let _ = state.store.server_push(u.key, &u.delta, Addr::server(me), 1);
                     if shared.cfg.protocol == SspProtocol::Essp {
                         let subs = state.subscribers.lock();
                         if let Some(nodes) = subs.get(&u.key) {

@@ -31,6 +31,7 @@ use nups_sim::time::SimTime;
 use nups_sim::topology::{Addr, NodeId};
 
 use crate::key::Key;
+use crate::messages::KeyUpdate;
 use crate::value::add_assign;
 
 /// An operation from a remote node queued on an in-flight entry.
@@ -90,6 +91,31 @@ pub enum ServerAccess {
     NotHere(Option<NodeId>),
 }
 
+/// Per-entry partition of a batched server-side pull: the locally served
+/// subset (answered in one message), the count parked on in-flight entries
+/// (answered individually at install time), and the not-here remainder the
+/// server forwards along the ownership chain.
+#[derive(Debug, Default)]
+pub struct PullBatchOutcome {
+    /// `(key, value copy)` per served occurrence, in request order.
+    pub served: Vec<KeyUpdate>,
+    /// Entries queued on in-flight keys.
+    pub queued: usize,
+    /// Keys to forward, with the tombstone hint when one exists.
+    pub not_here: Vec<(Key, Option<NodeId>)>,
+}
+
+/// Per-entry partition of a batched server-side push.
+#[derive(Debug, Default)]
+pub struct PushBatchOutcome {
+    /// Keys whose delta was applied locally, in request order.
+    pub served: Vec<Key>,
+    /// Entries queued on in-flight keys.
+    pub queued: usize,
+    /// Updates to forward, with the tombstone hint when one exists.
+    pub not_here: Vec<(KeyUpdate, Option<NodeId>)>,
+}
+
 /// Outcome of a `ForwardLocalize` (ownership handover request).
 pub enum TakeOutcome {
     /// Ownership relinquished; send this value to the requester.
@@ -109,6 +135,14 @@ pub struct InstallOutcome {
     pub push_acks: Vec<(Addr, u8)>,
     /// A handover queued mid-flight: send the value on to this node.
     pub release: Option<(NodeId, Vec<f32>)>,
+}
+
+/// Per-position outcome recorded while resolving a batch under shard
+/// latches (pulls carry the value copy, pushes carry nothing).
+enum BatchSlot {
+    Served(Option<Vec<f32>>),
+    Queued,
+    NotHere(Option<NodeId>),
 }
 
 struct Shard {
@@ -231,21 +265,118 @@ impl Store {
         }
     }
 
-    /// Server-side push (additive delta).
-    pub fn server_push(&self, key: Key, delta: Vec<f32>, reply_to: Addr, hops: u8) -> ServerAccess {
+    /// Server-side push (additive delta). Borrows the delta so the served
+    /// fast path copies nothing; ownership is only taken when the entry is
+    /// in flight and the delta must be parked until install.
+    pub fn server_push(&self, key: Key, delta: &[f32], reply_to: Addr, hops: u8) -> ServerAccess {
         let mut map = self.shard(key).map.lock();
         match map.get_mut(&key) {
             Some(Entry::Local { value, .. }) => {
-                add_assign(value, &delta);
+                add_assign(value, delta);
                 ServerAccess::Served(None)
             }
             Some(Entry::InFlightIn { waiters, .. }) => {
-                waiters.push(QueuedOp::Push { delta, reply_to, hops });
+                waiters.push(QueuedOp::Push { delta: delta.to_vec(), reply_to, hops });
                 ServerAccess::Queued
             }
             Some(Entry::ForwardedTo(n)) => ServerAccess::NotHere(Some(*n)),
             None => ServerAccess::NotHere(None),
         }
+    }
+
+    /// Resolve a batch of keys in one pass: positions are grouped by shard
+    /// so each shard latch is taken once for all of its keys instead of
+    /// once per key. `f` runs under the owning shard's latch; results come
+    /// back in request order (grouping is an implementation detail).
+    fn resolve_batch<R>(
+        &self,
+        keys: &[Key],
+        mut f: impl FnMut(&mut FxHashMap<Key, Entry>, Key, usize) -> R,
+    ) -> Vec<Option<R>> {
+        let mut order: Vec<(usize, usize)> =
+            keys.iter().enumerate().map(|(i, &k)| (shard_of(k, self.shard_mask), i)).collect();
+        order.sort_unstable();
+        let mut results: Vec<Option<R>> = keys.iter().map(|_| None).collect();
+        let mut pos = 0;
+        while pos < order.len() {
+            let shard = order[pos].0;
+            let mut map = self.shards[shard].map.lock();
+            while let Some(&(s, i)) = order.get(pos) {
+                if s != shard {
+                    break;
+                }
+                results[i] = Some(f(&mut map, keys[i], i));
+                pos += 1;
+            }
+        }
+        results
+    }
+
+    /// Batched server-side pull: serve the locally-owned subset under one
+    /// pass, queue entries on in-flight keys, and report the not-here
+    /// remainder for forwarding. Outcomes are in request order.
+    pub fn server_pull_batch(&self, keys: &[Key], reply_to: Addr, hops: u8) -> PullBatchOutcome {
+        let mut out = PullBatchOutcome::default();
+        let slots = self.resolve_batch(keys, |map, key, _| match map.get_mut(&key) {
+            Some(Entry::Local { value, .. }) => BatchSlot::Served(Some(value.clone())),
+            Some(Entry::InFlightIn { waiters, .. }) => {
+                waiters.push(QueuedOp::Pull { reply_to, hops });
+                BatchSlot::Queued
+            }
+            Some(Entry::ForwardedTo(n)) => BatchSlot::NotHere(Some(*n)),
+            None => BatchSlot::NotHere(None),
+        });
+        for (slot, &key) in slots.into_iter().zip(keys) {
+            match slot.expect("every position resolved") {
+                BatchSlot::Served(value) => {
+                    out.served.push(KeyUpdate { key, delta: value.expect("pull has a value") });
+                }
+                BatchSlot::Queued => out.queued += 1,
+                BatchSlot::NotHere(hint) => out.not_here.push((key, hint)),
+            }
+        }
+        out
+    }
+
+    /// Batched server-side push; same one-pass sharding as
+    /// [`Store::server_pull_batch`]. Deltas are copied only for queued
+    /// entries; forwarded entries move out of `updates` unchanged.
+    pub fn server_push_batch(
+        &self,
+        updates: Vec<KeyUpdate>,
+        reply_to: Addr,
+        hops: u8,
+    ) -> PushBatchOutcome {
+        let keys: Vec<Key> = updates.iter().map(|u| u.key).collect();
+        let mut deltas: Vec<Option<Vec<f32>>> =
+            updates.into_iter().map(|u| Some(u.delta)).collect();
+        let slots = self.resolve_batch(&keys, |map, key, i| {
+            let delta = deltas[i].as_deref().expect("each position visited once");
+            match map.get_mut(&key) {
+                Some(Entry::Local { value, .. }) => {
+                    add_assign(value, delta);
+                    BatchSlot::Served(None)
+                }
+                Some(Entry::InFlightIn { waiters, .. }) => {
+                    waiters.push(QueuedOp::Push { delta: delta.to_vec(), reply_to, hops });
+                    BatchSlot::Queued
+                }
+                Some(Entry::ForwardedTo(n)) => BatchSlot::NotHere(Some(*n)),
+                None => BatchSlot::NotHere(None),
+            }
+        });
+        let mut out = PushBatchOutcome::default();
+        for (i, (slot, key)) in slots.into_iter().zip(keys).enumerate() {
+            match slot.expect("every position resolved") {
+                BatchSlot::Served(_) => out.served.push(key),
+                BatchSlot::Queued => out.queued += 1,
+                BatchSlot::NotHere(hint) => {
+                    let delta = deltas[i].take().expect("delta consumed twice");
+                    out.not_here.push((KeyUpdate { key, delta }, hint));
+                }
+            }
+        }
+        out
     }
 
     /// Handle a `ForwardLocalize`: relinquish ownership to `requester`.
@@ -280,16 +411,22 @@ impl Store {
         let shard = self.shard(key);
         let mut map = shard.map.lock();
         let mut out = InstallOutcome::default();
-        let (waiters, release_to, available_at) = match map.remove(&key) {
-            Some(Entry::InFlightIn { waiters, release_to, expected_at }) => {
+        let (waiters, release_to, available_at) = match map.get(&key) {
+            Some(Entry::InFlightIn { .. }) => {
+                let Some(Entry::InFlightIn { waiters, release_to, expected_at }) = map.remove(&key)
+                else {
+                    unreachable!()
+                };
                 (waiters, release_to, expected_at)
             }
-            // A transfer can only arrive for an entry we marked in-flight;
-            // tolerate (drop-in value) to stay robust in release builds.
-            other => {
-                debug_assert!(other.is_none(), "transfer for non-inflight entry: {other:?}");
-                (Vec::new(), None, SimTime::ZERO)
-            }
+            // A duplicate or stale transfer for a key we already hold (or
+            // already handed on): keep the existing entry and drop the
+            // stale value. Installing it would silently discard every push
+            // applied since the first install.
+            Some(_) => return out,
+            // Never owned here and not expected either; adopt the value
+            // defensively so it is not lost.
+            None => (Vec::new(), None, SimTime::ZERO),
         };
         for op in waiters {
             match op {
@@ -380,7 +517,7 @@ mod tests {
         assert!(s.mark_inflight(1, SimTime(500)));
         assert!(!s.mark_inflight(1, SimTime(900)), "double mark must no-op");
         // Remote push then pull queue up.
-        assert!(matches!(s.server_push(1, vec![10.0], addr(2), 2), ServerAccess::Queued));
+        assert!(matches!(s.server_push(1, &[10.0], addr(2), 2), ServerAccess::Queued));
         assert!(matches!(s.server_pull(1, addr(3), 2), ServerAccess::Queued));
         let out = s.install(1, vec![1.0]);
         // Push applied before the later pull sees the value.
@@ -401,7 +538,7 @@ mod tests {
         let s = Store::new(4);
         s.mark_inflight(1, SimTime(0));
         assert!(matches!(s.server_pull(1, addr(3), 2), ServerAccess::Queued));
-        assert!(matches!(s.server_push(1, vec![5.0], addr(2), 2), ServerAccess::Queued));
+        assert!(matches!(s.server_push(1, &[5.0], addr(2), 2), ServerAccess::Queued));
         let out = s.install(1, vec![1.0]);
         assert_eq!(out.pull_replies[0].0, vec![1.0], "queued pull precedes queued push");
         assert_eq!(s.get(1), Some(vec![6.0]));
@@ -475,6 +612,83 @@ mod tests {
         assert_eq!(keys.len(), 99);
         assert!(!keys.contains(&50));
         assert_eq!(s.n_local(), 99);
+    }
+
+    #[test]
+    fn stale_duplicate_transfer_does_not_clobber_local_entry() {
+        // Regression: a duplicate/stale Transfer for a key that already
+        // installed must not overwrite the Local entry — pushes applied
+        // since the first install would be silently discarded.
+        let s = Store::new(4);
+        s.mark_inflight(1, SimTime(100));
+        s.install(1, vec![1.0]);
+        // A worker pushes onto the installed entry...
+        assert!(matches!(s.with_local(1, |v| v[0] += 5.0), LocalAccess::Done(_, _)));
+        // ...then a spurious duplicate of the transfer arrives.
+        let out = s.install(1, vec![1.0]);
+        assert!(out.pull_replies.is_empty() && out.push_acks.is_empty());
+        assert!(out.release.is_none());
+        assert_eq!(s.get(1), Some(vec![6.0]), "push must survive the duplicate transfer");
+        match s.with_local(1, |_| ()) {
+            LocalAccess::Done((), at) => assert_eq!(at, SimTime(100), "stamp kept too"),
+            _ => panic!("entry must stay local"),
+        }
+    }
+
+    #[test]
+    fn stale_transfer_after_handover_keeps_tombstone() {
+        let s = Store::new(4);
+        s.seed(1, vec![2.0]);
+        assert!(matches!(s.take_for_transfer(1, NodeId(5)), TakeOutcome::Taken(_)));
+        // A transfer re-delivered after the key moved on must not resurrect
+        // local ownership here — the chain would fork.
+        let out = s.install(1, vec![9.0]);
+        assert!(out.pull_replies.is_empty() && out.release.is_none());
+        assert!(matches!(s.with_local(1, |_| ()), LocalAccess::Remote(Some(NodeId(5)))));
+    }
+
+    #[test]
+    fn batch_pull_partitions_served_queued_not_here() {
+        let s = Store::new(4);
+        s.seed(1, vec![1.0]);
+        s.seed(2, vec![2.0]);
+        s.take_for_transfer(2, NodeId(7)); // 2 → tombstone
+        s.mark_inflight(3, SimTime(10));
+        let out = s.server_pull_batch(&[1, 2, 3, 4, 1], addr(9), 1);
+        // Served entries keep request order, duplicates served per occurrence.
+        assert_eq!(out.served.len(), 2);
+        assert_eq!((out.served[0].key, out.served[0].delta.clone()), (1, vec![1.0]));
+        assert_eq!(out.served[1].key, 1);
+        assert_eq!(out.queued, 1);
+        assert_eq!(out.not_here, vec![(2, Some(NodeId(7))), (4, None)]);
+        // The queued entry answers at install time.
+        let io = s.install(3, vec![30.0]);
+        assert_eq!(io.pull_replies.len(), 1);
+        assert_eq!(io.pull_replies[0].0, vec![30.0]);
+    }
+
+    #[test]
+    fn batch_push_applies_locally_and_forwards_rest() {
+        let s = Store::new(4);
+        s.seed(1, vec![1.0]);
+        s.mark_inflight(3, SimTime(10));
+        let updates = vec![
+            KeyUpdate { key: 1, delta: vec![0.5] },
+            KeyUpdate { key: 3, delta: vec![9.0] },
+            KeyUpdate { key: 4, delta: vec![7.0] },
+            KeyUpdate { key: 1, delta: vec![0.25] },
+        ];
+        let out = s.server_push_batch(updates, addr(9), 1);
+        assert_eq!(out.served, vec![1, 1], "both occurrences applied");
+        assert_eq!(out.queued, 1);
+        assert_eq!(out.not_here.len(), 1);
+        assert_eq!(out.not_here[0].0, KeyUpdate { key: 4, delta: vec![7.0] });
+        assert_eq!(out.not_here[0].1, None);
+        assert_eq!(s.get(1), Some(vec![1.75]));
+        // The queued push lands at install.
+        let io = s.install(3, vec![1.0]);
+        assert_eq!(io.push_acks.len(), 1);
+        assert_eq!(s.get(3), Some(vec![10.0]));
     }
 
     #[test]

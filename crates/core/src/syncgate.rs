@@ -73,9 +73,12 @@ impl SyncGate {
         }
     }
 
-    /// An always-disabled gate.
+    /// An always-disabled gate. Period-independent: an inert gate has no
+    /// boundaries to place, so it carries no magic period a caller could
+    /// trip over — the positivity assertion above applies to enabled gates
+    /// only, regardless of construction order.
     pub fn disabled() -> SyncGate {
-        SyncGate::new(SimDuration::from_millis(40), false)
+        SyncGate::new(SimDuration::ZERO, false)
     }
 
     pub fn is_enabled(&self) -> bool {
@@ -179,6 +182,19 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
+
+    #[test]
+    fn disabled_gate_is_period_independent() {
+        // The inert constructor must not smuggle in a nonzero period: a
+        // zero-period disabled gate is legal (the positivity assertion
+        // guards enabled gates only).
+        let g = SyncGate::disabled();
+        assert!(g.period().is_zero());
+        assert!(!g.is_enabled());
+        assert_eq!(g.busy_fraction(), 0.0);
+        let z = SyncGate::new(SimDuration::ZERO, false);
+        assert!(!z.is_enabled());
+    }
 
     #[test]
     fn disabled_gate_never_blocks_or_merges() {

@@ -11,12 +11,22 @@
 //!   wait);
 //! * relocated key, elsewhere → a synchronous remote round trip.
 //!
+//! Multi-key access is *batched*: `pull_many`/`push_many` resolve the
+//! shared-memory subset per key and coalesce the remote remainder into one
+//! request per destination node ([`Msg::PullBatchReq`]/
+//! [`Msg::PushBatchReq`]), so a skewed minibatch pays one round trip per
+//! node instead of one per key, and per-message framing amortizes across
+//! the batch entries. `localize` likewise coalesces its relocation intents
+//! into one [`Msg::LocalizeBatchReq`] per home node.
+//!
 //! All remote waiting is charged to the worker's virtual clock, scaled by
 //! the congestion multiplier when replica synchronization is saturating the
 //! network (Section 5.6).
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use nups_sim::codec::WireEncode;
@@ -28,11 +38,12 @@ use nups_sim::WorkerClock;
 
 use crate::api::PsWorker;
 use crate::key::Key;
-use crate::messages::Msg;
+use crate::messages::{KeyUpdate, Msg};
 use crate::node::{NodeState, Shared};
 use crate::sampling::reuse::PoolSequence;
 use crate::sampling::scheme::SamplingScheme;
 use crate::sampling::{DistId, Distribution, SampleHandle};
+use crate::server::group_by_node;
 use crate::store::LocalAccess;
 use crate::technique::Technique;
 use crate::value::add_assign;
@@ -118,6 +129,25 @@ impl NupsWorker {
         self.clock.advance(cost * self.congestion());
     }
 
+    /// Price the tail of a remote chain whose request was already charged
+    /// at send time: the response message plus any intermediate forwards
+    /// its hop count records (`hops` counts every message in the chain,
+    /// request and response included). The requester never saw the
+    /// intermediates, so they are priced as a request carrying exactly the
+    /// answered subset — the closest reconstruction available (an actual
+    /// forward may have carried more entries before splitting further).
+    fn charge_chain_tail(
+        &mut self,
+        forwarded_request_bytes: usize,
+        response_bytes: usize,
+        hops: u8,
+    ) {
+        let intermediates = (hops.max(2) - 2) as u64;
+        let cost = self.shared.cost.message(forwarded_request_bytes) * intermediates
+            + self.shared.cost.message(response_bytes);
+        self.clock.advance(cost * self.congestion());
+    }
+
     /// Charge the residual wait for a value that arrived by relocation:
     /// advance to its virtual availability, with each access's wait capped
     /// at one full relocation on our own timeline (the stamp comes from
@@ -147,38 +177,74 @@ impl NupsWorker {
         let request_bytes = msg.encoded_len();
         self.endpoint.send(Addr::server(dst), self.clock.now(), msg.to_bytes());
         let frame = self.endpoint.recv().expect("server disappeared during round trip");
-        let wire_bytes = frame.wire_bytes();
+        // Price the encoded payload; `CostModel::message` adds the framing
+        // overhead itself.
+        let response_bytes = frame.payload.len();
         let mut payload = frame.payload;
         let resp = Msg::decode(&mut payload).expect("undecodable reply");
-        let (response_bytes, hops) = match &resp {
-            Msg::PullResp { hops, .. } | Msg::PushAck { hops, .. } => (wire_bytes, *hops),
+        let hops = match &resp {
+            Msg::PullResp { hops, .. } | Msg::PushAck { hops, .. } => *hops,
             other => panic!("unexpected reply to worker: {other:?}"),
         };
         self.charge_remote(request_bytes, response_bytes, hops);
         resp
     }
 
+    /// Serve one replicated-key pull from the node's replica set.
+    fn pull_replicated(&mut self, key: Key, out: &mut [f32]) {
+        let slot = self.shared.technique.replica_slot(key).expect("slot");
+        self.node.replicas.pull(slot, out);
+        let m = self.metrics();
+        m.inc(|m| &m.replica_pulls);
+        m.inc(|m| &m.local_pulls);
+        self.charge_shared_memory();
+    }
+
+    /// Absorb one replicated-key push into the node's replica set.
+    fn push_replicated(&mut self, key: Key, delta: &[f32]) {
+        let slot = self.shared.technique.replica_slot(key).expect("slot");
+        self.node.replicas.push(slot, delta);
+        let m = self.metrics();
+        m.inc(|m| &m.replica_pushes);
+        m.inc(|m| &m.local_pushes);
+        self.charge_shared_memory();
+    }
+
+    /// One relocated-key access through shared memory: run `apply` on the
+    /// value if the key is (or, after blocking on an in-flight transfer,
+    /// becomes) local — charging the install wait plus the shared-memory
+    /// copy and counting `counter` — or return the destination a remote
+    /// request should go to. When the access blocked, the charge uses the
+    /// *installed* entry's stamp, not the one seen before blocking: the
+    /// key may have been re-relocated while this worker waited. Both the
+    /// single-key and the batched paths price local access through here.
+    fn relocated_local_or_dst(
+        &mut self,
+        key: Key,
+        counter: fn(&Metrics) -> &std::sync::atomic::AtomicU64,
+        mut apply: impl FnMut(&mut Vec<f32>),
+    ) -> Option<NodeId> {
+        let served_at = match self.node.store.with_local(key, &mut apply) {
+            LocalAccess::Done((), available_at) => available_at,
+            LocalAccess::InFlight(_) => match self.node.store.wait_local(key, &mut apply) {
+                Some(((), available_at)) => available_at,
+                None => return Some(self.shared.keyspace.home(key)),
+            },
+            LocalAccess::Remote(hint) => {
+                return Some(hint.unwrap_or_else(|| self.shared.keyspace.home(key)));
+            }
+        };
+        self.metrics().add(counter, 1);
+        self.charge_install_wait(served_at);
+        self.charge_shared_memory();
+        None
+    }
+
     fn pull_relocated(&mut self, key: Key, out: &mut [f32]) {
-        match self.node.store.with_local(key, |v| out.copy_from_slice(v)) {
-            LocalAccess::Done((), available_at) => {
-                self.metrics().inc(|m| &m.local_pulls);
-                self.charge_install_wait(available_at);
-                self.charge_shared_memory();
-            }
-            LocalAccess::InFlight(_) => {
-                // Charge the *installed* entry's stamp, not the one seen
-                // before blocking: the key may have been re-relocated
-                // while this worker waited.
-                match self.node.store.wait_local(key, |v| out.copy_from_slice(v)) {
-                    Some(((), available_at)) => {
-                        self.metrics().inc(|m| &m.local_pulls);
-                        self.charge_install_wait(available_at);
-                        self.charge_shared_memory();
-                    }
-                    None => self.remote_pull(key, out, None),
-                }
-            }
-            LocalAccess::Remote(hint) => self.remote_pull(key, out, hint),
+        if let Some(dst) =
+            self.relocated_local_or_dst(key, |m| &m.local_pulls, |v| out.copy_from_slice(v))
+        {
+            self.remote_pull(key, out, Some(dst));
         }
     }
 
@@ -197,23 +263,10 @@ impl NupsWorker {
     }
 
     fn push_relocated(&mut self, key: Key, delta: &[f32]) {
-        match self.node.store.with_local(key, |v| add_assign(v, delta)) {
-            LocalAccess::Done((), available_at) => {
-                self.metrics().inc(|m| &m.local_pushes);
-                self.charge_install_wait(available_at);
-                self.charge_shared_memory();
-            }
-            LocalAccess::InFlight(_) => {
-                match self.node.store.wait_local(key, |v| add_assign(v, delta)) {
-                    Some(((), available_at)) => {
-                        self.metrics().inc(|m| &m.local_pushes);
-                        self.charge_install_wait(available_at);
-                        self.charge_shared_memory();
-                    }
-                    None => self.remote_push(key, delta, None),
-                }
-            }
-            LocalAccess::Remote(hint) => self.remote_push(key, delta, hint),
+        if let Some(dst) =
+            self.relocated_local_or_dst(key, |m| &m.local_pushes, |v| add_assign(v, delta))
+        {
+            self.remote_push(key, delta, Some(dst));
         }
     }
 
@@ -272,14 +325,188 @@ impl NupsWorker {
         d.sample(&mut self.rng)
     }
 
-    fn pull_sampled_key(&mut self, key: Key) -> (Key, Vec<f32>) {
-        if !self.locally_available(key) {
-            self.metrics().inc(|m| &m.samples_remote);
+    /// Fetch a batch of sampled keys through the batched pull path.
+    fn pull_sampled_batch(&mut self, keys: Vec<Key>) -> Vec<(Key, Vec<f32>)> {
+        if keys.is_empty() {
+            return Vec::new();
         }
-        let mut value = vec![0.0; self.shared.value_len];
-        self.pull(key, &mut value);
-        self.metrics().inc(|m| &m.samples_drawn);
-        (key, value)
+        let vl = self.shared.value_len;
+        let n_remote = keys.iter().filter(|&&k| !self.locally_available(k)).count() as u64;
+        let mut flat = vec![0.0f32; keys.len() * vl];
+        self.pull_many(&keys, &mut flat);
+        let m = self.metrics();
+        m.add(|m| &m.samples_remote, n_remote);
+        m.add(|m| &m.samples_drawn, keys.len() as u64);
+        keys.into_iter().zip(flat.chunks_exact(vl).map(|c| c.to_vec())).collect()
+    }
+
+    /// Multi-key pull: serve what shared memory can, then issue one
+    /// batched request per remote destination and collect the (possibly
+    /// split) replies.
+    fn pull_many_batched(&mut self, keys: &[Key], out: &mut [f32]) {
+        let vl = self.shared.value_len;
+        debug_assert_eq!(out.len(), keys.len() * vl);
+        let mut remote: Vec<(NodeId, Vec<(Key, usize)>)> = Vec::new();
+        for (i, &key) in keys.iter().enumerate() {
+            let slot = &mut out[i * vl..(i + 1) * vl];
+            match self.shared.technique.technique(key) {
+                Technique::Replicated => self.pull_replicated(key, slot),
+                Technique::Relocated => {
+                    if let Some(dst) = self.relocated_local_or_dst(
+                        key,
+                        |m| &m.local_pulls,
+                        |v| slot.copy_from_slice(v),
+                    ) {
+                        group_by_node(&mut remote, dst, (key, i));
+                    }
+                }
+            }
+        }
+        if remote.is_empty() {
+            return;
+        }
+
+        // One request per destination — a singleton group rides the
+        // compact single-key message. Replies may arrive split (the served
+        // subset batched, parked entries individually at install).
+        let reply_to = Addr::worker(self.id.node, self.id.local);
+        let mut pending: FxHashMap<Key, VecDeque<usize>> = FxHashMap::default();
+        let mut outstanding = 0usize;
+        for (dst, entries) in remote {
+            let group_keys: Vec<Key> = entries.iter().map(|&(k, _)| k).collect();
+            let n = entries.len() as u64;
+            for (key, i) in entries {
+                pending.entry(key).or_default().push_back(i);
+                outstanding += 1;
+            }
+            let m = self.metrics();
+            m.add(|m| &m.remote_pulls, n);
+            m.inc(|m| &m.batch_pull_msgs);
+            m.add(|m| &m.batch_pull_keys, n);
+            let req = match group_keys.as_slice() {
+                [key] => Msg::PullReq { key: *key, reply_to, hops: 1 },
+                _ => Msg::PullBatchReq { keys: group_keys, reply_to, hops: 1 },
+            };
+            let send_cost = self.shared.cost.message(req.encoded_len());
+            self.endpoint.send(Addr::server(dst), self.clock.now(), req.to_bytes());
+            self.clock.advance(send_cost * self.congestion());
+        }
+        while outstanding > 0 {
+            let frame = self.endpoint.recv().expect("server disappeared during batched pull");
+            let response_bytes = frame.payload.len();
+            let mut payload = frame.payload;
+            let mut fill = |pending: &mut FxHashMap<Key, VecDeque<usize>>, key, value: &[f32]| {
+                let i = pending
+                    .get_mut(&key)
+                    .and_then(|q| q.pop_front())
+                    .unwrap_or_else(|| panic!("reply for unrequested key {key}"));
+                out[i * vl..(i + 1) * vl].copy_from_slice(value);
+            };
+            match Msg::decode(&mut payload).expect("undecodable reply") {
+                Msg::PullBatchResp { values, hops } => {
+                    self.charge_chain_tail(
+                        Msg::pull_batch_req_len(values.len()),
+                        response_bytes,
+                        hops,
+                    );
+                    for KeyUpdate { key, delta } in values {
+                        fill(&mut pending, key, &delta);
+                        outstanding -= 1;
+                    }
+                }
+                Msg::PullResp { key, value, hops } => {
+                    self.charge_chain_tail(Msg::pull_req_len(), response_bytes, hops);
+                    fill(&mut pending, key, &value);
+                    outstanding -= 1;
+                }
+                other => panic!("unexpected reply to batched pull: {other:?}"),
+            }
+        }
+    }
+
+    /// Multi-key push, batched like [`NupsWorker::pull_many_batched`].
+    fn push_many_batched(&mut self, keys: &[Key], deltas: &[f32]) {
+        let vl = self.shared.value_len;
+        debug_assert_eq!(deltas.len(), keys.len() * vl);
+        let mut remote: Vec<(NodeId, Vec<(Key, usize)>)> = Vec::new();
+        for (i, &key) in keys.iter().enumerate() {
+            let delta = &deltas[i * vl..(i + 1) * vl];
+            match self.shared.technique.technique(key) {
+                Technique::Replicated => self.push_replicated(key, delta),
+                Technique::Relocated => {
+                    if let Some(dst) = self.relocated_local_or_dst(
+                        key,
+                        |m| &m.local_pushes,
+                        |v| add_assign(v, delta),
+                    ) {
+                        group_by_node(&mut remote, dst, (key, i));
+                    }
+                }
+            }
+        }
+        if remote.is_empty() {
+            return;
+        }
+
+        let reply_to = Addr::worker(self.id.node, self.id.local);
+        let mut pending: FxHashMap<Key, usize> = FxHashMap::default();
+        let mut outstanding = 0usize;
+        for (dst, entries) in remote {
+            let mut updates: Vec<KeyUpdate> = entries
+                .iter()
+                .map(|&(key, i)| KeyUpdate { key, delta: deltas[i * vl..(i + 1) * vl].to_vec() })
+                .collect();
+            let n = entries.len() as u64;
+            for (key, _) in entries {
+                *pending.entry(key).or_default() += 1;
+                outstanding += 1;
+            }
+            let m = self.metrics();
+            m.add(|m| &m.remote_pushes, n);
+            m.inc(|m| &m.batch_push_msgs);
+            m.add(|m| &m.batch_push_keys, n);
+            let req = match updates.len() {
+                1 => {
+                    let KeyUpdate { key, delta } = updates.pop().expect("one update");
+                    Msg::PushReq { key, delta, reply_to, hops: 1 }
+                }
+                _ => Msg::PushBatchReq { updates, reply_to, hops: 1 },
+            };
+            let send_cost = self.shared.cost.message(req.encoded_len());
+            self.endpoint.send(Addr::server(dst), self.clock.now(), req.to_bytes());
+            self.clock.advance(send_cost * self.congestion());
+        }
+        let settle = |pending: &mut FxHashMap<Key, usize>, key: Key| {
+            let left = pending
+                .get_mut(&key)
+                .filter(|c| **c > 0)
+                .unwrap_or_else(|| panic!("ack for unrequested key {key}"));
+            *left -= 1;
+        };
+        while outstanding > 0 {
+            let frame = self.endpoint.recv().expect("server disappeared during batched push");
+            let response_bytes = frame.payload.len();
+            let mut payload = frame.payload;
+            match Msg::decode(&mut payload).expect("undecodable reply") {
+                Msg::PushBatchAck { keys: acked, hops } => {
+                    self.charge_chain_tail(
+                        Msg::push_batch_req_len(acked.len(), vl),
+                        response_bytes,
+                        hops,
+                    );
+                    for key in acked {
+                        settle(&mut pending, key);
+                        outstanding -= 1;
+                    }
+                }
+                Msg::PushAck { key, hops } => {
+                    self.charge_chain_tail(Msg::push_req_len(vl), response_bytes, hops);
+                    settle(&mut pending, key);
+                    outstanding -= 1;
+                }
+                other => panic!("unexpected reply to batched push: {other:?}"),
+            }
+        }
     }
 }
 
@@ -291,14 +518,7 @@ impl PsWorker for NupsWorker {
     fn pull(&mut self, key: Key, out: &mut [f32]) {
         debug_assert_eq!(out.len(), self.shared.value_len);
         match self.shared.technique.technique(key) {
-            Technique::Replicated => {
-                let slot = self.shared.technique.replica_slot(key).expect("slot");
-                self.node.replicas.pull(slot, out);
-                let m = self.metrics();
-                m.inc(|m| &m.replica_pulls);
-                m.inc(|m| &m.local_pulls);
-                self.charge_shared_memory();
-            }
+            Technique::Replicated => self.pull_replicated(key, out),
             Technique::Relocated => self.pull_relocated(key, out),
         }
     }
@@ -306,15 +526,26 @@ impl PsWorker for NupsWorker {
     fn push(&mut self, key: Key, delta: &[f32]) {
         debug_assert_eq!(delta.len(), self.shared.value_len);
         match self.shared.technique.technique(key) {
-            Technique::Replicated => {
-                let slot = self.shared.technique.replica_slot(key).expect("slot");
-                self.node.replicas.push(slot, delta);
-                let m = self.metrics();
-                m.inc(|m| &m.replica_pushes);
-                m.inc(|m| &m.local_pushes);
-                self.charge_shared_memory();
-            }
+            Technique::Replicated => self.push_replicated(key, delta),
             Technique::Relocated => self.push_relocated(key, delta),
+        }
+    }
+
+    fn pull_many(&mut self, keys: &[Key], out: &mut [f32]) {
+        match keys {
+            [] => {}
+            // A single key takes the scalar path: smaller wire message, no
+            // grouping overhead.
+            [key] => self.pull(*key, out),
+            _ => self.pull_many_batched(keys, out),
+        }
+    }
+
+    fn push_many(&mut self, keys: &[Key], deltas: &[f32]) {
+        match keys {
+            [] => {}
+            [key] => self.push(*key, deltas),
+            _ => self.push_many_batched(keys, deltas),
         }
     }
 
@@ -322,19 +553,31 @@ impl PsWorker for NupsWorker {
         if !self.shared.relocation_enabled {
             return;
         }
+        // Coalesce accepted intents into one message per home node; keys
+        // already local or in flight are no-ops (as in Lapse).
+        let mut groups: Vec<(NodeId, Vec<Key>)> = Vec::new();
         for &key in keys {
             if self.shared.technique.is_replicated(key) {
                 continue;
             }
             let expected = self.relocation_estimate();
             if self.node.store.mark_inflight(key, expected) {
-                let msg = Msg::LocalizeReq { key, requester: self.id.node };
-                let home = self.shared.keyspace.home(key);
-                self.endpoint.send(Addr::server(home), self.clock.now(), msg.to_bytes());
-                // Issuing is asynchronous: only the (tiny) issue cost is
-                // charged to the worker.
-                self.clock.advance(self.shared.cost.local_access);
+                group_by_node(&mut groups, self.shared.keyspace.home(key), key);
             }
+        }
+        for (home, group) in groups {
+            let n = group.len() as u64;
+            let msg = match group.as_slice() {
+                [key] => Msg::LocalizeReq { key: *key, requester: self.id.node },
+                _ => Msg::LocalizeBatchReq { keys: group, requester: self.id.node },
+            };
+            self.endpoint.send(Addr::server(home), self.clock.now(), msg.to_bytes());
+            let m = self.metrics();
+            m.inc(|m| &m.localize_msgs);
+            m.add(|m| &m.localize_keys, n);
+            // Issuing is asynchronous: only the (tiny) per-message issue
+            // cost is charged to the worker.
+            self.clock.advance(self.shared.cost.local_access);
         }
     }
 
@@ -392,19 +635,22 @@ impl PsWorker for NupsWorker {
     fn pull_sample(&mut self, handle: &mut SampleHandle, n: usize) -> Vec<(Key, Vec<f32>)> {
         let idx = handle.dist.0;
         let scheme = self.dists[idx].1;
-        let mut out = Vec::with_capacity(n);
+        // Decide which samples this pull serves, then fetch them through
+        // the batched pull path: sampling-heavy workloads issue one round
+        // trip per destination node instead of one per sampled key.
+        let mut keys = Vec::with_capacity(n);
         match scheme {
             SamplingScheme::Manual | SamplingScheme::Independent | SamplingScheme::Reuse(_) => {
                 for _ in 0..n {
                     let Some((key, _)) = handle.queue.pop_front() else { break };
-                    out.push(self.pull_sampled_key(key));
+                    keys.push(key);
                 }
             }
             SamplingScheme::ReuseWithPostponing(_) => {
-                while out.len() < n {
+                while keys.len() < n {
                     let Some((key, postponed)) = handle.queue.pop_front() else { break };
                     if postponed || self.locally_available(key) {
-                        out.push(self.pull_sampled_key(key));
+                        keys.push(key);
                     } else {
                         // Postpone: re-localize, move to the end of this
                         // handle, use something else now. Each sample is
@@ -419,13 +665,12 @@ impl PsWorker for NupsWorker {
             SamplingScheme::Local => {
                 let take = n.min(handle.lazy_remaining);
                 for _ in 0..take {
-                    let key = self.draw_local(idx);
-                    out.push(self.pull_sampled_key(key));
+                    keys.push(self.draw_local(idx));
                 }
                 handle.lazy_remaining -= take;
             }
         }
-        out
+        self.pull_sampled_batch(keys)
     }
 
     fn begin_epoch(&mut self) {

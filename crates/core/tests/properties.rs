@@ -89,7 +89,7 @@ proptest! {
                 Op::RemotePush(k, d) => {
                     let r = store.server_push(
                         k as u64,
-                        vec![d as f32],
+                        &[d as f32],
                         Addr::server(NodeId(9)),
                         1,
                     );

@@ -162,14 +162,16 @@ impl TrainTask for KgeTask {
         }
 
         // Scratch buffers reused across the epoch (hot loop: no allocs).
-        let mut s_val = vec![0.0f32; vl];
-        let mut r_val = vec![0.0f32; vl];
-        let mut o_val = vec![0.0f32; vl];
+        // Subject, relation and object travel together through the batched
+        // API; all of a triple's pushes coalesce into one multi-key update.
+        let mut sro = vec![0.0f32; 3 * vl];
         let mut gs = vec![0.0f32; emb];
         let mut gr = vec![0.0f32; emb];
         let mut go = vec![0.0f32; emb];
         let mut gneg = vec![0.0f32; emb];
         let mut delta = vec![0.0f32; vl];
+        let mut push_keys: Vec<Key> = Vec::with_capacity(2 * n_neg + 3);
+        let mut push_deltas: Vec<f32> = Vec::with_capacity((2 * n_neg + 3) * vl);
         let mut loss = 0.0f64;
 
         // Prefetch the head of the visit order.
@@ -187,14 +189,17 @@ impl TrainTask for KgeTask {
             // reorder (Section 4.3).
             let mut handle = worker.prepare_sample(dist, 2 * n_neg);
 
-            let [sk, rk, ok] = self.triple_keys(t);
-            worker.pull(sk, &mut s_val);
-            worker.pull(rk, &mut r_val);
-            worker.pull(ok, &mut o_val);
+            let triple_keys = self.triple_keys(t);
+            let [sk, rk, ok] = triple_keys;
+            worker.pull_many(&triple_keys, &mut sro);
+            let (s_val, ro) = sro.split_at(vl);
+            let (r_val, o_val) = ro.split_at(vl);
 
             gs.fill(0.0);
             gr.fill(0.0);
             go.fill(0.0);
+            push_keys.clear();
+            push_deltas.clear();
 
             // Positive triple, label 1.
             let sc = score(&s_val[..emb], &r_val[..emb], &o_val[..emb]);
@@ -227,7 +232,8 @@ impl TrainTask for KgeTask {
                 );
                 delta.fill(0.0);
                 self.opt.delta(&nv, &gneg, &mut delta);
-                worker.push(nk, &delta);
+                push_keys.push(nk);
+                push_deltas.extend_from_slice(&delta);
             }
             // Subject perturbations: (n, r, o), label 0.
             for (nk, nv) in worker.pull_sample(&mut handle, n_neg) {
@@ -246,19 +252,19 @@ impl TrainTask for KgeTask {
                 );
                 delta.fill(0.0);
                 self.opt.delta(&nv, &gneg, &mut delta);
-                worker.push(nk, &delta);
+                push_keys.push(nk);
+                push_deltas.extend_from_slice(&delta);
             }
 
-            // Push the accumulated direct-access deltas.
-            delta.fill(0.0);
-            self.opt.delta(&s_val, &gs, &mut delta);
-            worker.push(sk, &delta);
-            delta.fill(0.0);
-            self.opt.delta(&r_val, &gr, &mut delta);
-            worker.push(rk, &delta);
-            delta.fill(0.0);
-            self.opt.delta(&o_val, &go, &mut delta);
-            worker.push(ok, &delta);
+            // The accumulated direct-access deltas join the same batch:
+            // one multi-key push per triple.
+            for (key, val, grad) in [(sk, s_val, &gs), (rk, r_val, &gr), (ok, o_val, &go)] {
+                delta.fill(0.0);
+                self.opt.delta(val, grad, &mut delta);
+                push_keys.push(key);
+                push_deltas.extend_from_slice(&delta);
+            }
+            worker.push_many(&push_keys, &push_deltas);
 
             worker.charge_compute(
                 (1 + 2 * n_neg as u64) * flops_per_scored_triple(dc)

@@ -131,10 +131,10 @@ impl TrainTask for MfTask {
         let lr = self.current_lr();
         let lambda = self.cfg.lambda;
 
-        let mut u = vec![0.0f32; k];
-        let mut v = vec![0.0f32; k];
-        let mut du = vec![0.0f32; k];
-        let mut dv = vec![0.0f32; k];
+        // Row and column factors travel together through the batched API:
+        // one pull and one push per cell instead of two of each.
+        let mut uv = vec![0.0f32; 2 * k];
+        let mut dudv = vec![0.0f32; 2 * k];
         let mut loss = 0.0f64;
 
         for (i, cell) in cells.iter().enumerate() {
@@ -144,17 +144,18 @@ impl TrainTask for MfTask {
                     worker.localize(&[self.col_key(ahead.col)]);
                 }
             }
-            worker.pull(cell.row as Key, &mut u);
-            worker.pull(self.col_key(cell.col), &mut v);
-            let pred: f32 = u.iter().zip(&v).map(|(a, b)| a * b).sum();
+            let keys = [cell.row as Key, self.col_key(cell.col)];
+            worker.pull_many(&keys, &mut uv);
+            let (u, v) = uv.split_at(k);
+            let pred: f32 = u.iter().zip(v).map(|(a, b)| a * b).sum();
             let e = pred - cell.value;
             loss += (e as f64).powi(2);
+            let (du, dv) = dudv.split_at_mut(k);
             for d in 0..k {
                 du[d] = -lr * (e * v[d] + lambda * u[d]);
                 dv[d] = -lr * (e * u[d] + lambda * v[d]);
             }
-            worker.push(cell.row as Key, &du);
-            worker.push(self.col_key(cell.col), &dv);
+            worker.push_many(&keys, &dudv);
             worker.charge_compute((8 * k) as u64);
             worker.advance_clock();
         }

@@ -162,12 +162,15 @@ impl TrainTask for W2vTask {
         let mut rng =
             SmallRng::seed_from_u64(self.cfg.seed ^ ((part as u64) << 16) ^ ((epoch as u64) << 40));
 
-        let mut v = vec![0.0f32; dim]; // input (center) vector
-        let mut u = vec![0.0f32; dim]; // output (context) vector
+        let mut vu = vec![0.0f32; 2 * dim]; // input (center) | output (context)
         let mut gv = vec![0.0f32; dim];
-        let mut delta = vec![0.0f32; dim];
         let mut keys_scratch = Vec::new();
         let mut kept: Vec<u32> = Vec::new();
+        // One batched push per (center, context) pair: the context delta,
+        // the negative deltas, and the center delta coalesce into a single
+        // multi-key update.
+        let mut push_keys: Vec<Key> = Vec::with_capacity(n_neg + 2);
+        let mut push_deltas: Vec<f32> = Vec::with_capacity((n_neg + 2) * dim);
         let mut loss = 0.0f64;
 
         for (si, &sid) in sentences.iter().enumerate() {
@@ -190,36 +193,38 @@ impl TrainTask for W2vTask {
                         continue;
                     }
                     let mut handle = worker.prepare_sample(dist, n_neg);
-                    worker.pull(center as Key, &mut v);
-                    worker.pull(self.output_key(ctx), &mut u);
+                    let pair_keys = [center as Key, self.output_key(ctx)];
+                    worker.pull_many(&pair_keys, &mut vu);
+                    let (v, u) = vu.split_at(dim);
                     gv.fill(0.0);
+                    push_keys.clear();
+                    push_deltas.clear();
 
                     // Positive pair.
-                    let sc: f32 = v.iter().zip(&u).map(|(a, b)| a * b).sum();
+                    let sc: f32 = v.iter().zip(u).map(|(a, b)| a * b).sum();
                     loss += logistic_loss(sc, 1.0) as f64;
                     let g = sigmoid(sc) - 1.0;
+                    push_keys.push(self.output_key(ctx));
                     for d in 0..dim {
                         gv[d] += g * u[d];
-                        delta[d] = -self.cfg.lr * g * v[d];
+                        push_deltas.push(-self.cfg.lr * g * v[d]);
                     }
-                    worker.push(self.output_key(ctx), &delta);
 
                     // Negatives from the noise distribution.
                     for (nk, nv) in worker.pull_sample(&mut handle, n_neg) {
                         let sc: f32 = v.iter().zip(&nv).map(|(a, b)| a * b).sum();
                         loss += logistic_loss(sc, 0.0) as f64;
                         let g = sigmoid(sc);
+                        push_keys.push(nk);
                         for d in 0..dim {
                             gv[d] += g * nv[d];
-                            delta[d] = -self.cfg.lr * g * v[d];
+                            push_deltas.push(-self.cfg.lr * g * v[d]);
                         }
-                        worker.push(nk, &delta);
                     }
 
-                    for d in 0..dim {
-                        delta[d] = -self.cfg.lr * gv[d];
-                    }
-                    worker.push(center as Key, &delta);
+                    push_keys.push(center as Key);
+                    push_deltas.extend(gv.iter().map(|&g| -self.cfg.lr * g));
+                    worker.push_many(&push_keys, &push_deltas);
 
                     // ~6 flops per dim per scored pair (dot + two axpys).
                     worker.charge_compute(((1 + n_neg) * 6 * dim) as u64);

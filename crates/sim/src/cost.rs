@@ -161,6 +161,25 @@ mod tests {
     }
 
     #[test]
+    fn framing_amortizes_across_batch_entries() {
+        // The pricing lever behind the batched wire protocol: one message
+        // carrying n entries pays the per-message latency and framing
+        // overhead once, n single-entry messages pay them n times.
+        let c = CostModel::cluster_default();
+        let n = 32;
+        let entry = 8 + 4 + 4 * 64; // key + length prefix + dim-64 value
+        let batched = c.message(4 + n * entry);
+        let singles = c.message(entry) * n as u64;
+        assert!(batched < singles, "batched {batched:?} vs singles {singles:?}");
+        let saved = singles - batched;
+        let floor = (c.one_way_latency + c.transfer(WIRE_HEADER_BYTES)) * (n as u64 - 1);
+        assert!(
+            saved.as_nanos() + 1000 >= floor.as_nanos(),
+            "must save ~(n-1) latencies + headers: saved {saved:?}, floor {floor:?}"
+        );
+    }
+
+    #[test]
     fn allreduce_scales_with_rounds() {
         let c = CostModel::cluster_default();
         assert_eq!(c.allreduce(3, 1000), c.message(1000) * 3);

@@ -116,6 +116,19 @@ metrics! {
     clock_advances,
     /// Synchronous replica refreshes (SSP cold replicas).
     replica_refreshes,
+    /// Batched pull requests sent by workers (one per destination node).
+    batch_pull_msgs,
+    /// Key entries carried by batched pull requests (entries ÷ messages
+    /// gives the achieved pull batch size).
+    batch_pull_keys,
+    /// Batched push requests sent by workers.
+    batch_push_msgs,
+    /// Key entries carried by batched push requests.
+    batch_push_keys,
+    /// Localize messages issued by workers (coalesced per home node).
+    localize_msgs,
+    /// Relocation intents carried by localize messages.
+    localize_keys,
 }
 
 impl Metrics {

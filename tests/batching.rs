@@ -1,0 +1,101 @@
+//! Batched multi-key access: a skewed batch must issue at most one round
+//! trip per destination node (the scaling lever the wire-level batch
+//! protocol exists for), with message counts asserted via metrics.
+
+use nups::core::{NupsConfig, ParameterServer, PsWorker};
+use nups::sim::cost::CostModel;
+use nups::sim::topology::{NodeId, Topology, WorkerId};
+
+fn zero_cost(cfg: NupsConfig) -> NupsConfig {
+    cfg.with_cost(CostModel::zero())
+}
+
+/// Keys 0..30 over 3 nodes are range-partitioned: 0..10 at node 0, 10..20
+/// at node 1, 20..30 at node 2.
+fn classic_3node() -> ParameterServer {
+    let topo = Topology::new(3, 1);
+    ParameterServer::new(zero_cost(NupsConfig::classic(topo, 30, 2)), |k, v| v.fill(k as f32))
+}
+
+#[test]
+fn skewed_pull_batch_issues_one_round_trip_per_destination() {
+    let ps = classic_3node();
+    let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+    // A skewed batch: 3 local keys, 4 on node 1, 2 on node 2.
+    let keys = [0u64, 1, 2, 10, 11, 12, 13, 20, 21];
+    let mut out = vec![0.0f32; keys.len() * 2];
+    w.pull_many(&keys, &mut out);
+    for (i, &k) in keys.iter().enumerate() {
+        assert_eq!(&out[i * 2..(i + 1) * 2], &[k as f32; 2], "slot {i}");
+    }
+    let m = ps.metrics();
+    assert_eq!(m.msgs_sent, 4, "2 batch requests + 2 batch replies, nothing per-key");
+    assert_eq!(m.remote_pulls, 6);
+    assert_eq!(m.local_pulls, 3);
+    assert_eq!(m.batch_pull_msgs, 2, "one request per remote destination");
+    assert_eq!(m.batch_pull_keys, 6);
+    ps.shutdown();
+}
+
+#[test]
+fn skewed_push_batch_issues_one_round_trip_per_destination() {
+    let ps = classic_3node();
+    let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+    let keys = [5u64, 10, 11, 20, 21, 22];
+    let deltas = vec![1.0f32; keys.len() * 2];
+    w.push_many(&keys, &deltas);
+    let m = ps.metrics();
+    assert_eq!(m.msgs_sent, 4, "2 batch requests + 2 batch acks");
+    assert_eq!(m.remote_pushes, 5);
+    assert_eq!(m.local_pushes, 1);
+    assert_eq!(m.batch_push_msgs, 2);
+    assert_eq!(m.batch_push_keys, 5);
+    drop(w);
+    for &k in &keys {
+        assert_eq!(ps.read_value(k), vec![k as f32 + 1.0; 2], "key {k}");
+    }
+    ps.shutdown();
+}
+
+#[test]
+fn duplicate_keys_in_a_batch_are_served_per_occurrence() {
+    let ps = classic_3node();
+    let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+    let keys = [10u64, 10, 11];
+    let mut out = vec![0.0f32; keys.len() * 2];
+    w.pull_many(&keys, &mut out);
+    assert_eq!(out, vec![10.0, 10.0, 10.0, 10.0, 11.0, 11.0]);
+    let m = ps.metrics();
+    assert_eq!(m.msgs_sent, 2, "single destination: one request, one reply");
+    assert_eq!(m.batch_pull_msgs, 1);
+    assert_eq!(m.batch_pull_keys, 3);
+    // Duplicate pushes each land.
+    let deltas = vec![0.5f32; keys.len() * 2];
+    w.push_many(&keys, &deltas);
+    drop(w);
+    assert_eq!(ps.read_value(10), vec![11.0; 2]);
+    assert_eq!(ps.read_value(11), vec![11.5; 2]);
+    ps.shutdown();
+}
+
+#[test]
+fn localize_coalesces_intents_per_home_node() {
+    let topo = Topology::new(3, 1);
+    let ps =
+        ParameterServer::new(zero_cost(NupsConfig::lapse(topo, 30, 2)), |k, v| v.fill(k as f32));
+    let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+    // Three keys homed at node 1 ride one LocalizeBatchReq; the singleton
+    // for node 2 stays on the compact single-key message.
+    w.localize(&[10, 11, 12, 20]);
+    // Pulling blocks until the transfers install, so counters are settled.
+    let mut out = vec![0.0f32; 4 * 2];
+    w.pull_many(&[10, 11, 12, 20], &mut out);
+    let m = ps.metrics();
+    assert_eq!(m.localize_msgs, 2, "one localize message per home node");
+    assert_eq!(m.localize_keys, 4);
+    assert_eq!(m.relocations, 4);
+    assert_eq!(m.remote_pulls, 0, "everything was local after relocation");
+    assert_eq!(m.local_pulls, 4);
+    assert_eq!(m.msgs_sent, 6, "2 localize messages + 4 transfers; no per-key localize traffic");
+    ps.shutdown();
+}
