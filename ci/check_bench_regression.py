@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Gate bench reports against a committed baseline.
+
+Usage: check_bench_regression.py BASELINE.json REPORT.json [--tolerance 0.10]
+
+Every numeric leaf in the baseline must be present in the report (and
+vice versa — a report-only counter would be silently ungated) and must
+stay within ``baseline * (1 ± tolerance)``. The band is symmetric on
+purpose: the simulation is deterministic, so equal code produces
+byte-equal reports, and *any* drift beyond the band — a counter growing
+(more traffic/time) or shrinking (a silently changed workload that
+invalidates the comparison) — means behavior changed and the baseline
+must be updated deliberately, with the reason in the commit. Small
+in-band drifts are reported but pass.
+"""
+
+import json
+import sys
+
+
+def leaves(obj, prefix=""):
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            yield from leaves(v, f"{prefix}{k}." if isinstance(v, dict) else f"{prefix}{k}")
+    elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        yield prefix, obj
+
+
+def lookup(obj, path):
+    cur = obj
+    for part in path.split("."):
+        if not isinstance(cur, dict) or part not in cur:
+            return None
+        cur = cur[part]
+    return cur
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    tolerance = 0.10
+    if "--tolerance" in argv:
+        tolerance = float(argv[argv.index("--tolerance") + 1])
+    with open(argv[1]) as f:
+        baseline = json.load(f)
+    with open(argv[2]) as f:
+        report = json.load(f)
+
+    failures, improvements, checked = [], [], 0
+    for path, base in leaves(baseline):
+        got = lookup(report, path)
+        if got is None or isinstance(got, (dict, str, bool)):
+            failures.append(f"{path}: missing from report (baseline {base})")
+            continue
+        checked += 1
+        pct = 100.0 * (got - base) / base if base else (float("inf") if got else 0.0)
+        if got > base * (1 + tolerance):
+            failures.append(f"{path}: {got} exceeds baseline {base} by {pct:.1f}% (limit ±{tolerance:.0%})")
+        elif got < base * (1 - tolerance):
+            failures.append(
+                f"{path}: {got} fell {-pct:.1f}% below baseline {base} (limit ±{tolerance:.0%}; "
+                "update the baseline if the change is intentional)"
+            )
+        elif got != base:
+            improvements.append(f"{path}: {got} drifted within band from baseline {base}")
+    base_paths = {p for p, _ in leaves(baseline)}
+    for path, got in leaves(report):
+        if path not in base_paths:
+            failures.append(
+                f"{path}: present in report ({got}) but not in the baseline — "
+                "regenerate the baseline so the new counter is gated"
+            )
+
+    print(f"checked {checked} counters from {argv[1]} against {argv[2]}")
+    for line in improvements:
+        print(f"  in-band   {line}")
+    for line in failures:
+        print(f"  OUT-OF-BAND {line}")
+    if failures:
+        print(f"FAIL: {len(failures)} counter(s) beyond ±{tolerance:.0%} of baseline")
+        return 1
+    print("OK: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

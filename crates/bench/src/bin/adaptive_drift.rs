@@ -1,0 +1,173 @@
+//! Static vs adaptive technique assignment on a drifting-hotspot workload
+//! (a Figure 11-style comparison the paper could not run: its assignment
+//! is fixed before training).
+//!
+//! Both variants start from the paper's untuned heuristic applied to
+//! phase-0 statistics. The hot set then rotates each phase, so the static
+//! assignment is wrong from phase 1 on, while the adaptive manager
+//! promotes the new hot keys and demotes the stale ones at
+//! synchronization rendezvous.
+//!
+//! Usage: cargo run --release -p nups-bench --bin adaptive_drift -- \
+//!   [--scale tiny|small|medium] [--nodes 4] [--workers 2] \
+//!   [--json PATH] [--check]
+//!
+//! `--json` writes the counters the CI `bench-regression` job gates on;
+//! `--check` exits non-zero unless the adaptive variant beats the static
+//! one on both total messages and virtual runtime.
+
+use nups_bench::json::Json;
+use nups_bench::report::{fmt_time, print_table};
+use nups_bench::{Args, Scale};
+use nups_core::adaptive::AdaptiveConfig;
+use nups_core::system::run_epoch;
+use nups_core::technique::heuristic_replicated_keys;
+use nups_core::{NupsConfig, ParameterServer, PsWorker};
+use nups_sim::metrics::MetricsSnapshot;
+use nups_sim::time::{SimDuration, SimTime};
+use nups_sim::topology::Topology;
+use nups_workloads::drift::{DriftConfig, DriftingHotspots};
+
+const VALUE_LEN: usize = 8;
+
+fn drift_for(scale: Scale) -> DriftingHotspots {
+    let (n_keys, hot_keys, phases, batches_per_phase) = match scale {
+        Scale::Tiny => (1024, 4, 3, 40),
+        Scale::Small => (4096, 8, 3, 150),
+        Scale::Medium => (16384, 16, 4, 300),
+    };
+    DriftingHotspots::new(DriftConfig {
+        n_keys,
+        hot_keys,
+        hot_share: 0.9,
+        phases,
+        batches_per_phase,
+        batch: 8,
+        seed: 0xD81F7,
+    })
+}
+
+struct DriftRun {
+    time: SimTime,
+    metrics: MetricsSnapshot,
+}
+
+fn run_variant(drift: &DriftingHotspots, topology: Topology, adaptive: bool) -> DriftRun {
+    let cfg = drift.config();
+    let freqs = drift.phase_frequencies(0, topology.total_workers());
+    let initial = heuristic_replicated_keys(&freqs);
+    // The sync period scales with the scaled-down workload the same way
+    // the paper's 40 ms scales with hours-long epochs.
+    let mut ps_cfg = NupsConfig::nups(topology, cfg.n_keys, VALUE_LEN)
+        .with_replicated_keys(initial)
+        .with_sync_period(SimDuration::from_micros(500));
+    if adaptive {
+        ps_cfg = ps_cfg.with_adaptive(AdaptiveConfig {
+            adapt_every: 2,
+            sketch_bits: 14,
+            ..AdaptiveConfig::default()
+        });
+    }
+    let ps = ParameterServer::new(ps_cfg, |k, v| v.fill((k % 97) as f32 * 0.01));
+    let mut workers = ps.workers();
+    let batch = cfg.batch;
+    for phase in 0..cfg.phases {
+        run_epoch(&mut workers, |i, w| {
+            for keys in drift.worker_batches(phase, i) {
+                let mut out = vec![0.0f32; keys.len() * VALUE_LEN];
+                w.pull_many(&keys, &mut out);
+                let deltas = vec![0.01f32; keys.len() * VALUE_LEN];
+                w.push_many(&keys, &deltas);
+                w.charge_compute(500 * batch as u64);
+            }
+        });
+    }
+    drop(workers);
+    ps.flush_replicas();
+    let run = DriftRun { time: ps.virtual_time(), metrics: ps.metrics() };
+    ps.shutdown();
+    run
+}
+
+fn variant_json(r: &DriftRun) -> Json {
+    let m = &r.metrics;
+    Json::obj()
+        .set("msgs", m.msgs_sent + m.migration_msgs)
+        .set("bytes", m.bytes_sent + m.migration_bytes)
+        .set("remote_accesses", m.remote_pulls + m.remote_pushes)
+        .set("relocations", m.relocations)
+        .set("sync_rounds", m.sync_rounds)
+        .set("promotions", m.promotions)
+        .set("demotions", m.demotions)
+        .set("virtual_time_us", r.time.as_nanos() / 1_000)
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let topology = args.topology();
+    let drift = drift_for(scale);
+
+    eprintln!("[adaptive_drift] static assignment (phase-0 heuristic, frozen)");
+    let stat = run_variant(&drift, topology, false);
+    eprintln!("[adaptive_drift] adaptive assignment (online migration)");
+    let adap = run_variant(&drift, topology, true);
+
+    let row = |name: &str, r: &DriftRun| {
+        let m = &r.metrics;
+        vec![
+            name.to_string(),
+            fmt_time(r.time),
+            format!("{}", m.msgs_sent + m.migration_msgs),
+            format!("{}", m.remote_pulls + m.remote_pushes),
+            format!("{}", m.relocations),
+            format!("{}", m.sync_rounds),
+            format!("{}/{}", m.promotions, m.demotions),
+        ]
+    };
+    print_table(
+        &format!(
+            "Static vs adaptive technique assignment — drifting hot set ({} phases)",
+            drift.config().phases
+        ),
+        &[
+            "variant",
+            "virtual time",
+            "messages",
+            "remote acc.",
+            "relocations",
+            "sync",
+            "promo/demo",
+        ],
+        &[row("Static (NuPS heuristic)", &stat), row("Adaptive", &adap)],
+    );
+    let msgs_s = stat.metrics.msgs_sent + stat.metrics.migration_msgs;
+    let msgs_a = adap.metrics.msgs_sent + adap.metrics.migration_msgs;
+    let speedup = stat.time.as_nanos() as f64 / adap.time.as_nanos().max(1) as f64;
+    println!(
+        "\nadaptive vs static: {:.2}x runtime, {:.1}% of the messages",
+        speedup,
+        100.0 * msgs_a as f64 / msgs_s.max(1) as f64
+    );
+
+    if let Some(path) = args.get("json") {
+        let report = Json::obj()
+            .set("bench", "adaptive_drift")
+            .set("scale", scale.name())
+            .set("topology", format!("{}x{}", topology.n_nodes, topology.workers_per_node).as_str())
+            .set("static", variant_json(&stat))
+            .set("adaptive", variant_json(&adap));
+        std::fs::write(path, report.render()).expect("write json report");
+        eprintln!("[adaptive_drift] wrote {path}");
+    }
+
+    if args.get_flag("check") && (msgs_a >= msgs_s || adap.time >= stat.time) {
+        eprintln!(
+            "FAIL: adaptive did not beat static (messages {msgs_a} vs {msgs_s}, \
+             time {} vs {})",
+            fmt_time(adap.time),
+            fmt_time(stat.time)
+        );
+        std::process::exit(1);
+    }
+}

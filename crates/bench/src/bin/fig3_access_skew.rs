@@ -2,8 +2,10 @@
 //! direct and sampling access, sorted by total access count — plus the
 //! headline skew statistics quoted in Section 2.1.
 //!
-//! Usage: cargo run --release -p nups-bench --bin fig3_access_skew -- [--scale small]
+//! Usage: cargo run --release -p nups-bench --bin fig3_access_skew -- \
+//!   [--scale small] [--json PATH]
 
+use nups_bench::json::Json;
 use nups_bench::report::print_table;
 use nups_bench::{Args, Scale, TaskKind};
 use nups_workloads::corpus::{Corpus, CorpusConfig};
@@ -85,6 +87,16 @@ fn wv_trace(scale: Scale) -> AccessTrace {
     trace
 }
 
+/// The skew statistics as stable integers (ppm for shares) for the CI
+/// regression report.
+fn trace_json(trace: &AccessTrace) -> Json {
+    Json::obj()
+        .set("total_accesses", trace.total_direct() + trace.total_sampling())
+        .set("sampling_share_ppm", (1e6 * trace.sampling_share()).round() as u64)
+        .set("top_0p02pct_share_ppm", (1e6 * trace.share_of_top(0.0002)).round() as u64)
+        .set("top_1pct_share_ppm", (1e6 * trace.share_of_top(0.01)).round() as u64)
+}
+
 fn report(name: &str, trace: &AccessTrace) {
     println!("\n##### Figure 3 — {name} #####");
     let total = trace.total_direct() + trace.total_sampling();
@@ -109,10 +121,19 @@ fn main() {
     let args = Args::parse();
     let scale = args.scale();
     let tasks = args.tasks();
+    let mut json = Json::obj().set("bench", "fig3_access_skew").set("scale", scale.name());
     if tasks.contains(&TaskKind::Kge) {
-        report("KGE (Figure 3a)", &kge_trace(scale));
+        let trace = kge_trace(scale);
+        report("KGE (Figure 3a)", &trace);
+        json = json.set("kge", trace_json(&trace));
     }
     if tasks.contains(&TaskKind::Wv) {
-        report("WV (Figure 3b)", &wv_trace(scale));
+        let trace = wv_trace(scale);
+        report("WV (Figure 3b)", &trace);
+        json = json.set("wv", trace_json(&trace));
+    }
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, json.render()).expect("write json report");
+        eprintln!("[fig3] wrote {path}");
     }
 }

@@ -1,0 +1,112 @@
+//! Minimal JSON emission for CI bench reports.
+//!
+//! The `bench-regression` CI job diffs these reports against a committed
+//! baseline, so the format is deliberately tiny and dependency-free (the
+//! workspace builds offline): ordered objects of integers, floats and
+//! strings, rendered with stable key order so reports diff cleanly.
+
+use std::fmt::Write as _;
+
+/// A JSON value (only the shapes bench reports need).
+#[derive(Debug, Clone)]
+pub enum Json {
+    U64(u64),
+    F64(f64),
+    Str(String),
+    /// Ordered object — keys render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Insert (or replace) a field; returns `self` for chaining.
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
+        let Json::Obj(fields) = &mut self else { panic!("set on non-object JSON") };
+        match fields.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value.into(),
+            None => fields.push((key.to_string(), value.into())),
+        }
+        self
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => {
+                // Finite, locale-independent rendering; NaN/inf are bugs.
+                assert!(v.is_finite(), "non-finite value in bench report");
+                let _ = write!(out, "{v}");
+            }
+            Json::Str(s) => {
+                let _ = write!(out, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""));
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                let pad = "  ".repeat(indent + 1);
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    let _ = write!(out, "{pad}\"{k}\": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{}}}", "  ".repeat(indent));
+            }
+        }
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::F64(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_objects_in_insertion_order() {
+        let j = Json::obj()
+            .set("b", 2u64)
+            .set("a", Json::obj().set("x", 1.5).set("s", "hi\"there"))
+            .set("b", 3u64); // replacement keeps position
+        let s = j.render();
+        assert_eq!(
+            s,
+            "{\n  \"b\": 3,\n  \"a\": {\n    \"x\": 1.5,\n    \"s\": \"hi\\\"there\"\n  }\n}\n"
+        );
+    }
+
+    #[test]
+    fn empty_object_renders_braces() {
+        assert_eq!(Json::obj().render(), "{}\n");
+    }
+}

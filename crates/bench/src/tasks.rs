@@ -68,6 +68,14 @@ impl Scale {
             _ => None,
         }
     }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+        }
+    }
 }
 
 /// Build a task partitioned for `topology`.

@@ -1,5 +1,6 @@
 //! The system variants compared throughout the paper's evaluation.
 
+use nups_core::adaptive::AdaptiveConfig;
 use nups_core::sampling::scheme::{ReuseParams, SamplingScheme};
 use nups_core::ssp::SspProtocol;
 use nups_sim::time::SimDuration;
@@ -44,6 +45,9 @@ pub struct NupsVariant {
     pub sync: SyncSetting,
     /// Apply the task's gradient-clip policy to replicated keys.
     pub clip: bool,
+    /// Adaptive technique management (`None` = the paper's static
+    /// pre-training assignment).
+    pub adaptive: Option<AdaptiveConfig>,
 }
 
 impl Default for NupsVariant {
@@ -56,6 +60,7 @@ impl Default for NupsVariant {
             scheme: None,
             sync: SyncSetting::Default,
             clip: true,
+            adaptive: None,
         }
     }
 }
@@ -194,6 +199,15 @@ impl VariantSpec {
     /// Section 5.5 sweep: NuPS with an explicit sampling scheme.
     pub fn nups_scheme(name: &str, scheme: SamplingScheme) -> VariantSpec {
         Self::nups(name, NupsVariant { scheme: Some(scheme), ..NupsVariant::default() })
+    }
+
+    /// NuPS with adaptive technique management: starts from the static
+    /// heuristic assignment and migrates keys online.
+    pub fn nups_adaptive(adaptive: AdaptiveConfig) -> VariantSpec {
+        Self::nups(
+            "NuPS (adaptive)",
+            NupsVariant { adaptive: Some(adaptive), ..NupsVariant::default() },
+        )
     }
 
     /// The Figure 10 scheme ladder.

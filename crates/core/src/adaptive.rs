@@ -1,0 +1,345 @@
+//! Adaptive technique management: online hot-key detection and live
+//! replication ↔ relocation migration.
+//!
+//! The paper picks each key's management technique *statically before
+//! training* from dataset statistics and concedes the choice can be wrong
+//! when access patterns shift. This module makes the choice adaptive:
+//!
+//! * Workers sample every key access into a lightweight count-min sketch
+//!   ([`nups_sim::metrics::FreqSketch`]) — one relaxed atomic increment per
+//!   row on the hot path.
+//! * At every `adapt_every`-th replica-synchronization rendezvous, the
+//!   last-arriving worker (the *coordinator* — the same rendezvous
+//!   substitution replica sync uses) re-scores all keys against the
+//!   paper's replication-benefit heuristic: promote a relocated key whose
+//!   estimated frequency exceeds `promote_factor ×` the mean, demote a
+//!   replicated key that fell below `demote_factor ×` the mean
+//!   (`demote_factor ≪ promote_factor` gives hysteresis against thrash).
+//! * Migrations execute while **every active worker is parked at the
+//!   gate**, which is what makes the whole scheme deterministic in virtual
+//!   time: the sketch contents at a rendezvous are a pure function of the
+//!   deterministic per-worker access streams, and no worker can race a
+//!   technique flip. Server threads stay live, so the execution must still
+//!   be exact under late-chasing protocol messages — see the promotion
+//!   settle/sweep protocol below.
+//!
+//! **Promotion** (relocated → replicated): follow the home directory to
+//! the current owner, waiting out any in-flight relocation chain; convert
+//! the owner's entry into a [`Promoted`](crate::store) tombstone (taking
+//! the authoritative value under the shard latch, so a concurrent server
+//! push lands either in the taken value or — after the take — in the
+//! replica update buffer, exactly once); sweep stale in-flight marks whose
+//! localize requests the home server's migration guard dropped; install
+//! the value into every node's replica set. Priced as the owner
+//! broadcasting one [`Msg::Promote`] to each peer.
+//!
+//! **Demotion** (replicated → relocated): collapse the replica slot into a
+//! single value (the synced state plus any unsynced per-node deltas — the
+//! "final delta all-reduce"), install it at the elected owner (the key's
+//! home node), redirect leftover tombstones, reset the home directory, and
+//! free the slot for reuse. Priced as one final all-reduce round over the
+//! demoted slots plus one small [`Msg::Demote`] notice per peer.
+
+use std::cmp::Reverse;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nups_sim::cost::WIRE_HEADER_BYTES;
+use nups_sim::metrics::FreqSketch;
+use nups_sim::net::Frame;
+use nups_sim::time::{SimDuration, SimTime};
+use nups_sim::topology::{Addr, NodeId};
+use nups_sim::WireEncode;
+
+use crate::key::Key;
+use crate::messages::Msg;
+use crate::node::Shared;
+use crate::store::{PromoteTake, QueuedOp};
+use crate::value::add_assign;
+
+/// Tuning knobs for the adaptive technique manager.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Run an adaptation round every this many synchronization merges.
+    pub adapt_every: u64,
+    /// Promote a relocated key when its estimated access frequency exceeds
+    /// `promote_factor ×` the mean (the paper's untuned heuristic uses
+    /// 100×).
+    pub promote_factor: f64,
+    /// Demote a replicated key when its estimate falls below
+    /// `demote_factor ×` the mean. Keep well under `promote_factor` for
+    /// hysteresis.
+    pub demote_factor: f64,
+    /// Hard cap on concurrently replicated keys.
+    pub max_replicated: usize,
+    /// At most this many promotions and this many demotions per round
+    /// (bounds per-round migration cost).
+    pub max_migrations_per_round: usize,
+    /// Sketch width exponent: `1 << sketch_bits` counters per row.
+    pub sketch_bits: u32,
+    /// Halve the sketch after every adaptation round so drifting hot sets
+    /// age out.
+    pub decay: bool,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> AdaptiveConfig {
+        AdaptiveConfig {
+            adapt_every: 4,
+            promote_factor: 100.0,
+            demote_factor: 25.0,
+            max_replicated: 1 << 16,
+            max_migrations_per_round: 64,
+            sketch_bits: 16,
+            decay: true,
+        }
+    }
+}
+
+/// The online hot-key detector plus migration coordinator.
+pub struct AdaptiveManager {
+    cfg: AdaptiveConfig,
+    sketch: FreqSketch,
+    merges: AtomicU64,
+}
+
+impl AdaptiveManager {
+    pub fn new(cfg: AdaptiveConfig) -> AdaptiveManager {
+        let sketch = FreqSketch::new(cfg.sketch_bits);
+        AdaptiveManager { cfg, sketch, merges: AtomicU64::new(0) }
+    }
+
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.cfg
+    }
+
+    /// Record one worker access to `key` (called from every pull/push
+    /// path; one relaxed atomic increment per sketch row).
+    #[inline]
+    pub fn record_access(&self, key: Key) {
+        self.sketch.record(key, 1);
+    }
+
+    pub fn sketch(&self) -> &FreqSketch {
+        &self.sketch
+    }
+
+    /// Called by the synchronization merge (all active workers parked).
+    /// Every `adapt_every`-th merge runs an adaptation round; returns the
+    /// modelled duration of any migrations, which the gate folds into the
+    /// merge time (slipping the next boundary, raising the congestion
+    /// multiplier — migration traffic competes like sync traffic does).
+    pub fn maybe_adapt(&self, shared: &Shared) -> SimDuration {
+        let n = self.merges.fetch_add(1, Ordering::Relaxed) + 1;
+        if !n.is_multiple_of(self.cfg.adapt_every.max(1)) {
+            return SimDuration::ZERO;
+        }
+        self.adapt(shared)
+    }
+
+    /// Score all keys and execute the chosen migrations.
+    fn adapt(&self, shared: &Shared) -> SimDuration {
+        shared.metrics.node(NodeId(0)).inc(|m| &m.adaptation_rounds);
+        let total = self.sketch.total();
+        if total == 0 {
+            return SimDuration::ZERO;
+        }
+        let n_keys = shared.keyspace.n_keys();
+        let mean = total as f64 / n_keys as f64;
+        let promote_thr = (self.cfg.promote_factor * mean).max(1.0);
+        let demote_thr = self.cfg.demote_factor * mean;
+
+        let replicated = shared.technique.replicated_flags();
+        let mut promos: Vec<(u64, Key)> = Vec::new();
+        let mut demos: Vec<(u64, Key)> = Vec::new();
+        for key in 0..n_keys {
+            let est = self.sketch.estimate(key);
+            if replicated[key as usize] {
+                if (est as f64) < demote_thr {
+                    demos.push((est, key));
+                }
+            } else if est as f64 > promote_thr {
+                promos.push((est, key));
+            }
+        }
+        // Deterministic order: hottest promotions first, coldest demotions
+        // first; ties break by key.
+        promos.sort_by_key(|&(est, key)| (Reverse(est), key));
+        demos.sort_by_key(|&(est, key)| (est, key));
+        demos.truncate(self.cfg.max_migrations_per_round);
+        let slots_after_demote = shared.technique.n_replicated().saturating_sub(demos.len());
+        let capacity = self.cfg.max_replicated.saturating_sub(slots_after_demote);
+        promos.truncate(self.cfg.max_migrations_per_round.min(capacity));
+
+        if promos.is_empty() && demos.is_empty() {
+            if self.cfg.decay {
+                self.sketch.decay();
+            }
+            return SimDuration::ZERO;
+        }
+
+        let boundary = shared.gate.merge_boundary();
+        let mut duration = SimDuration::ZERO;
+        // Demotions first: they free replica slots promotions can reuse.
+        if !demos.is_empty() {
+            duration += demote_keys(shared, &demos, boundary);
+        }
+        let promo_keys: Vec<Key> = promos.iter().map(|&(_, k)| k).collect();
+        if !promo_keys.is_empty() {
+            // Determinism requires that an already-issued localize is
+            // *always* honored before the flip, never raced: whether the
+            // home server had drained it when the guard went up is a
+            // real-time accident. Waiting for relocation quiescence first
+            // makes every pending chain complete in both runs; only then
+            // does the guard go up (pure defense — nothing is left for it
+            // to drop in any reachable schedule).
+            wait_relocation_quiescence(shared, &promo_keys);
+            shared.technique.begin_migrations(&promo_keys);
+            for &key in &promo_keys {
+                duration += promote_key(shared, key, boundary);
+            }
+            shared.technique.end_migrations();
+        }
+        shared.technique.bump_epoch();
+        if self.cfg.decay {
+            self.sketch.decay();
+        }
+        duration
+    }
+}
+
+/// Block until no node holds an in-flight relocation mark for any of
+/// `keys`. A mark exists from the instant a worker issues a localize
+/// until the transfer installs, and every worker is parked, so the set of
+/// pending chains is fixed and finite; the server threads drain each one
+/// in bounded real time, and no new mark can appear after the last one
+/// clears.
+fn wait_relocation_quiescence(shared: &Shared, keys: &[Key]) {
+    for attempt in 0u64..200_000 {
+        let pending = keys.iter().any(|&k| shared.nodes.iter().any(|n| n.store.is_inflight(k)));
+        if !pending {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_micros(20 * (attempt + 1).min(20)));
+    }
+    // See the settle-loop comment in `promote_key`: a panic here would
+    // wedge the parked workers, so fail the process fast instead.
+    eprintln!("fatal: relocation traffic failed to quiesce before promotion");
+    std::process::abort();
+}
+
+/// Record `peers` priced migration messages of `payload` bytes each.
+fn count_migration_msgs(shared: &Shared, node: NodeId, peers: u16, payload: usize) {
+    let m = shared.metrics.node(node);
+    m.add(|m| &m.migration_msgs, peers as u64);
+    m.add(|m| &m.migration_bytes, (peers as usize * (payload + WIRE_HEADER_BYTES)) as u64);
+}
+
+/// Migrate one key relocated → replicated. Runs on the coordinator while
+/// all active workers are parked; see the module docs for the settle/sweep
+/// protocol and its race arguments.
+fn promote_key(shared: &Shared, key: Key, boundary: SimTime) -> SimDuration {
+    let home = shared.keyspace.home(key);
+    let home_state = &shared.nodes[home.index()];
+    // Settle: relocation chains for this key are finite (the migration
+    // guard blocks new ones) and every chain is visible through the home
+    // directory, so following the directory until the take succeeds
+    // terminates. Server threads keep draining the chain in real time.
+    let mut value = 'settle: {
+        for attempt in 0u64..200_000 {
+            let owner = home_state.directory.owner(key);
+            match shared.nodes[owner.index()].store.begin_promote(key) {
+                PromoteTake::Taken(v) => break 'settle (owner, v),
+                PromoteTake::InFlight | PromoteTake::NotHere(_) => {
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        20 * (attempt + 1).min(20),
+                    ));
+                }
+            }
+        }
+        // A panic here would unwind inside the gate merge and leave every
+        // other worker parked forever (parking_lot does not poison), so a
+        // settle failure — unreachable unless the relocation protocol
+        // regresses — fails the whole process fast instead of wedging it.
+        eprintln!("fatal: relocation chain for key {key} failed to settle for promotion");
+        std::process::abort();
+    };
+    let (owner, value) = (value.0, &mut value.1);
+
+    // Sweep stale in-flight marks on every other node (their localize
+    // requests were — or will be — dropped by the migration guard). Any
+    // parked operations fold into the taken value exactly once; replies go
+    // out as real messages from that node's server address.
+    for node in &shared.nodes {
+        if node.node == owner {
+            continue;
+        }
+        let sweep = node.store.sweep_for_promote(key);
+        for op in sweep.waiters {
+            let (msg, reply_to) = match op {
+                QueuedOp::Push { delta, reply_to, hops } => {
+                    add_assign(value, &delta);
+                    (Msg::PushAck { key, hops: hops.saturating_add(1) }, reply_to)
+                }
+                QueuedOp::Pull { reply_to, hops } => (
+                    Msg::PullResp { key, value: value.clone(), hops: hops.saturating_add(1) },
+                    reply_to,
+                ),
+            };
+            shared.network.send(Frame {
+                src: Addr::server(node.node),
+                dst: reply_to,
+                sent_at: boundary,
+                payload: msg.to_bytes(),
+            });
+        }
+    }
+
+    // Install the replica storage on every node first, publish the slot
+    // second: a reader that sees the new assignment is then guaranteed
+    // backing storage (no reachable schedule reads in between — a
+    // worker-synchronous request outstanding during the round would mean
+    // its sender never reached the rendezvous — but the order costs
+    // nothing and removes the window outright).
+    let slot = shared.technique.next_slot();
+    shared.sync.install_slot(slot, value);
+    let assigned = shared.technique.promote(key);
+    debug_assert_eq!(assigned, slot, "peeked slot must match the promoted slot");
+
+    // Price: the owner broadcasts the value to every peer.
+    let peers = shared.topology.n_nodes - 1;
+    let payload = Msg::Promote { key, slot, value: std::mem::take(value) }.encoded_len();
+    shared.metrics.node(owner).inc(|m| &m.promotions);
+    count_migration_msgs(shared, owner, peers, payload);
+    shared.cost.broadcast(peers, payload)
+}
+
+/// Migrate `demos` replicated → relocated: final delta all-reduce per
+/// slot, owner election (the home node), slot release.
+fn demote_keys(shared: &Shared, demos: &[(u64, Key)], boundary: SimTime) -> SimDuration {
+    let peers = shared.topology.n_nodes - 1;
+    let mut duration = SimDuration::ZERO;
+    let mut allreduce_bytes = 0usize;
+    for &(_, key) in demos {
+        let slot = shared.technique.replica_slot(key).expect("demoted key has a slot");
+        let value = shared.sync.collapse_slot(slot);
+        allreduce_bytes += 4 + 4 * value.len();
+        let owner = shared.keyspace.home(key);
+        shared.nodes[owner.index()].store.install_demoted(key, value, boundary);
+        for node in &shared.nodes {
+            if node.node != owner {
+                node.store.redirect_for_demote(key, owner);
+            }
+        }
+        // The home *is* the elected owner; this also clears any direction
+        // left over from the key's pre-promotion relocation history.
+        shared.nodes[owner.index()].directory.set_owner(key, owner);
+        shared.technique.demote(key);
+
+        let payload = Msg::Demote { key, owner }.encoded_len();
+        shared.metrics.node(owner).inc(|m| &m.demotions);
+        count_migration_msgs(shared, owner, peers, payload);
+        duration += shared.cost.broadcast(peers, payload);
+    }
+    // One final all-reduce round carrying the demoted slots' last deltas.
+    duration + shared.cost.allreduce(shared.topology.sync_rounds(), allreduce_bytes)
+}

@@ -5,6 +5,7 @@ use nups_sim::cost::CostModel;
 use nups_sim::time::SimDuration;
 use nups_sim::topology::Topology;
 
+use crate::adaptive::AdaptiveConfig;
 use crate::key::Key;
 use crate::sampling::scheme::ReuseParams;
 use crate::value::ClipPolicy;
@@ -35,6 +36,11 @@ pub struct NupsConfig {
     pub store_shards: usize,
     /// Seed for worker RNGs (worker i derives `seed ^ i`).
     pub seed: u64,
+    /// Adaptive technique management: when set, workers sample access
+    /// frequencies and keys migrate between replication and relocation at
+    /// synchronization rendezvous. `None` (the default) keeps the paper's
+    /// static pre-training assignment.
+    pub adaptive: Option<AdaptiveConfig>,
 }
 
 impl NupsConfig {
@@ -52,6 +58,7 @@ impl NupsConfig {
             reuse: ReuseParams::default(),
             store_shards: 64,
             seed: 0x6e75_7073,
+            adaptive: None,
         }
     }
 
@@ -97,6 +104,12 @@ impl NupsConfig {
 
     pub fn with_seed(mut self, seed: u64) -> NupsConfig {
         self.seed = seed;
+        self
+    }
+
+    /// Enable adaptive technique management.
+    pub fn with_adaptive(mut self, adaptive: AdaptiveConfig) -> NupsConfig {
+        self.adaptive = Some(adaptive);
         self
     }
 }

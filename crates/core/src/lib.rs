@@ -22,6 +22,7 @@
 //! [`system::run_epoch`]. ML tasks program against the [`api::PsWorker`]
 //! trait so the same task runs on every system variant.
 
+pub mod adaptive;
 pub mod api;
 pub mod config;
 pub mod key;
@@ -38,6 +39,7 @@ pub mod technique;
 pub mod value;
 pub mod worker;
 
+pub use adaptive::{AdaptiveConfig, AdaptiveManager};
 pub use api::PsWorker;
 pub use config::NupsConfig;
 pub use key::{Key, KeySpace};

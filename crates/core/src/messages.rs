@@ -66,6 +66,18 @@ pub enum Msg {
     /// `keys` (each homed there) in one message.
     LocalizeBatchReq { keys: Vec<Key>, requester: NodeId },
 
+    /// Technique migration, relocated → replicated: the owning node
+    /// broadcasts the parameter's current value so every node can install
+    /// a replica in `slot`. Executed in-process at the synchronization
+    /// rendezvous (like replica sync) but priced as `n - 1` of these on
+    /// the wire.
+    Promote { key: Key, slot: u32, value: Vec<f32> },
+    /// Technique migration, replicated → relocated: after the final delta
+    /// all-reduce the coordinator announces the elected owner; replicas
+    /// free their slot (the value is already everywhere, so the notice is
+    /// small). Priced as `n - 1` of these.
+    Demote { key: Key, owner: NodeId },
+
     /// SSP/ESSP: synchronous replica refresh request.
     SspPullReq { key: Key, reply_to: Addr },
     /// SSP/ESSP: refresh response.
@@ -101,6 +113,8 @@ mod tag {
     pub const PUSH_BATCH_REQ: u8 = 16;
     pub const PUSH_BATCH_ACK: u8 = 17;
     pub const LOCALIZE_BATCH_REQ: u8 = 18;
+    pub const PROMOTE: u8 = 19;
+    pub const DEMOTE: u8 = 20;
 }
 
 const ADDR_LEN: usize = 4;
@@ -196,6 +210,8 @@ impl WireEncode for Msg {
             Msg::PushBatchReq { updates, .. } => updates_len(updates) + ADDR_LEN + 1,
             Msg::PushBatchAck { keys, .. } => codec::u64_slice_len(keys) + 1,
             Msg::LocalizeBatchReq { keys, .. } => codec::u64_slice_len(keys) + 2,
+            Msg::Promote { value, .. } => 8 + 4 + f32_slice_len(value),
+            Msg::Demote { .. } => 8 + 2,
         }
     }
 
@@ -292,6 +308,17 @@ impl WireEncode for Msg {
                 codec::put_u64_slice(buf, keys);
                 buf.put_u16_le(requester.0);
             }
+            Msg::Promote { key, slot, value } => {
+                buf.put_u8(tag::PROMOTE);
+                buf.put_u64_le(*key);
+                buf.put_u32_le(*slot);
+                put_f32_slice(buf, value);
+            }
+            Msg::Demote { key, owner } => {
+                buf.put_u8(tag::DEMOTE);
+                buf.put_u64_le(*key);
+                buf.put_u16_le(owner.0);
+            }
         }
     }
 
@@ -348,6 +375,12 @@ impl WireEncode for Msg {
                 keys: codec::get_u64_vec(buf)?,
                 requester: NodeId(get_u16(buf)?),
             },
+            tag::PROMOTE => Msg::Promote {
+                key: get_u64(buf)?,
+                slot: codec::get_u32(buf)?,
+                value: get_f32_vec(buf)?,
+            },
+            tag::DEMOTE => Msg::Demote { key: get_u64(buf)?, owner: NodeId(get_u16(buf)?) },
             other => return Err(CodecError::UnknownTag(other)),
         })
     }
@@ -404,6 +437,21 @@ mod tests {
         roundtrip(Msg::PushBatchAck { keys: vec![7, 8], hops: 2 });
         roundtrip(Msg::LocalizeBatchReq { keys: vec![], requester: NodeId(2) });
         roundtrip(Msg::LocalizeBatchReq { keys: vec![3, 4, 5], requester: NodeId(2) });
+        roundtrip(Msg::Promote { key: 11, slot: 3, value: vec![1.5, -0.5] });
+        roundtrip(Msg::Promote { key: 0, slot: 0, value: vec![] });
+        roundtrip(Msg::Demote { key: 11, owner: NodeId(4) });
+    }
+
+    #[test]
+    fn migration_message_sizes_are_honest() {
+        // Promotion carries the full value (it is a broadcast of state);
+        // demotion is a small notice — the asymmetry the adaptive manager's
+        // cost accounting depends on.
+        let promote = Msg::Promote { key: 1, slot: 0, value: vec![0.0; 100] };
+        assert_eq!(promote.encoded_len(), 1 + 8 + 4 + 4 + 400);
+        let demote = Msg::Demote { key: 1, owner: NodeId(0) };
+        assert_eq!(demote.encoded_len(), 1 + 8 + 2);
+        assert!(demote.encoded_len() * 10 < promote.encoded_len());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use nups_sim::net::Network;
 use nups_sim::time::SimDuration;
 use nups_sim::topology::{NodeId, Topology};
 
+use crate::adaptive::AdaptiveManager;
 use crate::key::{Key, KeySpace};
 use crate::replication::{ReplicaSet, ReplicaSync};
 use crate::sampling::scheme::SamplingScheme;
@@ -78,6 +79,8 @@ pub struct Shared {
     pub clocks: Arc<ClusterClocks>,
     pub gate: Arc<SyncGate>,
     pub sync: Arc<ReplicaSync>,
+    /// The adaptive technique manager, when enabled by the configuration.
+    pub adaptive: Option<AdaptiveManager>,
     pub nodes: Vec<Arc<NodeState>>,
     /// Registered sampling distributions with the scheme the manager chose
     /// for each.
@@ -89,5 +92,25 @@ impl Shared {
     #[inline]
     pub fn value_bytes(&self) -> usize {
         4 + 4 * self.value_len
+    }
+
+    /// Feed one key access into the adaptive manager's frequency sketch
+    /// (no-op when adaptation is disabled).
+    #[inline]
+    pub fn record_access(&self, key: Key) {
+        if let Some(mgr) = &self.adaptive {
+            mgr.record_access(key);
+        }
+    }
+
+    /// The work executed at a synchronization rendezvous: the replica
+    /// all-reduce, then (when adaptation is enabled and due) an adaptation
+    /// round. The returned duration slips the next sync boundary.
+    pub fn merge_step(&self) -> SimDuration {
+        let mut d = self.sync.sync_once(&self.metrics);
+        if let Some(mgr) = &self.adaptive {
+            d += mgr.maybe_adapt(self);
+        }
+        d
     }
 }

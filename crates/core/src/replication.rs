@@ -12,7 +12,7 @@
 //! bounds): the sync cadence is a virtual-time period, enforced by
 //! [`crate::syncgate::SyncGate`].
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use nups_sim::cost::CostModel;
 use nups_sim::metrics::ClusterMetrics;
@@ -28,9 +28,22 @@ struct Slot {
     dirty: bool,
 }
 
+impl Slot {
+    fn new(value: Vec<f32>) -> Slot {
+        let accum = vec![0.0; value.len()];
+        Slot { value, accum, dirty: false }
+    }
+}
+
 /// One node's set of replicas, indexed by dense replica slot.
+///
+/// The slot vector grows when the adaptive technique manager promotes a key
+/// past the current capacity; freed slots are cleared in place and reused.
+/// Growth happens only at synchronization rendezvous (workers parked), but
+/// server threads may serve late-chasing operations concurrently, so the
+/// vector is behind an `RwLock` — an uncontended read on the hot path.
 pub struct ReplicaSet {
-    slots: Vec<Mutex<Slot>>,
+    slots: RwLock<Vec<Mutex<Slot>>>,
     clip_policy: ClipPolicy,
     clip_state: Mutex<ClipState>,
 }
@@ -40,25 +53,21 @@ impl ReplicaSet {
     /// Every node must be initialized with identical values.
     pub fn new(initial: &[Vec<f32>], clip_policy: ClipPolicy) -> ReplicaSet {
         ReplicaSet {
-            slots: initial
-                .iter()
-                .map(|v| {
-                    Mutex::new(Slot { value: v.clone(), accum: vec![0.0; v.len()], dirty: false })
-                })
-                .collect(),
+            slots: RwLock::new(initial.iter().map(|v| Mutex::new(Slot::new(v.clone()))).collect()),
             clip_policy,
             clip_state: Mutex::new(ClipState::new()),
         }
     }
 
     pub fn n_slots(&self) -> usize {
-        self.slots.len()
+        self.slots.read().len()
     }
 
     /// Read the replica into `out` (shared-memory pull).
     #[inline]
     pub fn pull(&self, slot: u32, out: &mut [f32]) {
-        let s = self.slots[slot as usize].lock();
+        let slots = self.slots.read();
+        let s = slots[slot as usize].lock();
         out.copy_from_slice(&s.value);
     }
 
@@ -71,7 +80,8 @@ impl ReplicaSet {
             let mut clip = self.clip_state.lock();
             clip.observe(self.clip_policy, norm(delta))
         };
-        let mut s = self.slots[slot as usize].lock();
+        let slots = self.slots.read();
+        let mut s = slots[slot as usize].lock();
         axpy(&mut s.value, scale, delta);
         axpy(&mut s.accum, scale, delta);
         s.dirty = true;
@@ -79,13 +89,48 @@ impl ReplicaSet {
 
     /// Copy of the replica value (evaluation).
     pub fn get(&self, slot: u32) -> Vec<f32> {
-        self.slots[slot as usize].lock().value.clone()
+        let slots = self.slots.read();
+        let s = slots[slot as usize].lock();
+        s.value.clone()
+    }
+
+    /// Install `value` into `slot`, growing the set when `slot` is one past
+    /// the end (promotion of a key into a fresh slot). Resets the update
+    /// buffer: the installed value is the authoritative post-migration
+    /// state.
+    pub fn install_slot(&self, slot: u32, value: Vec<f32>) {
+        let mut slots = self.slots.write();
+        let i = slot as usize;
+        assert!(i <= slots.len(), "slot {slot} would leave a hole ({} slots)", slots.len());
+        if i == slots.len() {
+            slots.push(Mutex::new(Slot::new(value)));
+        } else {
+            *slots[i].lock() = Slot::new(value);
+        }
+    }
+
+    /// Clear a freed slot (demotion): zero value and buffer so a stale
+    /// delta cannot leak into the slot's next tenant.
+    pub fn clear_slot(&self, slot: u32) {
+        let slots = self.slots.read();
+        let mut s = slots[slot as usize].lock();
+        s.value.iter_mut().for_each(|x| *x = 0.0);
+        s.accum.iter_mut().for_each(|x| *x = 0.0);
+        s.dirty = false;
+    }
+
+    /// Snapshot `(value, accum)` of one slot (demotion collapse).
+    fn value_and_accum(&self, slot: u32) -> (Vec<f32>, Vec<f32>) {
+        let slots = self.slots.read();
+        let s = slots[slot as usize].lock();
+        (s.value.clone(), s.accum.clone())
     }
 
     /// Take the accumulated deltas of all dirty slots, resetting them.
     fn drain(&self) -> Vec<(u32, Vec<f32>)> {
         let mut out = Vec::new();
-        for (i, slot) in self.slots.iter().enumerate() {
+        let slots = self.slots.read();
+        for (i, slot) in slots.iter().enumerate() {
             let mut s = slot.lock();
             if s.dirty {
                 let len = s.accum.len();
@@ -99,7 +144,8 @@ impl ReplicaSet {
 
     /// Absorb the sum of *other* nodes' deltas for `slot`.
     fn apply_foreign(&self, slot: u32, delta: &[f32]) {
-        let mut s = self.slots[slot as usize].lock();
+        let slots = self.slots.read();
+        let mut s = slots[slot as usize].lock();
         add_assign(&mut s.value, delta);
     }
 }
@@ -195,6 +241,35 @@ impl ReplicaSync {
     pub fn sets(&self) -> &[std::sync::Arc<ReplicaSet>] {
         &self.sets
     }
+
+    /// Install `value` into `slot` on every node (key promotion). Not
+    /// priced here — the adaptive manager prices the promote broadcast.
+    pub fn install_slot(&self, slot: u32, value: &[f32]) {
+        for set in &self.sets {
+            set.install_slot(slot, value.to_vec());
+        }
+    }
+
+    /// Collapse `slot` into the single authoritative value for demotion:
+    /// the synced common state plus *every* node's unsynced local deltas
+    /// (exactly the result a final all-reduce of the slot would produce).
+    /// Clears the slot on every node afterwards. Callers normally run this
+    /// right after [`ReplicaSync::sync_once`], where all buffers are empty
+    /// — the accumulation makes the collapse exact even if a late-chasing
+    /// server operation snuck a delta in between.
+    pub fn collapse_slot(&self, slot: u32) -> Vec<f32> {
+        let (mut value, own_accum) = self.sets[0].value_and_accum(slot);
+        // set 0's value already contains its own accum; add the others'.
+        for set in &self.sets[1..] {
+            let (_, accum) = set.value_and_accum(slot);
+            add_assign(&mut value, &accum);
+        }
+        let _ = own_accum; // value_0 = common + accum_0, already included
+        for set in &self.sets {
+            set.clear_slot(slot);
+        }
+        value
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +340,73 @@ mod tests {
         for s in &sets {
             assert_eq!(s.get(0), vec![30.0]);
         }
+    }
+
+    #[test]
+    fn sync_exact_under_odd_node_counts() {
+        // Recursive-doubling pricing rounds up to the next power of two,
+        // but the merge itself must stay exact for any cluster size —
+        // including odd ones where some nodes idle in some rounds.
+        for n_nodes in [3usize, 5, 7] {
+            let topo = Topology::new(n_nodes as u16, 1);
+            let sets = make_sets(n_nodes, 2, 3);
+            let sync = ReplicaSync::new(sets.clone(), topo, CostModel::zero(), 3);
+            let metrics = ClusterMetrics::new(n_nodes);
+            // Every node contributes a distinct delta to slot 0; only the
+            // last node touches slot 1.
+            for (i, s) in sets.iter().enumerate() {
+                s.push(0, &[(i + 1) as f32, 0.0, 1.0]);
+            }
+            sets[n_nodes - 1].push(1, &[0.0, 2.0, 0.0]);
+            sync.sync_once(&metrics);
+            let total: f32 = (1..=n_nodes).map(|i| i as f32).sum();
+            for (i, s) in sets.iter().enumerate() {
+                assert_eq!(s.get(0), vec![total, 0.0, n_nodes as f32], "slot 0 on node {i}");
+                assert_eq!(s.get(1), vec![0.0, 2.0, 0.0], "slot 1 on node {i}");
+            }
+            // A second sync must be a no-op (no deltas double-applied).
+            sync.sync_once(&metrics);
+            assert_eq!(sets[0].get(0), vec![total, 0.0, n_nodes as f32]);
+        }
+    }
+
+    #[test]
+    fn install_and_collapse_slot_roundtrip() {
+        let topo = Topology::new(3, 1);
+        let sets = make_sets(3, 1, 2);
+        let sync = ReplicaSync::new(sets.clone(), topo, CostModel::zero(), 2);
+        let metrics = ClusterMetrics::new(3);
+        // Promote installs a fresh slot 1 on every node.
+        sync.install_slot(1, &[4.0, 4.0]);
+        for s in &sets {
+            assert_eq!(s.get(1), vec![4.0, 4.0]);
+        }
+        // Pushes on two nodes, one synced, one straggling after the sync.
+        sets[0].push(1, &[1.0, 0.0]);
+        sets[2].push(1, &[0.0, 1.0]);
+        sync.sync_once(&metrics);
+        sets[1].push(1, &[0.5, 0.5]); // straggler between sync and collapse
+        let v = sync.collapse_slot(1);
+        assert_eq!(v, vec![5.5, 5.5], "collapse must fold unsynced stragglers in");
+        // Slot cleared everywhere; reuse by a later promotion starts clean.
+        for s in &sets {
+            assert_eq!(s.get(1), vec![0.0, 0.0]);
+        }
+        assert_eq!(sync.sync_once(&metrics), SimDuration::ZERO, "no dirty state left behind");
+    }
+
+    #[test]
+    fn install_slot_grows_by_one() {
+        let set = ReplicaSet::new(&[vec![1.0]], ClipPolicy::None);
+        assert_eq!(set.n_slots(), 1);
+        set.install_slot(1, vec![2.0]);
+        assert_eq!(set.n_slots(), 2);
+        assert_eq!(set.get(1), vec![2.0]);
+        // Reinstall over an existing slot resets value and buffer.
+        set.push(1, &[5.0]);
+        set.install_slot(1, vec![9.0]);
+        assert_eq!(set.get(1), vec![9.0]);
+        assert!(set.drain().is_empty(), "install clears the dirty buffer");
     }
 
     #[test]

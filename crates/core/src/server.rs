@@ -102,6 +102,33 @@ impl Server {
         hint.unwrap_or_else(|| self.shared.keyspace.home(key))
     }
 
+    /// Serve a pull for a key that migrated to replication from the local
+    /// replica set. `None` when the key has since been demoted again (the
+    /// caller re-routes via the home directory).
+    ///
+    /// The slot lookup and the replica access are two acquisitions, which
+    /// is safe because assignments only mutate during an adaptation round,
+    /// and no pull/push can be in a server queue then: every pull/push is
+    /// worker-synchronous, so an outstanding one implies a worker blocked
+    /// on its reply — which would have prevented the rendezvous the round
+    /// runs under.
+    fn replica_pull(&self, key: Key) -> Option<Vec<f32>> {
+        let slot = self.shared.technique.replica_slot(key)?;
+        let mut value = vec![0.0; self.shared.value_len];
+        self.state.replicas.pull(slot, &mut value);
+        self.shared.metrics.node(self.me()).inc(|m| &m.replica_pulls);
+        Some(value)
+    }
+
+    /// Apply a late-chasing push for a migrated key to the local replica
+    /// set (folded into the next synchronization — applied exactly once).
+    fn replica_push(&self, key: Key, delta: &[f32]) -> bool {
+        let Some(slot) = self.shared.technique.replica_slot(key) else { return false };
+        self.state.replicas.push(slot, delta);
+        self.shared.metrics.node(self.me()).inc(|m| &m.replica_pushes);
+        true
+    }
+
     fn handle_pull(&mut self, key: Key, reply_to: Addr, hops: u8, at: SimTime) {
         // At the home node, consult the directory first: the request may
         // need forwarding to the current owner.
@@ -117,6 +144,16 @@ impl Server {
             }
             ServerAccess::Served(None) => unreachable!("pull always returns a value"),
             ServerAccess::Queued => {} // answered at install time
+            ServerAccess::Migrated => match self.replica_pull(key) {
+                Some(value) => {
+                    let resp = Msg::PullResp { key, value, hops: hops.saturating_add(1) };
+                    self.send(reply_to, at, &resp);
+                }
+                None => {
+                    let fwd = Msg::PullReq { key, reply_to, hops: hops.saturating_add(1) };
+                    self.send(Addr::server(self.shared.keyspace.home(key)), at, &fwd);
+                }
+            },
             ServerAccess::NotHere(hint) => {
                 let dst = self.chase(key, hint);
                 let fwd = Msg::PullReq { key, reply_to, hops: hops.saturating_add(1) };
@@ -140,6 +177,16 @@ impl Server {
                 self.send(reply_to, at, &ack);
             }
             ServerAccess::Queued => {}
+            ServerAccess::Migrated => {
+                if self.replica_push(key, &delta) {
+                    let ack = Msg::PushAck { key, hops: hops.saturating_add(1) };
+                    self.send(reply_to, at, &ack);
+                } else {
+                    let home = self.shared.keyspace.home(key);
+                    let fwd = Msg::PushReq { key, delta, reply_to, hops: hops.saturating_add(1) };
+                    self.send(Addr::server(home), at, &fwd);
+                }
+            }
             ServerAccess::NotHere(hint) => {
                 let dst = self.chase(key, hint);
                 let fwd = Msg::PushReq { key, delta, reply_to, hops: hops.saturating_add(1) };
@@ -164,8 +211,15 @@ impl Server {
         for (key, hint) in out.not_here {
             group_by_node(&mut fwd, self.chase(key, hint), key);
         }
-        if !out.served.is_empty() {
-            let resp = Msg::PullBatchResp { values: out.served, hops: hops.saturating_add(1) };
+        let mut values = out.served;
+        for key in out.migrated {
+            match self.replica_pull(key) {
+                Some(value) => values.push(KeyUpdate { key, delta: value }),
+                None => group_by_node(&mut fwd, self.shared.keyspace.home(key), key),
+            }
+        }
+        if !values.is_empty() {
+            let resp = Msg::PullBatchResp { values, hops: hops.saturating_add(1) };
             self.send(reply_to, at, &resp);
         }
         for (dst, keys) in fwd {
@@ -195,8 +249,17 @@ impl Server {
             let dst = self.chase(update.key, hint);
             group_by_node(&mut fwd, dst, update);
         }
-        if !out.served.is_empty() {
-            let ack = Msg::PushBatchAck { keys: out.served, hops: hops.saturating_add(1) };
+        let mut acked = out.served;
+        for update in out.migrated {
+            if self.replica_push(update.key, &update.delta) {
+                acked.push(update.key);
+            } else {
+                let home = self.shared.keyspace.home(update.key);
+                group_by_node(&mut fwd, home, update);
+            }
+        }
+        if !acked.is_empty() {
+            let ack = Msg::PushBatchAck { keys: acked, hops: hops.saturating_add(1) };
             self.send(reply_to, at, &ack);
         }
         for (dst, updates) in fwd {
@@ -223,6 +286,14 @@ impl Server {
     /// the key over.
     fn handle_localize(&mut self, key: Key, requester: NodeId, at: SimTime) {
         debug_assert_eq!(self.shared.keyspace.home(key), self.me(), "localize not at home");
+        // Replication-managed keys never relocate, and keys mid-promotion
+        // must not start a relocation either: the promotion take would
+        // race a transfer it cannot see, stranding the value. The dropped
+        // request's in-flight mark at the requester is cleaned up by the
+        // promotion sweep.
+        if self.shared.technique.localize_blocked(key) {
+            return;
+        }
         let owner = self.state.directory.owner(key);
         if owner == requester {
             // A transfer to the requester is already under way; its
@@ -244,6 +315,9 @@ impl Server {
                 self.send(Addr::server(requester), at, &Msg::Transfer { key, value });
             }
             TakeOutcome::Deferred => {} // handed over right after install
+            // The key migrated to replication while this request chased
+            // it; the relocation is void.
+            TakeOutcome::Promoted => {}
             TakeOutcome::NotHere(hint) => {
                 // The key moved on before this request caught up with it:
                 // chase the tombstone chain.
@@ -256,6 +330,13 @@ impl Server {
 
     /// Third message: the value arrives; serve everything that queued up.
     fn handle_transfer(&mut self, key: Key, value: Vec<f32>, at: SimTime) {
+        // A transfer for a key that is (now) replication-managed must not
+        // resurrect store ownership: the promotion protocol settles every
+        // relocation chain before taking the value, so this transfer can
+        // only be a stale duplicate whose payload the replicas supersede.
+        if self.shared.technique.is_replicated(key) {
+            return;
+        }
         // Count before installing: install wakes workers blocked on the
         // key, and an observer must not see the wake before the count.
         self.shared.metrics.node(self.me()).inc(|m| &m.relocations);

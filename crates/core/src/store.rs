@@ -64,6 +64,11 @@ enum Entry {
         release_to: Option<NodeId>,
     },
     ForwardedTo(NodeId),
+    /// Tombstone left when the adaptive manager migrated the key to
+    /// replication: the value now lives in every node's replica set. Late
+    /// messages that chase a forwarding chain onto this entry are served
+    /// from the local replica by the server.
+    Promoted,
 }
 
 /// Outcome of a local (same-node worker) access attempt.
@@ -89,6 +94,9 @@ pub enum ServerAccess {
     /// Not owned here; chase the forwarding chain (`Some`) or fall back to
     /// the home node (`None`).
     NotHere(Option<NodeId>),
+    /// The key migrated to replication management: serve the operation
+    /// from the local replica set instead.
+    Migrated,
 }
 
 /// Per-entry partition of a batched server-side pull: the locally served
@@ -103,6 +111,9 @@ pub struct PullBatchOutcome {
     pub queued: usize,
     /// Keys to forward, with the tombstone hint when one exists.
     pub not_here: Vec<(Key, Option<NodeId>)>,
+    /// Keys that migrated to replication: the server serves them from the
+    /// local replica set.
+    pub migrated: Vec<Key>,
 }
 
 /// Per-entry partition of a batched server-side push.
@@ -114,6 +125,9 @@ pub struct PushBatchOutcome {
     pub queued: usize,
     /// Updates to forward, with the tombstone hint when one exists.
     pub not_here: Vec<(KeyUpdate, Option<NodeId>)>,
+    /// Updates for keys that migrated to replication: the server applies
+    /// them to the local replica set (the delta rides along).
+    pub migrated: Vec<KeyUpdate>,
 }
 
 /// Outcome of a `ForwardLocalize` (ownership handover request).
@@ -124,6 +138,34 @@ pub enum TakeOutcome {
     Deferred,
     /// Not owned here; chase the chain (`Some`) or re-route via home.
     NotHere(Option<NodeId>),
+    /// The key migrated to replication: relocation requests are void (the
+    /// home server drops new ones; this arm catches stragglers).
+    Promoted,
+}
+
+/// Outcome of a promotion take ([`Store::begin_promote`]).
+pub enum PromoteTake {
+    /// Ownership converted to a `Promoted` tombstone; this is the
+    /// authoritative value to install into the replica sets.
+    Taken(Vec<f32>),
+    /// An inbound relocation is still in flight; retry after it installs.
+    InFlight,
+    /// Not owned here; follow the chain (`Some`) or re-read the directory.
+    NotHere(Option<NodeId>),
+}
+
+/// Leftovers swept from a node while promoting a key
+/// ([`Store::sweep_for_promote`]).
+#[derive(Debug, Default)]
+pub struct PromoteSweep {
+    /// A stale in-flight mark was removed (its localize request was — or
+    /// will be — dropped by the home server's migration guard).
+    pub removed_inflight: bool,
+    /// Operations that were parked on the removed entry, in arrival order.
+    /// Empty in every reachable schedule (a queued remote op implies a
+    /// worker blocked on the reply, which cannot have reached the
+    /// rendezvous); the promoter folds them into the value anyway.
+    pub waiters: Vec<QueuedOp>,
 }
 
 /// Replies the server must send after an install drained queued waiters.
@@ -143,6 +185,7 @@ enum BatchSlot {
     Served(Option<Vec<f32>>),
     Queued,
     NotHere(Option<NodeId>),
+    Migrated,
 }
 
 struct Shard {
@@ -198,6 +241,9 @@ impl Store {
             }
             Some(Entry::InFlightIn { expected_at, .. }) => LocalAccess::InFlight(*expected_at),
             Some(Entry::ForwardedTo(n)) => LocalAccess::Remote(Some(*n)),
+            // Unreachable from workers (technique flips happen only while
+            // every worker is parked); routes via home defensively.
+            Some(Entry::Promoted) => LocalAccess::Remote(None),
             None => LocalAccess::Remote(None),
         }
     }
@@ -234,13 +280,25 @@ impl Store {
         matches!(self.shard(key).map.lock().get(&key), Some(Entry::Local { .. }))
     }
 
+    /// True while an inbound relocation of `key` is marked here. The
+    /// adaptive manager polls this across all nodes to wait for
+    /// relocation quiescence before promoting a key: a mark exists from
+    /// the moment a worker issues the localize until the transfer
+    /// installs, so "no marks anywhere" proves no relocation traffic for
+    /// the key remains in flight.
+    pub fn is_inflight(&self, key: Key) -> bool {
+        matches!(self.shard(key).map.lock().get(&key), Some(Entry::InFlightIn { .. }))
+    }
+
     /// Begin an inbound relocation: transition Remote/Forwarded → InFlight.
     /// Returns `false` when the key is already local or already in flight
     /// (localize is then a no-op, as in Lapse).
     pub fn mark_inflight(&self, key: Key, expected_at: SimTime) -> bool {
         let mut map = self.shard(key).map.lock();
         match map.get(&key) {
-            Some(Entry::Local { .. }) | Some(Entry::InFlightIn { .. }) => false,
+            Some(Entry::Local { .. }) | Some(Entry::InFlightIn { .. }) | Some(Entry::Promoted) => {
+                false
+            }
             _ => {
                 map.insert(
                     key,
@@ -261,6 +319,7 @@ impl Store {
                 ServerAccess::Queued
             }
             Some(Entry::ForwardedTo(n)) => ServerAccess::NotHere(Some(*n)),
+            Some(Entry::Promoted) => ServerAccess::Migrated,
             None => ServerAccess::NotHere(None),
         }
     }
@@ -280,6 +339,7 @@ impl Store {
                 ServerAccess::Queued
             }
             Some(Entry::ForwardedTo(n)) => ServerAccess::NotHere(Some(*n)),
+            Some(Entry::Promoted) => ServerAccess::Migrated,
             None => ServerAccess::NotHere(None),
         }
     }
@@ -324,6 +384,7 @@ impl Store {
                 BatchSlot::Queued
             }
             Some(Entry::ForwardedTo(n)) => BatchSlot::NotHere(Some(*n)),
+            Some(Entry::Promoted) => BatchSlot::Migrated,
             None => BatchSlot::NotHere(None),
         });
         for (slot, &key) in slots.into_iter().zip(keys) {
@@ -333,6 +394,7 @@ impl Store {
                 }
                 BatchSlot::Queued => out.queued += 1,
                 BatchSlot::NotHere(hint) => out.not_here.push((key, hint)),
+                BatchSlot::Migrated => out.migrated.push(key),
             }
         }
         out
@@ -362,6 +424,7 @@ impl Store {
                     BatchSlot::Queued
                 }
                 Some(Entry::ForwardedTo(n)) => BatchSlot::NotHere(Some(*n)),
+                Some(Entry::Promoted) => BatchSlot::Migrated,
                 None => BatchSlot::NotHere(None),
             }
         });
@@ -373,6 +436,10 @@ impl Store {
                 BatchSlot::NotHere(hint) => {
                     let delta = deltas[i].take().expect("delta consumed twice");
                     out.not_here.push((KeyUpdate { key, delta }, hint));
+                }
+                BatchSlot::Migrated => {
+                    let delta = deltas[i].take().expect("delta consumed twice");
+                    out.migrated.push(KeyUpdate { key, delta });
                 }
             }
         }
@@ -400,7 +467,86 @@ impl Store {
                 TakeOutcome::Deferred
             }
             Some(Entry::ForwardedTo(n)) => TakeOutcome::NotHere(Some(*n)),
+            Some(Entry::Promoted) => TakeOutcome::Promoted,
             None => TakeOutcome::NotHere(None),
+        }
+    }
+
+    /// Promotion take: convert local ownership into a `Promoted` tombstone
+    /// and hand the authoritative value to the adaptive manager. Runs at a
+    /// synchronization rendezvous; a racing relocation reports `InFlight`
+    /// or `NotHere` and the promoter retries after re-reading the home
+    /// directory.
+    pub fn begin_promote(&self, key: Key) -> PromoteTake {
+        let mut map = self.shard(key).map.lock();
+        match map.get_mut(&key) {
+            Some(entry @ Entry::Local { .. }) => {
+                let Entry::Local { value, .. } = std::mem::replace(entry, Entry::Promoted) else {
+                    unreachable!()
+                };
+                PromoteTake::Taken(value)
+            }
+            Some(Entry::InFlightIn { .. }) => PromoteTake::InFlight,
+            Some(Entry::ForwardedTo(n)) => PromoteTake::NotHere(Some(*n)),
+            Some(Entry::Promoted) => {
+                debug_assert!(false, "key {key} promoted twice");
+                PromoteTake::NotHere(None)
+            }
+            None => PromoteTake::NotHere(None),
+        }
+    }
+
+    /// Post-take sweep on every non-owning node: remove a stale in-flight
+    /// mark whose localize request the home server's migration guard
+    /// dropped (or will drop) — left in place it would later read as a
+    /// transfer that never arrives and block a worker forever. Any parked
+    /// operations are returned so the promoter can serve them from the
+    /// taken value, exactly once.
+    pub fn sweep_for_promote(&self, key: Key) -> PromoteSweep {
+        let shard = self.shard(key);
+        let mut map = shard.map.lock();
+        let mut out = PromoteSweep::default();
+        if let Some(Entry::InFlightIn { .. }) = map.get(&key) {
+            let Some(Entry::InFlightIn { waiters, .. }) = map.remove(&key) else { unreachable!() };
+            out.removed_inflight = true;
+            out.waiters = waiters;
+        }
+        drop(map);
+        if out.removed_inflight {
+            // Anyone blocked in `wait_local` re-checks and falls back.
+            shard.installed.notify_all();
+        }
+        out
+    }
+
+    /// Demotion install at the elected owner: force local ownership with
+    /// the collapsed replica value, replacing a `Promoted` tombstone (or
+    /// creating the entry for a key that was replicated from the start).
+    pub fn install_demoted(&self, key: Key, value: Vec<f32>, available_at: SimTime) {
+        let shard = self.shard(key);
+        let mut map = shard.map.lock();
+        let prev = map.insert(key, Entry::Local { value, available_at });
+        debug_assert!(
+            !matches!(prev, Some(Entry::Local { .. }) | Some(Entry::InFlightIn { .. })),
+            "demotion install of key {key} clobbered live state"
+        );
+        drop(map);
+        shard.installed.notify_all();
+    }
+
+    /// Demotion redirect on every non-owning node: point any existing
+    /// tombstone (`Promoted` from the promotion, or an old `ForwardedTo`
+    /// chain link) at the newly elected owner so late-chasing messages
+    /// terminate there. Nodes without an entry stay entry-less (they route
+    /// via the home directory, which the demotion also resets).
+    pub fn redirect_for_demote(&self, key: Key, owner: NodeId) {
+        let mut map = self.shard(key).map.lock();
+        if let Some(entry) = map.get_mut(&key) {
+            debug_assert!(
+                !matches!(entry, Entry::Local { .. } | Entry::InFlightIn { .. }),
+                "demotion redirect of key {key} clobbered live state"
+            );
+            *entry = Entry::ForwardedTo(owner);
         }
     }
 
@@ -689,6 +835,110 @@ mod tests {
         let io = s.install(3, vec![1.0]);
         assert_eq!(io.push_acks.len(), 1);
         assert_eq!(s.get(3), Some(vec![10.0]));
+    }
+
+    #[test]
+    fn begin_promote_takes_value_and_leaves_tombstone() {
+        let s = Store::new(4);
+        s.seed(1, vec![3.0]);
+        match s.begin_promote(1) {
+            PromoteTake::Taken(v) => assert_eq!(v, vec![3.0]),
+            _ => panic!("expected take"),
+        }
+        assert!(!s.is_local(1));
+        // Server ops now report the migration so they are served from the
+        // replica set; relocation stragglers are void.
+        assert!(matches!(s.server_pull(1, addr(0), 2), ServerAccess::Migrated));
+        assert!(matches!(s.server_push(1, &[1.0], addr(0), 2), ServerAccess::Migrated));
+        assert!(matches!(s.take_for_transfer(1, NodeId(5)), TakeOutcome::Promoted));
+        // A localize must not clobber the tombstone.
+        assert!(!s.mark_inflight(1, SimTime(5)));
+        // Nor may a stale duplicate transfer resurrect local ownership.
+        let out = s.install(1, vec![9.0]);
+        assert!(out.pull_replies.is_empty() && out.release.is_none());
+        assert!(matches!(s.server_pull(1, addr(0), 2), ServerAccess::Migrated));
+    }
+
+    #[test]
+    fn begin_promote_reports_inflight_and_chains() {
+        let s = Store::new(4);
+        s.mark_inflight(1, SimTime(10));
+        assert!(matches!(s.begin_promote(1), PromoteTake::InFlight));
+        s.install(1, vec![2.0]);
+        assert!(matches!(s.begin_promote(1), PromoteTake::Taken(_)));
+        let t = Store::new(4);
+        t.seed(2, vec![0.0]);
+        t.take_for_transfer(2, NodeId(3));
+        assert!(matches!(t.begin_promote(2), PromoteTake::NotHere(Some(NodeId(3)))));
+        assert!(matches!(t.begin_promote(9), PromoteTake::NotHere(None)));
+    }
+
+    #[test]
+    fn sweep_for_promote_clears_stale_inflight_marks() {
+        let s = Store::new(4);
+        s.mark_inflight(1, SimTime(10));
+        let sw = s.sweep_for_promote(1);
+        assert!(sw.removed_inflight);
+        assert!(sw.waiters.is_empty());
+        assert!(matches!(s.with_local(1, |_| ()), LocalAccess::Remote(None)));
+        // Sweeping a node without an entry (or with a tombstone) is a no-op.
+        assert!(!s.sweep_for_promote(1).removed_inflight);
+        s.seed(2, vec![1.0]);
+        s.take_for_transfer(2, NodeId(7));
+        assert!(!s.sweep_for_promote(2).removed_inflight);
+        assert!(matches!(s.with_local(2, |_| ()), LocalAccess::Remote(Some(NodeId(7)))));
+    }
+
+    #[test]
+    fn sweep_for_promote_returns_parked_ops() {
+        let s = Store::new(4);
+        s.mark_inflight(1, SimTime(10));
+        s.server_push(1, &[4.0], addr(2), 2);
+        let sw = s.sweep_for_promote(1);
+        assert!(sw.removed_inflight);
+        assert_eq!(sw.waiters.len(), 1, "parked push handed to the promoter");
+    }
+
+    #[test]
+    fn demotion_installs_owner_and_redirects_tombstones() {
+        let owner = Store::new(4);
+        let other = Store::new(4);
+        // Key 1 was promoted earlier: tombstone at the old owner, a chain
+        // link elsewhere, nothing at a third node.
+        owner.seed(1, vec![0.0]);
+        let PromoteTake::Taken(_) = owner.begin_promote(1) else { panic!() };
+        other.seed(1, vec![0.0]);
+        other.take_for_transfer(1, NodeId(0));
+
+        owner.install_demoted(1, vec![8.0], SimTime(99));
+        other.redirect_for_demote(1, NodeId(0));
+        assert_eq!(owner.get(1), Some(vec![8.0]));
+        match owner.with_local(1, |_| ()) {
+            LocalAccess::Done((), at) => assert_eq!(at, SimTime(99)),
+            _ => panic!("owner must hold the key locally"),
+        }
+        assert!(matches!(other.with_local(1, |_| ()), LocalAccess::Remote(Some(NodeId(0)))));
+        // A node that never held the key needs no redirect.
+        let third = Store::new(4);
+        third.redirect_for_demote(1, NodeId(0));
+        assert!(matches!(third.with_local(1, |_| ()), LocalAccess::Remote(None)));
+    }
+
+    #[test]
+    fn batch_ops_partition_migrated_keys() {
+        let s = Store::new(4);
+        s.seed(1, vec![1.0]);
+        s.seed(2, vec![2.0]);
+        let PromoteTake::Taken(_) = s.begin_promote(2) else { panic!() };
+        let out = s.server_pull_batch(&[1, 2, 3], addr(9), 1);
+        assert_eq!(out.served.len(), 1);
+        assert_eq!(out.migrated, vec![2]);
+        assert_eq!(out.not_here, vec![(3, None)]);
+        let updates =
+            vec![KeyUpdate { key: 1, delta: vec![0.5] }, KeyUpdate { key: 2, delta: vec![9.0] }];
+        let out = s.server_push_batch(updates, addr(9), 1);
+        assert_eq!(out.served, vec![1]);
+        assert_eq!(out.migrated, vec![KeyUpdate { key: 2, delta: vec![9.0] }]);
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub struct SyncGate {
     enabled: bool,
     /// Busy fraction of the last window, in parts per thousand.
     busy_millis: AtomicU64,
+    /// The virtual-time boundary of the merge currently (or most recently)
+    /// executing. Mirrored out of the gate state so the merge closure can
+    /// read it without re-entering the gate mutex (which it runs under).
+    merge_boundary: AtomicU64,
 }
 
 /// Statistics reported after a run (Figures 11/12 annotations).
@@ -70,6 +74,7 @@ impl SyncGate {
             period,
             enabled,
             busy_millis: AtomicU64::new(0),
+            merge_boundary: AtomicU64::new(0),
         }
     }
 
@@ -135,6 +140,7 @@ impl SyncGate {
     }
 
     fn run_merge(&self, st: &mut GateState, mut merge: impl FnMut() -> SimDuration) {
+        self.merge_boundary.store(st.boundary.as_nanos(), Ordering::Relaxed);
         let duration = merge();
         st.syncs_done += 1;
         st.total_sync_time += duration;
@@ -151,6 +157,15 @@ impl SyncGate {
         st.generation += 1;
         st.arrived = 0;
         self.cv.notify_all();
+    }
+
+    /// The virtual-time boundary of the merge currently (or most recently)
+    /// executed — readable from *inside* a merge closure, where the gate
+    /// mutex is held. Migration installs use it as the demoted value's
+    /// availability stamp: every worker resumes with its clock at or past
+    /// this boundary.
+    pub fn merge_boundary(&self) -> SimTime {
+        SimTime(self.merge_boundary.load(Ordering::Relaxed))
     }
 
     /// Fraction (0..=1) of the last sync window spent synchronizing. Used

@@ -11,6 +11,7 @@ use nups_sim::time::SimTime;
 use nups_sim::topology::{Addr, NodeId, WorkerId};
 use nups_sim::WireEncode;
 
+use crate::adaptive::AdaptiveManager;
 use crate::api::PsWorker;
 use crate::config::NupsConfig;
 use crate::key::{Key, KeySpace};
@@ -85,7 +86,11 @@ impl ParameterServer {
             config.cost,
             config.value_len,
         ));
-        let gate = Arc::new(SyncGate::new(config.sync_period, technique.n_replicated() > 0));
+        // The gate must also run for adaptive servers that start with no
+        // replicated keys: the rendezvous is where adaptation happens.
+        let gate_enabled = technique.n_replicated() > 0 || config.adaptive.is_some();
+        let gate = Arc::new(SyncGate::new(config.sync_period, gate_enabled));
+        let adaptive = config.adaptive.clone().map(AdaptiveManager::new);
 
         let shared = Arc::new(Shared {
             topology: topo,
@@ -99,6 +104,7 @@ impl ParameterServer {
             clocks,
             gate,
             sync,
+            adaptive,
             nodes,
             dists: parking_lot::Mutex::new(Vec::new()),
         });
@@ -201,8 +207,8 @@ impl ParameterServer {
         let n = self.config.n_keys;
         let mut out: Vec<Option<Vec<f32>>> = vec![None; n as usize];
         // Replicated keys from node 0 (all replicas equal after a flush).
-        for (slot, &key) in self.shared.technique.replicated_keys().iter().enumerate() {
-            out[key as usize] = Some(self.shared.sync.sets()[0].get(slot as u32));
+        for (slot, key) in self.shared.technique.slot_entries() {
+            out[key as usize] = Some(self.shared.sync.sets()[0].get(slot));
         }
         // Owned keys per node.
         for node in &self.shared.nodes {
@@ -240,6 +246,17 @@ impl ParameterServer {
 
     pub fn technique_map(&self) -> &TechniqueMap {
         &self.shared.technique
+    }
+
+    /// The technique-assignment epoch (bumps once per adaptation round
+    /// that migrated at least one key; 0 on static servers).
+    pub fn technique_epoch(&self) -> u64 {
+        self.shared.technique.epoch()
+    }
+
+    /// The adaptive technique manager, when enabled.
+    pub fn adaptive_manager(&self) -> Option<&AdaptiveManager> {
+        self.shared.adaptive.as_ref()
     }
 
     pub fn config(&self) -> &NupsConfig {

@@ -1,10 +1,28 @@
-//! Per-key management-technique assignment (Section 3.2).
+//! Per-key management-technique assignment (Section 3.2), now
+//! epoch-versioned and adaptive.
 //!
 //! NuPS manages each key with one of two techniques: *replication* for hot
-//! spots, *relocation* for the long tail. The assignment is decided before
-//! training from dataset access statistics and is immutable at run time; the
-//! technique check on the hot path is therefore a plain array read with no
-//! synchronization.
+//! spots, *relocation* for the long tail. The paper decides the assignment
+//! before training from dataset access statistics and keeps it immutable at
+//! run time. This implementation keeps that mode (construct and never
+//! mutate) but additionally supports **live migration**: the adaptive
+//! technique manager ([`crate::adaptive`]) promotes keys to replication and
+//! demotes them back while the system runs. Mutations happen only at
+//! synchronization rendezvous points — every worker is parked at the gate —
+//! so the hot-path read is an uncontended `RwLock` read (one reader-count
+//! atomic per access via [`TechniqueMap::route`]; a deliberate, measured
+//! step down from the old plain array read, paid even by static servers,
+//! in exchange for safe live mutation) and each mutation batch bumps a
+//! single `epoch` counter that observers can use to detect assignment
+//! changes.
+//!
+//! Replica slots are allocated from a free list so a demoted key's slot is
+//! reused by a later promotion instead of growing the replica sets without
+//! bound.
+
+use parking_lot::{Mutex, RwLock};
+use rustc_hash::FxHashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::key::Key;
 
@@ -19,14 +37,39 @@ pub enum Technique {
     Replicated = 1,
 }
 
-/// Immutable key → technique table, plus a dense index for replicated keys.
-#[derive(Debug, Clone)]
-pub struct TechniqueMap {
+/// One key's routing decision, resolved under a single lock acquisition
+/// ([`TechniqueMap::route`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeyRoute {
+    /// Serve from the node's replica set at this slot.
+    Replicated(u32),
+    /// Relocation-managed: resolve through the store.
+    Relocated,
+}
+
+/// The mutable assignment state, guarded by the map's `RwLock`.
+#[derive(Debug)]
+struct TechInner {
     techniques: Vec<u8>,
     /// Replica slot of each key (`u32::MAX` when not replicated).
     replica_slot: Vec<u32>,
-    /// Keys in replica-slot order.
-    replicated_keys: Vec<Key>,
+    /// Key held by each slot (`None` = free).
+    slot_keys: Vec<Option<Key>>,
+    /// Slots released by demotions, reused by later promotions (LIFO for
+    /// determinism).
+    free_slots: Vec<u32>,
+}
+
+/// Epoch-versioned key → technique table, plus a dense index for
+/// replicated keys.
+pub struct TechniqueMap {
+    inner: RwLock<TechInner>,
+    /// Bumped once per adaptation round that changed any assignment.
+    epoch: AtomicU64,
+    /// Keys mid-promotion: the home server must not start new relocations
+    /// for them (a relocation racing the promotion take would strand the
+    /// parameter value in a `Transfer` nobody installs).
+    migrating: Mutex<FxHashSet<Key>>,
 }
 
 impl TechniqueMap {
@@ -46,50 +89,171 @@ impl TechniqueMap {
     pub fn from_replicated_keys(n_keys: u64, replicated: &[Key]) -> TechniqueMap {
         let mut techniques = vec![Technique::Relocated as u8; n_keys as usize];
         let mut replica_slot = vec![u32::MAX; n_keys as usize];
-        let mut replicated_keys = Vec::with_capacity(replicated.len());
+        let mut slot_keys = Vec::with_capacity(replicated.len());
         for &k in replicated {
             assert!(k < n_keys, "replicated key {k} outside key space");
             if replica_slot[k as usize] == u32::MAX {
-                replica_slot[k as usize] = replicated_keys.len() as u32;
+                replica_slot[k as usize] = slot_keys.len() as u32;
                 techniques[k as usize] = Technique::Replicated as u8;
-                replicated_keys.push(k);
+                slot_keys.push(Some(k));
             }
         }
-        TechniqueMap { techniques, replica_slot, replicated_keys }
+        TechniqueMap {
+            inner: RwLock::new(TechInner {
+                techniques,
+                replica_slot,
+                slot_keys,
+                free_slots: Vec::new(),
+            }),
+            epoch: AtomicU64::new(0),
+            migrating: Mutex::new(FxHashSet::default()),
+        }
     }
 
     #[inline]
     pub fn technique(&self, key: Key) -> Technique {
-        if self.techniques[key as usize] == Technique::Replicated as u8 {
+        if self.inner.read().techniques[key as usize] == Technique::Replicated as u8 {
             Technique::Replicated
         } else {
             Technique::Relocated
         }
     }
 
+    /// The technique check and (for replicated keys) the replica-slot
+    /// lookup under a single lock acquisition — the worker hot path uses
+    /// this so one key access costs one atomic, not two (the paper's
+    /// "one latch acquisition" point, Section 3.2).
+    #[inline]
+    pub fn route(&self, key: Key) -> KeyRoute {
+        let inner = self.inner.read();
+        if inner.techniques[key as usize] == Technique::Replicated as u8 {
+            KeyRoute::Replicated(inner.replica_slot[key as usize])
+        } else {
+            KeyRoute::Relocated
+        }
+    }
+
     /// Dense replica slot of a replicated key.
     #[inline]
     pub fn replica_slot(&self, key: Key) -> Option<u32> {
-        let s = self.replica_slot[key as usize];
+        let s = self.inner.read().replica_slot[key as usize];
         (s != u32::MAX).then_some(s)
     }
 
     #[inline]
     pub fn is_replicated(&self, key: Key) -> bool {
-        self.techniques[key as usize] == Technique::Replicated as u8
+        self.inner.read().techniques[key as usize] == Technique::Replicated as u8
     }
 
-    /// Keys in replica-slot order.
-    pub fn replicated_keys(&self) -> &[Key] {
-        &self.replicated_keys
+    /// Per-key replication flags under one lock acquisition (the
+    /// adaptation scan reads every key; per-key `is_replicated` calls
+    /// would take the lock `n_keys` times).
+    pub fn replicated_flags(&self) -> Vec<bool> {
+        self.inner.read().techniques.iter().map(|&t| t == Technique::Replicated as u8).collect()
+    }
+
+    /// Currently replicated keys, in slot order (freed slots skipped).
+    pub fn replicated_keys(&self) -> Vec<Key> {
+        self.inner.read().slot_keys.iter().filter_map(|k| *k).collect()
+    }
+
+    /// `(slot, key)` pairs of all live replica slots, in slot order.
+    pub fn slot_entries(&self) -> Vec<(u32, Key)> {
+        self.inner
+            .read()
+            .slot_keys
+            .iter()
+            .enumerate()
+            .filter_map(|(s, k)| k.map(|k| (s as u32, k)))
+            .collect()
     }
 
     pub fn n_replicated(&self) -> usize {
-        self.replicated_keys.len()
+        self.inner.read().slot_keys.iter().filter(|k| k.is_some()).count()
     }
 
     pub fn n_keys(&self) -> u64 {
-        self.techniques.len() as u64
+        self.inner.read().techniques.len() as u64
+    }
+
+    /// The assignment epoch: bumped once per adaptation round that migrated
+    /// at least one key. A stable epoch across two reads guarantees no
+    /// assignment changed in between.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// The slot the next [`TechniqueMap::promote`] will assign (topmost
+    /// freed slot, else one past the end). Only the single-threaded
+    /// migration coordinator allocates, so peek-then-promote is stable;
+    /// it lets the caller install the replica value *before* publishing
+    /// the slot, so no reader can ever observe a published slot that is
+    /// not yet backed by storage.
+    pub(crate) fn next_slot(&self) -> u32 {
+        let inner = self.inner.read();
+        match inner.free_slots.last() {
+            Some(&s) => s,
+            None => inner.slot_keys.len() as u32,
+        }
+    }
+
+    /// Flip `key` to replication, allocating a replica slot (reusing a
+    /// freed one when available). Returns the slot. Caller must install
+    /// the key's value into every node's replica set *before* calling
+    /// this (see [`TechniqueMap::next_slot`]).
+    pub(crate) fn promote(&self, key: Key) -> u32 {
+        let mut inner = self.inner.write();
+        assert_eq!(
+            inner.techniques[key as usize],
+            Technique::Relocated as u8,
+            "promote of already-replicated key {key}"
+        );
+        let slot = match inner.free_slots.pop() {
+            Some(s) => s,
+            None => {
+                inner.slot_keys.push(None);
+                (inner.slot_keys.len() - 1) as u32
+            }
+        };
+        inner.slot_keys[slot as usize] = Some(key);
+        inner.replica_slot[key as usize] = slot;
+        inner.techniques[key as usize] = Technique::Replicated as u8;
+        slot
+    }
+
+    /// Flip `key` back to relocation, freeing its replica slot. Returns the
+    /// freed slot. Caller must have collapsed the replicas into a single
+    /// owned store entry first.
+    pub(crate) fn demote(&self, key: Key) -> u32 {
+        let mut inner = self.inner.write();
+        let slot = inner.replica_slot[key as usize];
+        assert_ne!(slot, u32::MAX, "demote of non-replicated key {key}");
+        inner.replica_slot[key as usize] = u32::MAX;
+        inner.techniques[key as usize] = Technique::Relocated as u8;
+        inner.slot_keys[slot as usize] = None;
+        inner.free_slots.push(slot);
+        slot
+    }
+
+    /// Mark `keys` as mid-promotion (blocks new relocations at the home
+    /// server until [`TechniqueMap::end_migrations`]).
+    pub(crate) fn begin_migrations(&self, keys: &[Key]) {
+        self.migrating.lock().extend(keys.iter().copied());
+    }
+
+    pub(crate) fn end_migrations(&self) {
+        self.migrating.lock().clear();
+    }
+
+    /// True when the home server must drop a localize request for `key`:
+    /// the key is replication-managed, or a promotion is in progress and a
+    /// new relocation would race the promotion take.
+    pub fn localize_blocked(&self, key: Key) -> bool {
+        self.is_replicated(key) || self.migrating.lock().contains(&key)
     }
 }
 
@@ -141,7 +305,8 @@ mod tests {
         assert_eq!(tm.replica_slot(7), Some(0));
         assert_eq!(tm.replica_slot(2), Some(1));
         assert_eq!(tm.replica_slot(0), None);
-        assert_eq!(tm.replicated_keys(), &[7, 2]);
+        assert_eq!(tm.replicated_keys(), vec![7, 2]);
+        assert_eq!(tm.slot_entries(), vec![(0, 7), (1, 2)]);
     }
 
     #[test]
@@ -151,6 +316,49 @@ mod tests {
         let b = TechniqueMap::all_replicated(5);
         assert_eq!(b.n_replicated(), 5);
         assert!(b.is_replicated(4));
+    }
+
+    #[test]
+    fn promote_and_demote_flip_assignment_and_reuse_slots() {
+        let tm = TechniqueMap::from_replicated_keys(10, &[3, 4]);
+        assert_eq!(tm.epoch(), 0);
+        let s = tm.promote(7);
+        assert_eq!(s, 2, "fresh slot appended");
+        assert!(tm.is_replicated(7));
+        assert_eq!(tm.replica_slot(7), Some(2));
+
+        // Demote 3: slot 0 freed, key relocated again.
+        assert_eq!(tm.demote(3), 0);
+        assert!(!tm.is_replicated(3));
+        assert_eq!(tm.replica_slot(3), None);
+        assert_eq!(tm.n_replicated(), 2);
+        assert_eq!(tm.replicated_keys(), vec![4, 7], "slot order, hole skipped");
+
+        // Next promotion reuses the freed slot.
+        assert_eq!(tm.promote(9), 0);
+        assert_eq!(tm.slot_entries(), vec![(0, 9), (1, 4), (2, 7)]);
+        tm.bump_epoch();
+        assert_eq!(tm.epoch(), 1);
+    }
+
+    #[test]
+    fn migration_guard_blocks_localize() {
+        let tm = TechniqueMap::from_replicated_keys(10, &[1]);
+        assert!(tm.localize_blocked(1), "replicated keys never relocate");
+        assert!(!tm.localize_blocked(5));
+        tm.begin_migrations(&[5, 6]);
+        assert!(tm.localize_blocked(5));
+        assert!(tm.localize_blocked(6));
+        assert!(!tm.localize_blocked(7));
+        tm.end_migrations();
+        assert!(!tm.localize_blocked(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "promote of already-replicated")]
+    fn double_promote_panics() {
+        let tm = TechniqueMap::from_replicated_keys(4, &[1]);
+        tm.promote(1);
     }
 
     #[test]

@@ -45,7 +45,7 @@ use crate::sampling::scheme::SamplingScheme;
 use crate::sampling::{DistId, Distribution, SampleHandle};
 use crate::server::group_by_node;
 use crate::store::LocalAccess;
-use crate::technique::Technique;
+use crate::technique::{KeyRoute, Technique};
 use crate::value::add_assign;
 
 /// Per-distribution sampler state held by one worker.
@@ -190,9 +190,10 @@ impl NupsWorker {
         resp
     }
 
-    /// Serve one replicated-key pull from the node's replica set.
-    fn pull_replicated(&mut self, key: Key, out: &mut [f32]) {
-        let slot = self.shared.technique.replica_slot(key).expect("slot");
+    /// Serve one replicated-key pull from the node's replica set (the
+    /// slot comes from the same [`KeyRoute`] lookup as the technique
+    /// check — one lock acquisition per access).
+    fn pull_replicated(&mut self, slot: u32, out: &mut [f32]) {
         self.node.replicas.pull(slot, out);
         let m = self.metrics();
         m.inc(|m| &m.replica_pulls);
@@ -201,8 +202,7 @@ impl NupsWorker {
     }
 
     /// Absorb one replicated-key push into the node's replica set.
-    fn push_replicated(&mut self, key: Key, delta: &[f32]) {
-        let slot = self.shared.technique.replica_slot(key).expect("slot");
+    fn push_replicated(&mut self, slot: u32, delta: &[f32]) {
         self.node.replicas.push(slot, delta);
         let m = self.metrics();
         m.inc(|m| &m.replica_pushes);
@@ -349,9 +349,10 @@ impl NupsWorker {
         let mut remote: Vec<(NodeId, Vec<(Key, usize)>)> = Vec::new();
         for (i, &key) in keys.iter().enumerate() {
             let slot = &mut out[i * vl..(i + 1) * vl];
-            match self.shared.technique.technique(key) {
-                Technique::Replicated => self.pull_replicated(key, slot),
-                Technique::Relocated => {
+            self.shared.record_access(key);
+            match self.shared.technique.route(key) {
+                KeyRoute::Replicated(r) => self.pull_replicated(r, slot),
+                KeyRoute::Relocated => {
                     if let Some(dst) = self.relocated_local_or_dst(
                         key,
                         |m| &m.local_pulls,
@@ -367,22 +368,37 @@ impl NupsWorker {
         }
 
         // One request per destination — a singleton group rides the
-        // compact single-key message. Replies may arrive split (the served
-        // subset batched, parked entries individually at install).
+        // compact single-key message. Repeated keys within a destination
+        // ride the wire (and are priced) once: the single reply fans out
+        // to every requesting position. Replies may arrive split (the
+        // served subset batched, parked entries individually at install).
         let reply_to = Addr::worker(self.id.node, self.id.local);
-        let mut pending: FxHashMap<Key, VecDeque<usize>> = FxHashMap::default();
+        // One position group per *wire entry*; a key racing a relocation
+        // can land in two destination groups, so groups queue per key.
+        let mut pending: FxHashMap<Key, VecDeque<Vec<usize>>> = FxHashMap::default();
         let mut outstanding = 0usize;
         for (dst, entries) in remote {
-            let group_keys: Vec<Key> = entries.iter().map(|&(k, _)| k).collect();
-            let n = entries.len() as u64;
+            let n_occurrences = entries.len() as u64;
+            let mut group_keys: Vec<Key> = Vec::with_capacity(entries.len());
+            let mut positions: FxHashMap<Key, Vec<usize>> = FxHashMap::default();
             for (key, i) in entries {
-                pending.entry(key).or_default().push_back(i);
+                let p = positions.entry(key).or_default();
+                if p.is_empty() {
+                    group_keys.push(key);
+                }
+                p.push(i);
+            }
+            for &key in &group_keys {
+                pending
+                    .entry(key)
+                    .or_default()
+                    .push_back(positions.remove(&key).expect("positions recorded"));
                 outstanding += 1;
             }
             let m = self.metrics();
-            m.add(|m| &m.remote_pulls, n);
+            m.add(|m| &m.remote_pulls, n_occurrences);
             m.inc(|m| &m.batch_pull_msgs);
-            m.add(|m| &m.batch_pull_keys, n);
+            m.add(|m| &m.batch_pull_keys, group_keys.len() as u64);
             let req = match group_keys.as_slice() {
                 [key] => Msg::PullReq { key: *key, reply_to, hops: 1 },
                 _ => Msg::PullBatchReq { keys: group_keys, reply_to, hops: 1 },
@@ -395,13 +411,16 @@ impl NupsWorker {
             let frame = self.endpoint.recv().expect("server disappeared during batched pull");
             let response_bytes = frame.payload.len();
             let mut payload = frame.payload;
-            let mut fill = |pending: &mut FxHashMap<Key, VecDeque<usize>>, key, value: &[f32]| {
-                let i = pending
-                    .get_mut(&key)
-                    .and_then(|q| q.pop_front())
-                    .unwrap_or_else(|| panic!("reply for unrequested key {key}"));
-                out[i * vl..(i + 1) * vl].copy_from_slice(value);
-            };
+            let mut fill =
+                |pending: &mut FxHashMap<Key, VecDeque<Vec<usize>>>, key, value: &[f32]| {
+                    let group = pending
+                        .get_mut(&key)
+                        .and_then(|q| q.pop_front())
+                        .unwrap_or_else(|| panic!("reply for unrequested key {key}"));
+                    for i in group {
+                        out[i * vl..(i + 1) * vl].copy_from_slice(value);
+                    }
+                };
             match Msg::decode(&mut payload).expect("undecodable reply") {
                 Msg::PullBatchResp { values, hops } => {
                     self.charge_chain_tail(
@@ -431,9 +450,10 @@ impl NupsWorker {
         let mut remote: Vec<(NodeId, Vec<(Key, usize)>)> = Vec::new();
         for (i, &key) in keys.iter().enumerate() {
             let delta = &deltas[i * vl..(i + 1) * vl];
-            match self.shared.technique.technique(key) {
-                Technique::Replicated => self.push_replicated(key, delta),
-                Technique::Relocated => {
+            self.shared.record_access(key);
+            match self.shared.technique.route(key) {
+                KeyRoute::Replicated(r) => self.push_replicated(r, delta),
+                KeyRoute::Relocated => {
                     if let Some(dst) = self.relocated_local_or_dst(
                         key,
                         |m| &m.local_pushes,
@@ -517,17 +537,19 @@ impl PsWorker for NupsWorker {
 
     fn pull(&mut self, key: Key, out: &mut [f32]) {
         debug_assert_eq!(out.len(), self.shared.value_len);
-        match self.shared.technique.technique(key) {
-            Technique::Replicated => self.pull_replicated(key, out),
-            Technique::Relocated => self.pull_relocated(key, out),
+        self.shared.record_access(key);
+        match self.shared.technique.route(key) {
+            KeyRoute::Replicated(slot) => self.pull_replicated(slot, out),
+            KeyRoute::Relocated => self.pull_relocated(key, out),
         }
     }
 
     fn push(&mut self, key: Key, delta: &[f32]) {
         debug_assert_eq!(delta.len(), self.shared.value_len);
-        match self.shared.technique.technique(key) {
-            Technique::Replicated => self.push_replicated(key, delta),
-            Technique::Relocated => self.push_relocated(key, delta),
+        self.shared.record_access(key);
+        match self.shared.technique.route(key) {
+            KeyRoute::Replicated(slot) => self.push_replicated(slot, delta),
+            KeyRoute::Relocated => self.push_relocated(key, delta),
         }
     }
 
@@ -589,7 +611,7 @@ impl PsWorker for NupsWorker {
         let c = self.shared.cost.compute(flops);
         self.clock.advance(c);
         let shared = Arc::clone(&self.shared);
-        self.shared.gate.poll(self.clock.now(), || shared.sync.sync_once(&shared.metrics));
+        self.shared.gate.poll(self.clock.now(), || shared.merge_step());
     }
 
     fn prepare_sample(&mut self, dist: DistId, n: usize) -> SampleHandle {
@@ -680,7 +702,7 @@ impl PsWorker for NupsWorker {
 
     fn end_epoch(&mut self) {
         let shared = Arc::clone(&self.shared);
-        self.shared.gate.leave(|| shared.sync.sync_once(&shared.metrics));
+        self.shared.gate.leave(|| shared.merge_step());
     }
 
     fn now(&self) -> SimTime {

@@ -182,7 +182,7 @@ proptest! {
         let picks: Vec<u64> = picks.into_iter().filter(|&k| k < n_keys).collect();
         let tm = TechniqueMap::from_replicated_keys(n_keys, &picks);
         let mut seen = vec![false; tm.n_replicated()];
-        for &k in tm.replicated_keys() {
+        for k in tm.replicated_keys() {
             let slot = tm.replica_slot(k).unwrap() as usize;
             prop_assert!(!seen[slot], "slot {slot} assigned twice");
             seen[slot] = true;

@@ -102,6 +102,16 @@ impl CostModel {
         SimDuration::from_secs_f64(flops as f64 * self.seconds_per_flop)
     }
 
+    /// Duration of a one-to-many broadcast of one `payload_bytes` message to
+    /// `peers` receivers. The sender serializes its sends onto the wire (the
+    /// bandwidth term repeats per peer) but latency overlaps, so the charge
+    /// is `peers` message costs — the pricing used for technique-migration
+    /// promote broadcasts and demote notices.
+    #[inline]
+    pub fn broadcast(&self, peers: u16, payload_bytes: usize) -> SimDuration {
+        self.message(payload_bytes) * peers as u64
+    }
+
     /// Duration of one sparse all-reduce over `rounds` recursive-doubling
     /// rounds in which each node exchanges ~`bytes_per_round` with its
     /// partner. Rounds are sequential; sends within a round overlap.
@@ -177,6 +187,13 @@ mod tests {
             saved.as_nanos() + 1000 >= floor.as_nanos(),
             "must save ~(n-1) latencies + headers: saved {saved:?}, floor {floor:?}"
         );
+    }
+
+    #[test]
+    fn broadcast_prices_one_message_per_peer() {
+        let c = CostModel::cluster_default();
+        assert_eq!(c.broadcast(3, 128), c.message(128) * 3);
+        assert_eq!(c.broadcast(0, 128), SimDuration::ZERO);
     }
 
     #[test]

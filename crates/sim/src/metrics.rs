@@ -118,8 +118,9 @@ metrics! {
     replica_refreshes,
     /// Batched pull requests sent by workers (one per destination node).
     batch_pull_msgs,
-    /// Key entries carried by batched pull requests (entries ÷ messages
-    /// gives the achieved pull batch size).
+    /// Key entries carried by batched pull requests, after per-request
+    /// deduplication (entries ÷ messages gives the achieved pull batch
+    /// size; repeated keys in one request ride the wire once).
     batch_pull_keys,
     /// Batched push requests sent by workers.
     batch_push_msgs,
@@ -129,6 +130,21 @@ metrics! {
     localize_msgs,
     /// Relocation intents carried by localize messages.
     localize_keys,
+    /// Keys migrated relocated → replicated by the adaptive manager.
+    promotions,
+    /// Keys migrated replicated → relocated by the adaptive manager.
+    demotions,
+    /// Adaptation scoring rounds executed (every `adapt_every`-th merge,
+    /// whether or not anything migrated; the technique-map epoch bumps
+    /// only for rounds that migrated at least one key).
+    adaptation_rounds,
+    /// Migration protocol messages priced by the adaptive manager
+    /// (promote broadcasts + demote notices; executed in-process at the
+    /// rendezvous, priced as wire messages like replica synchronization).
+    migration_msgs,
+    /// Bytes the priced migration messages would have carried, framing
+    /// included.
+    migration_bytes,
 }
 
 impl Metrics {
@@ -182,6 +198,85 @@ impl ClusterMetrics {
     }
 }
 
+/// A lightweight per-key access-frequency sketch (two-row count-min).
+///
+/// Workers record every key access with one relaxed atomic increment per
+/// row; the adaptive technique manager reads estimates at synchronization
+/// boundaries. Estimates are upper bounds (hash collisions only ever
+/// inflate), which errs toward replicating slightly-too-cold keys rather
+/// than missing hot ones. All hashing is fixed, so sketch contents — and
+/// every decision derived from them — are deterministic for a
+/// deterministic access stream.
+#[derive(Debug)]
+pub struct FreqSketch {
+    rows: [Vec<AtomicU64>; 2],
+    mask: u64,
+    shift: u32,
+    total: AtomicU64,
+}
+
+const SKETCH_HASH_0: u64 = 0x9E37_79B9_7F4A_7C15;
+const SKETCH_HASH_1: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
+impl FreqSketch {
+    /// Build a sketch with `1 << bits` counters per row (`bits` clamped to
+    /// `[4, 24]`).
+    pub fn new(bits: u32) -> FreqSketch {
+        let bits = bits.clamp(4, 24);
+        let width = 1usize << bits;
+        FreqSketch {
+            rows: [
+                (0..width).map(|_| AtomicU64::new(0)).collect(),
+                (0..width).map(|_| AtomicU64::new(0)).collect(),
+            ],
+            mask: (width - 1) as u64,
+            shift: 64 - bits,
+            total: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn cells(&self, key: u64) -> (usize, usize) {
+        // Multiplicative hashes; take the high bits (low bits of a
+        // multiplicative hash are poorly mixed for dense keys).
+        let i0 = (key.wrapping_mul(SKETCH_HASH_0) >> self.shift) & self.mask;
+        let i1 = (key.wrapping_mul(SKETCH_HASH_1) >> self.shift) & self.mask;
+        (i0 as usize, i1 as usize)
+    }
+
+    /// Record `n` accesses to `key`.
+    #[inline]
+    pub fn record(&self, key: u64, n: u64) {
+        let (i0, i1) = self.cells(key);
+        self.rows[0][i0].fetch_add(n, Ordering::Relaxed);
+        self.rows[1][i1].fetch_add(n, Ordering::Relaxed);
+        self.total.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Estimated access count of `key` (an upper bound on the true count).
+    #[inline]
+    pub fn estimate(&self, key: u64) -> u64 {
+        let (i0, i1) = self.cells(key);
+        self.rows[0][i0].load(Ordering::Relaxed).min(self.rows[1][i1].load(Ordering::Relaxed))
+    }
+
+    /// Total recorded accesses across all keys.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Exponential decay: halve every counter. Called after each adaptation
+    /// round so drifting hot sets age out instead of accumulating forever.
+    pub fn decay(&self) {
+        for row in &self.rows {
+            for c in row {
+                c.store(c.load(Ordering::Relaxed) / 2, Ordering::Relaxed);
+            }
+        }
+        self.total.store(self.total.load(Ordering::Relaxed) / 2, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +313,44 @@ mod tests {
         c.node(NodeId(0)).add(|m| &m.msgs_sent, 3);
         c.reset();
         assert_eq!(c.total(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn sketch_estimates_upper_bound_true_counts() {
+        let s = FreqSketch::new(12);
+        for k in 0..200u64 {
+            s.record(k, k + 1);
+        }
+        for k in 0..200u64 {
+            assert!(s.estimate(k) > k, "estimate must never undercount key {k} ({})", k + 1);
+        }
+        assert_eq!(s.total(), (1..=200).sum::<u64>());
+        // Unrecorded keys mostly read zero at this load factor; at minimum
+        // the estimate is bounded by the heaviest recorded key.
+        assert!(s.estimate(100_000) <= 200);
+    }
+
+    #[test]
+    fn sketch_decay_halves_counts() {
+        let s = FreqSketch::new(10);
+        s.record(7, 100);
+        s.decay();
+        assert_eq!(s.estimate(7), 50);
+        assert_eq!(s.total(), 50);
+        s.decay();
+        assert_eq!(s.estimate(7), 25);
+    }
+
+    #[test]
+    fn sketch_is_deterministic() {
+        let build = || {
+            let s = FreqSketch::new(8);
+            for k in 0..5000u64 {
+                s.record(k % 321, 1);
+            }
+            (0..321u64).map(|k| s.estimate(k)).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! A drifting-hotspot access workload.
+//!
+//! The paper chooses each key's management technique statically from
+//! pre-training statistics. This workload is built to break that
+//! assumption: accesses are heavily skewed toward a small hot set, but the
+//! hot set *rotates* between phases, so a static assignment measured on
+//! phase 0 is maximally wrong from phase 1 on. Hot sets of different
+//! phases are disjoint, and hot keys are spread across the whole key range
+//! (hence across every node's home range under range partitioning).
+//!
+//! Generation is fully deterministic: worker streams derive from
+//! `seed`, the phase, and the worker index only.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a [`DriftingHotspots`] workload.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftConfig {
+    /// Key universe `[0, n_keys)`.
+    pub n_keys: u64,
+    /// Hot keys per phase.
+    pub hot_keys: usize,
+    /// Probability that an access goes to the current hot set.
+    pub hot_share: f64,
+    /// Number of phases (the hot set rotates at each phase boundary).
+    pub phases: usize,
+    /// Minibatches per worker per phase.
+    pub batches_per_phase: usize,
+    /// Keys per minibatch.
+    pub batch: usize,
+    pub seed: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> DriftConfig {
+        DriftConfig {
+            n_keys: 4096,
+            hot_keys: 8,
+            hot_share: 0.9,
+            phases: 3,
+            batches_per_phase: 200,
+            batch: 8,
+            seed: 0xD81F7,
+        }
+    }
+}
+
+/// Deterministic drifting-hotspot access-stream generator.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftingHotspots {
+    cfg: DriftConfig,
+}
+
+impl DriftingHotspots {
+    pub fn new(cfg: DriftConfig) -> DriftingHotspots {
+        assert!(cfg.n_keys >= (cfg.hot_keys * cfg.phases) as u64, "hot sets must fit disjointly");
+        assert!(cfg.hot_keys > 0 && cfg.batch > 0 && cfg.phases > 0);
+        assert!((0.0..=1.0).contains(&cfg.hot_share));
+        DriftingHotspots { cfg }
+    }
+
+    pub fn config(&self) -> &DriftConfig {
+        &self.cfg
+    }
+
+    /// The hot set of `phase`: disjoint across phases, striped over the
+    /// whole key range so every node's home range holds hot keys.
+    pub fn hot_set(&self, phase: usize) -> Vec<u64> {
+        let total_hot = (self.cfg.hot_keys * self.cfg.phases) as u64;
+        let stride = (self.cfg.n_keys / total_hot).max(1);
+        (0..self.cfg.hot_keys as u64)
+            .map(|j| ((j * self.cfg.phases as u64 + phase as u64) * stride) % self.cfg.n_keys)
+            .collect()
+    }
+
+    /// Per-key access frequencies of one phase as seen cluster-wide (for
+    /// static technique assignment from "pre-training statistics" — the
+    /// expected counts, which is exactly what a profiling pass measures).
+    pub fn phase_frequencies(&self, phase: usize, n_workers: usize) -> Vec<u64> {
+        let mut freqs = vec![0u64; self.cfg.n_keys as usize];
+        let accesses = (self.cfg.batches_per_phase * self.cfg.batch * n_workers) as f64;
+        let hot = self.hot_set(phase);
+        let per_hot = accesses * self.cfg.hot_share / hot.len() as f64;
+        for &k in &hot {
+            freqs[k as usize] += per_hot.round() as u64;
+        }
+        let cold = accesses * (1.0 - self.cfg.hot_share) / self.cfg.n_keys as f64;
+        for f in freqs.iter_mut() {
+            *f += cold.round().max(1.0) as u64;
+        }
+        freqs
+    }
+
+    /// The minibatch streams of one worker for one phase.
+    pub fn worker_batches(&self, phase: usize, worker: usize) -> Vec<Vec<u64>> {
+        let hot = self.hot_set(phase);
+        let mut rng = SmallRng::seed_from_u64(
+            self.cfg
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((phase as u64) << 32)
+                .wrapping_add(worker as u64),
+        );
+        (0..self.cfg.batches_per_phase)
+            .map(|_| {
+                (0..self.cfg.batch)
+                    .map(|_| {
+                        if rng.gen_range(0.0..1.0) < self.cfg.hot_share {
+                            hot[rng.gen_range(0..hot.len())]
+                        } else {
+                            rng.gen_range(0..self.cfg.n_keys)
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen() -> DriftingHotspots {
+        DriftingHotspots::new(DriftConfig::default())
+    }
+
+    #[test]
+    fn hot_sets_are_disjoint_across_phases() {
+        let g = gen();
+        let mut all = std::collections::HashSet::new();
+        for p in 0..g.config().phases {
+            let hot = g.hot_set(p);
+            assert_eq!(hot.len(), g.config().hot_keys);
+            for k in hot {
+                assert!(k < g.config().n_keys);
+                assert!(all.insert(k), "key {k} hot in two phases (phase {p})");
+            }
+        }
+    }
+
+    #[test]
+    fn hot_sets_spread_over_the_key_range() {
+        let g = gen();
+        let n = g.config().n_keys;
+        for p in 0..g.config().phases {
+            let hot = g.hot_set(p);
+            assert!(hot.iter().any(|&k| k < n / 2), "no hot key in the lower half (phase {p})");
+            assert!(hot.iter().any(|&k| k >= n / 2), "no hot key in the upper half (phase {p})");
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_skewed() {
+        let g = gen();
+        let a = g.worker_batches(1, 0);
+        let b = g.worker_batches(1, 0);
+        assert_eq!(a, b, "same (phase, worker) must replay identically");
+        assert_ne!(a, g.worker_batches(1, 1), "workers draw different streams");
+        assert_ne!(a, g.worker_batches(2, 0), "phases draw different streams");
+
+        let hot: std::collections::HashSet<u64> = g.hot_set(1).into_iter().collect();
+        let total: usize = a.iter().map(|b| b.len()).sum();
+        let hot_hits: usize = a.iter().flat_map(|b| b.iter()).filter(|k| hot.contains(k)).count();
+        let share = hot_hits as f64 / total as f64;
+        assert!(share > 0.8, "hot share {share} too low for hot_share=0.9");
+    }
+
+    #[test]
+    fn phase_frequencies_rank_hot_keys_first() {
+        let g = gen();
+        let freqs = g.phase_frequencies(0, 4);
+        let hot = g.hot_set(0);
+        let max_cold = freqs
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| !hot.contains(&(*k as u64)))
+            .map(|(_, &f)| f)
+            .max()
+            .unwrap();
+        for &k in &hot {
+            assert!(freqs[k as usize] > 10 * max_cold, "hot key {k} not dominant");
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! rationale, and [`trace`] for the skew statistics of Figure 3 / Table 2.
 
 pub mod corpus;
+pub mod drift;
 pub mod kg;
 pub mod matrix;
 pub mod partition;
@@ -17,6 +18,7 @@ pub mod trace;
 pub mod zipf;
 
 pub use corpus::{Corpus, CorpusConfig};
+pub use drift::{DriftConfig, DriftingHotspots};
 pub use kg::{KgConfig, KnowledgeGraph, Triple};
 pub use matrix::{Cell, MatrixConfig, MatrixData};
 pub use trace::AccessTrace;

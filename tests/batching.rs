@@ -58,23 +58,62 @@ fn skewed_push_batch_issues_one_round_trip_per_destination() {
 }
 
 #[test]
-fn duplicate_keys_in_a_batch_are_served_per_occurrence() {
+fn duplicate_keys_in_a_pull_batch_ride_the_wire_once() {
     let ps = classic_3node();
     let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
     let keys = [10u64, 10, 11];
     let mut out = vec![0.0f32; keys.len() * 2];
     w.pull_many(&keys, &mut out);
+    // Every position is filled — the single reply fans out to both
+    // occurrences of key 10.
     assert_eq!(out, vec![10.0, 10.0, 10.0, 10.0, 11.0, 11.0]);
     let m = ps.metrics();
     assert_eq!(m.msgs_sent, 2, "single destination: one request, one reply");
     assert_eq!(m.batch_pull_msgs, 1);
-    assert_eq!(m.batch_pull_keys, 3);
-    // Duplicate pushes each land.
+    assert_eq!(m.batch_pull_keys, 2, "the duplicate is deduplicated before encoding");
+    assert_eq!(m.remote_pulls, 3, "logical pulls still count per occurrence");
+    // Duplicate pushes each land (pushes carry distinct deltas and are
+    // deliberately *not* deduplicated).
     let deltas = vec![0.5f32; keys.len() * 2];
     w.push_many(&keys, &deltas);
     drop(w);
     assert_eq!(ps.read_value(10), vec![11.0; 2]);
     assert_eq!(ps.read_value(11), vec![11.5; 2]);
+    ps.shutdown();
+}
+
+#[test]
+fn all_duplicate_pull_batch_collapses_to_single_key_message() {
+    // After dedup a group of repeated keys is a singleton and takes the
+    // compact single-key message, not the batch framing.
+    let ps = classic_3node();
+    let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+    let keys = [15u64, 15, 15, 15];
+    let mut out = vec![0.0f32; keys.len() * 2];
+    w.pull_many(&keys, &mut out);
+    assert_eq!(out, vec![15.0; 8]);
+    let m = ps.metrics();
+    assert_eq!(m.msgs_sent, 2, "one PullReq, one PullResp");
+    assert_eq!(m.batch_pull_keys, 1);
+    assert_eq!(m.remote_pulls, 4);
+    ps.shutdown();
+}
+
+#[test]
+fn duplicate_localize_intents_ride_the_wire_once() {
+    let topo = Topology::new(2, 1);
+    let ps =
+        ParameterServer::new(zero_cost(NupsConfig::lapse(topo, 20, 2)), |k, v| v.fill(k as f32));
+    let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+    // Repeated keys in one localize call: the in-flight mark dedupes them
+    // before the wire, so the batch carries each key once.
+    w.localize(&[12, 12, 13, 12, 13]);
+    let mut out = vec![0.0f32; 2 * 2];
+    w.pull_many(&[12, 13], &mut out); // blocks until transfers install
+    let m = ps.metrics();
+    assert_eq!(m.localize_msgs, 1);
+    assert_eq!(m.localize_keys, 2, "duplicates dropped before encoding");
+    assert_eq!(m.relocations, 2);
     ps.shutdown();
 }
 
