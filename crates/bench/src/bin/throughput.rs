@@ -1,0 +1,214 @@
+//! Throughput on both runtime backends: the same skewed minibatch
+//! workload on the deterministic virtual-time simulator and on the
+//! wall-clock backend, where waits block for real and the numbers are
+//! actual keys/sec and wall-clock epoch times.
+//!
+//! The two backends must also *agree*: with integer-valued deltas every
+//! partial sum is exact, so the final model is identical bit-for-bit no
+//! matter how real scheduling interleaved the updates. `--check` gates on
+//! that equivalence (the CI wall-clock smoke job runs it).
+//!
+//! Usage: cargo run --release -p nups-bench --bin throughput -- \
+//!   [--scale tiny|small|medium] [--nodes 4] [--workers 2] \
+//!   [--backend sim|wall|both] [--json PATH] [--check]
+//!
+//! `--json` writes a report in the standard bench shape. The wall-backend
+//! numbers are real measurements and vary run to run, so this report is
+//! uploaded as a CI artifact but not gated against a baseline.
+
+use nups_bench::json::Json;
+use nups_bench::report::print_table;
+use nups_bench::{Args, Scale};
+use nups_core::runtime::Backend;
+use nups_core::system::run_epoch;
+use nups_core::technique::heuristic_replicated_keys;
+use nups_core::{NupsConfig, ParameterServer, PsWorker};
+use nups_sim::metrics::MetricsSnapshot;
+use nups_sim::time::SimDuration;
+use nups_sim::topology::Topology;
+use nups_workloads::drift::{DriftConfig, DriftingHotspots};
+
+const VALUE_LEN: usize = 8;
+
+fn workload_for(scale: Scale) -> DriftingHotspots {
+    let (n_keys, hot_keys, phases, batches_per_phase) = match scale {
+        Scale::Tiny => (1024, 4, 3, 40),
+        Scale::Small => (4096, 8, 4, 150),
+        Scale::Medium => (16384, 16, 5, 300),
+    };
+    DriftingHotspots::new(DriftConfig {
+        n_keys,
+        hot_keys,
+        hot_share: 0.9,
+        phases,
+        batches_per_phase,
+        batch: 8,
+        seed: 0x7490,
+    })
+}
+
+struct BackendRun {
+    backend: Backend,
+    /// Total run time on the backend's timeline (virtual or wall-clock).
+    elapsed: SimDuration,
+    /// Per-epoch times on the backend's timeline.
+    epoch_times: Vec<SimDuration>,
+    /// Key accesses performed (pulls + pushes).
+    accesses: u64,
+    metrics: MetricsSnapshot,
+    /// Bit patterns of the final model, for the cross-backend check.
+    model: Vec<Vec<u32>>,
+}
+
+impl BackendRun {
+    fn keys_per_sec(&self) -> f64 {
+        self.accesses as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    fn mean_epoch(&self) -> SimDuration {
+        let n = self.epoch_times.len().max(1) as u64;
+        self.epoch_times.iter().copied().sum::<SimDuration>() / n
+    }
+}
+
+fn run_backend(workload: &DriftingHotspots, topology: Topology, backend: Backend) -> BackendRun {
+    let cfg = workload.config();
+    let freqs = workload.phase_frequencies(0, topology.total_workers());
+    let ps_cfg = NupsConfig::nups(topology, cfg.n_keys, VALUE_LEN)
+        .with_replicated_keys(heuristic_replicated_keys(&freqs))
+        .with_sync_period(SimDuration::from_millis(1))
+        .with_backend(backend);
+    let ps = ParameterServer::new(ps_cfg, |k, v| v.fill((k % 97) as f32));
+    let mut workers = ps.workers();
+    let mut epoch_times = Vec::with_capacity(cfg.phases);
+    let mut accesses = 0u64;
+    let mut last = ps.virtual_time();
+    // One epoch per drift phase: each batch is pulled, updated with an
+    // exact integer delta, and pushed back through the batched paths.
+    for phase in 0..cfg.phases {
+        for worker in 0..topology.total_workers() {
+            for batch in workload.worker_batches(phase, worker) {
+                accesses += 2 * batch.len() as u64;
+            }
+        }
+        run_epoch(&mut workers, |i, w| {
+            for keys in workload.worker_batches(phase, i) {
+                let mut out = vec![0.0f32; keys.len() * VALUE_LEN];
+                w.pull_many(&keys, &mut out);
+                let deltas = vec![1.0f32; keys.len() * VALUE_LEN];
+                w.push_many(&keys, &deltas);
+                w.charge_compute(500 * keys.len() as u64);
+            }
+        });
+        let now = ps.virtual_time();
+        epoch_times.push(now.saturating_since(last));
+        last = now;
+    }
+    drop(workers);
+    ps.flush_replicas();
+    let model: Vec<Vec<u32>> =
+        ps.read_all().into_iter().map(|v| v.into_iter().map(f32::to_bits).collect()).collect();
+    let run = BackendRun {
+        backend,
+        elapsed: epoch_times.iter().copied().sum(),
+        epoch_times,
+        accesses,
+        metrics: ps.metrics(),
+        model,
+    };
+    ps.shutdown();
+    run
+}
+
+fn backend_json(r: &BackendRun) -> Json {
+    Json::obj()
+        .set("elapsed_us", r.elapsed.as_nanos() / 1_000)
+        .set("mean_epoch_us", r.mean_epoch().as_nanos() / 1_000)
+        .set("accesses", r.accesses)
+        .set("keys_per_sec", r.keys_per_sec())
+        .set("msgs", r.metrics.msgs_sent)
+        .set("bytes", r.metrics.bytes_sent)
+        .set("relocations", r.metrics.relocations)
+        .set("sync_rounds", r.metrics.sync_rounds)
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.scale();
+    let topology = args.topology();
+    let workload = workload_for(scale);
+
+    let backends: Vec<Backend> = match args.get("backend") {
+        None => vec![Backend::Virtual, Backend::WallClock],
+        Some("both") => vec![Backend::Virtual, Backend::WallClock],
+        Some(s) => match Backend::parse(s) {
+            Some(b) => vec![b],
+            None => {
+                eprintln!("unknown --backend {s:?} (expected sim, wall or both)");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let runs: Vec<BackendRun> = backends
+        .iter()
+        .map(|&b| {
+            eprintln!("[throughput] running {} backend", b.name());
+            run_backend(&workload, topology, b)
+        })
+        .collect();
+
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.backend.name().to_string(),
+                r.elapsed.to_string(),
+                r.mean_epoch().to_string(),
+                format!("{}", r.accesses),
+                format!("{:.0}", r.keys_per_sec()),
+                format!("{}", r.metrics.msgs_sent),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Throughput — same workload per backend ({} epochs, {} keys)",
+            workload.config().phases,
+            workload.config().n_keys
+        ),
+        &["backend", "run time", "mean epoch", "accesses", "keys/sec", "messages"],
+        &rows,
+    );
+
+    if let Some(path) = args.get("json") {
+        let mut report = Json::obj().set("bench", "throughput").set("scale", scale.name()).set(
+            "topology",
+            format!("{}x{}", topology.n_nodes, topology.workers_per_node).as_str(),
+        );
+        for r in &runs {
+            report = report.set(r.backend.name(), backend_json(r));
+        }
+        std::fs::write(path, report.render()).expect("write json report");
+        eprintln!("[throughput] wrote {path}");
+    }
+
+    if args.get_flag("check") {
+        let sim = runs.iter().find(|r| r.backend == Backend::Virtual);
+        let wall = runs.iter().find(|r| r.backend == Backend::WallClock);
+        match (sim, wall) {
+            (Some(s), Some(w)) if s.model == w.model => {
+                eprintln!("[throughput] OK: backends agree on the final model");
+            }
+            (Some(s), Some(w)) => {
+                let diverged = s.model.iter().zip(&w.model).filter(|(a, b)| a != b).count();
+                eprintln!("FAIL: {diverged} parameter(s) differ between sim and wall backends");
+                std::process::exit(1);
+            }
+            _ => {
+                eprintln!("FAIL: --check needs both backends (drop --backend or use both)");
+                std::process::exit(1);
+            }
+        }
+    }
+}

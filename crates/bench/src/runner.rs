@@ -207,6 +207,7 @@ fn run_nups(
         store_shards: 64,
         seed: 0xBE7C4,
         adaptive: v.adaptive.clone(),
+        backend: Default::default(),
     };
     let ps = ParameterServer::new(ps_cfg, |k, out| task.init_value(k, out));
     for d in task.distributions() {

@@ -56,6 +56,11 @@ use crate::node::Shared;
 use crate::store::{PromoteTake, QueuedOp};
 use crate::value::add_assign;
 
+/// How long migration control loops wait for relocation traffic to drain
+/// before declaring the protocol wedged. Generous: the pending chains are
+/// finite and served by live server threads in microseconds.
+const MIGRATION_SETTLE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
 /// Tuning knobs for the adaptive technique manager.
 #[derive(Debug, Clone)]
 pub struct AdaptiveConfig {
@@ -200,6 +205,9 @@ impl AdaptiveManager {
             shared.technique.end_migrations();
         }
         shared.technique.bump_epoch();
+        // Demotions installed store entries and promotions redirected
+        // chains: wake any parked evaluation reads to re-check.
+        shared.runtime.notify_progress();
         if self.cfg.decay {
             self.sketch.decay();
         }
@@ -207,24 +215,22 @@ impl AdaptiveManager {
     }
 }
 
-/// Block until no node holds an in-flight relocation mark for any of
+/// Park until no node holds an in-flight relocation mark for any of
 /// `keys`. A mark exists from the instant a worker issues a localize
 /// until the transfer installs, and every worker is parked, so the set of
 /// pending chains is fixed and finite; the server threads drain each one
-/// in bounded real time, and no new mark can appear after the last one
-/// clears.
+/// in bounded real time (each install wakes us via the runtime's progress
+/// notification), and no new mark can appear after the last one clears.
 fn wait_relocation_quiescence(shared: &Shared, keys: &[Key]) {
-    for attempt in 0u64..200_000 {
-        let pending = keys.iter().any(|&k| shared.nodes.iter().any(|n| n.store.is_inflight(k)));
-        if !pending {
-            return;
-        }
-        std::thread::sleep(std::time::Duration::from_micros(20 * (attempt + 1).min(20)));
+    let quiesced = shared.runtime.wait_until(MIGRATION_SETTLE_TIMEOUT, &mut || {
+        !keys.iter().any(|&k| shared.nodes.iter().any(|n| n.store.is_inflight(k)))
+    });
+    if !quiesced {
+        // See the settle-loop comment in `promote_key`: a panic here would
+        // wedge the parked workers, so fail the process fast instead.
+        eprintln!("fatal: relocation traffic failed to quiesce before promotion");
+        std::process::abort();
     }
-    // See the settle-loop comment in `promote_key`: a panic here would
-    // wedge the parked workers, so fail the process fast instead.
-    eprintln!("fatal: relocation traffic failed to quiesce before promotion");
-    std::process::abort();
 }
 
 /// Record `peers` priced migration messages of `payload` bytes each.
@@ -243,19 +249,20 @@ fn promote_key(shared: &Shared, key: Key, boundary: SimTime) -> SimDuration {
     // Settle: relocation chains for this key are finite (the migration
     // guard blocks new ones) and every chain is visible through the home
     // directory, so following the directory until the take succeeds
-    // terminates. Server threads keep draining the chain in real time.
-    let mut value = 'settle: {
-        for attempt in 0u64..200_000 {
-            let owner = home_state.directory.owner(key);
-            match shared.nodes[owner.index()].store.begin_promote(key) {
-                PromoteTake::Taken(v) => break 'settle (owner, v),
-                PromoteTake::InFlight | PromoteTake::NotHere(_) => {
-                    std::thread::sleep(std::time::Duration::from_micros(
-                        20 * (attempt + 1).min(20),
-                    ));
-                }
+    // terminates. Server threads keep draining the chain in real time and
+    // every install wakes this parked wait to retry the take.
+    let mut taken: Option<(NodeId, Vec<f32>)> = None;
+    let settled = shared.runtime.wait_until(MIGRATION_SETTLE_TIMEOUT, &mut || {
+        let owner = home_state.directory.owner(key);
+        match shared.nodes[owner.index()].store.begin_promote(key) {
+            PromoteTake::Taken(v) => {
+                taken = Some((owner, v));
+                true
             }
+            PromoteTake::InFlight | PromoteTake::NotHere(_) => false,
         }
+    });
+    let Some(mut value) = (if settled { taken } else { None }) else {
         // A panic here would unwind inside the gate merge and leave every
         // other worker parked forever (parking_lot does not poison), so a
         // settle failure — unreachable unless the relocation protocol
@@ -285,7 +292,7 @@ fn promote_key(shared: &Shared, key: Key, boundary: SimTime) -> SimDuration {
                     reply_to,
                 ),
             };
-            shared.network.send(Frame {
+            shared.fabric.post(Frame {
                 src: Addr::server(node.node),
                 dst: reply_to,
                 sent_at: boundary,
@@ -310,7 +317,7 @@ fn promote_key(shared: &Shared, key: Key, boundary: SimTime) -> SimDuration {
     let payload = Msg::Promote { key, slot, value: std::mem::take(value) }.encoded_len();
     shared.metrics.node(owner).inc(|m| &m.promotions);
     count_migration_msgs(shared, owner, peers, payload);
-    shared.cost.broadcast(peers, payload)
+    shared.runtime.pricing().broadcast(peers, payload)
 }
 
 /// Migrate `demos` replicated → relocated: final delta all-reduce per
@@ -338,8 +345,8 @@ fn demote_keys(shared: &Shared, demos: &[(u64, Key)], boundary: SimTime) -> SimD
         let payload = Msg::Demote { key, owner }.encoded_len();
         shared.metrics.node(owner).inc(|m| &m.demotions);
         count_migration_msgs(shared, owner, peers, payload);
-        duration += shared.cost.broadcast(peers, payload);
+        duration += shared.runtime.pricing().broadcast(peers, payload);
     }
     // One final all-reduce round carrying the demoted slots' last deltas.
-    duration + shared.cost.allreduce(shared.topology.sync_rounds(), allreduce_bytes)
+    duration + shared.runtime.pricing().allreduce(shared.topology.sync_rounds(), allreduce_bytes)
 }

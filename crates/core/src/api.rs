@@ -74,7 +74,8 @@ pub trait PsWorker: Send {
     /// End an epoch: deregister and flush.
     fn end_epoch(&mut self);
 
-    /// This worker's position on the virtual timeline.
+    /// This worker's position on the runtime's timeline: virtual time on
+    /// the simulator backend, real elapsed time on the wall-clock backend.
     fn now(&self) -> SimTime;
 }
 

@@ -7,6 +7,7 @@ use nups_sim::topology::Topology;
 
 use crate::adaptive::AdaptiveConfig;
 use crate::key::Key;
+use crate::runtime::Backend;
 use crate::sampling::scheme::ReuseParams;
 use crate::value::ClipPolicy;
 
@@ -41,6 +42,10 @@ pub struct NupsConfig {
     /// synchronization rendezvous. `None` (the default) keeps the paper's
     /// static pre-training assignment.
     pub adaptive: Option<AdaptiveConfig>,
+    /// Which runtime the server executes on: the deterministic
+    /// virtual-time simulator (default) or the wall-clock backend, where
+    /// waits block for real and `sync_period` is real elapsed time.
+    pub backend: Backend,
 }
 
 impl NupsConfig {
@@ -59,6 +64,7 @@ impl NupsConfig {
             store_shards: 64,
             seed: 0x6e75_7073,
             adaptive: None,
+            backend: Backend::Virtual,
         }
     }
 
@@ -112,6 +118,12 @@ impl NupsConfig {
         self.adaptive = Some(adaptive);
         self
     }
+
+    /// Select the runtime backend the server executes on.
+    pub fn with_backend(mut self, backend: Backend) -> NupsConfig {
+        self.backend = backend;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -144,5 +156,8 @@ mod tests {
         assert_eq!(c.sync_period, SimDuration::from_millis(40));
         assert_eq!(c.reuse.pool_size, 250);
         assert_eq!(c.reuse.use_frequency, 16);
+        assert_eq!(c.backend, Backend::Virtual, "simulation is the default backend");
+        let w = c.with_backend(Backend::WallClock);
+        assert_eq!(w.backend, Backend::WallClock);
     }
 }

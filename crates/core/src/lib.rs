@@ -15,6 +15,10 @@
 //! * **Baselines** the paper compares against: a Classic PS and Lapse as
 //!   configurations of the same engine ([`config`]), and Petuum-style
 //!   SSP/ESSP in [`ssp`].
+//! * **Pluggable runtime backends** ([`runtime`]): the same protocols run
+//!   on the deterministic virtual-time simulator or on a wall-clock
+//!   backend where waits block for real and metrics report actual
+//!   throughput. Select with [`config::NupsConfig::with_backend`].
 //!
 //! Entry points: build a [`system::ParameterServer`] from a
 //! [`config::NupsConfig`], register sampling distributions, hand a
@@ -29,6 +33,7 @@ pub mod key;
 pub mod messages;
 pub mod node;
 pub mod replication;
+pub mod runtime;
 pub mod sampling;
 pub mod server;
 pub mod ssp;
@@ -43,6 +48,7 @@ pub use adaptive::{AdaptiveConfig, AdaptiveManager};
 pub use api::PsWorker;
 pub use config::NupsConfig;
 pub use key::{Key, KeySpace};
+pub use runtime::{Backend, Runtime};
 pub use sampling::scheme::{ReuseParams, SamplingScheme};
 pub use sampling::{ConformityLevel, DistId, DistributionKind, SampleHandle};
 pub use ssp::{SspConfig, SspProtocol, SspPs, SspWorker};

@@ -4,16 +4,14 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use nups_sim::clock::ClusterClocks;
-use nups_sim::cost::CostModel;
 use nups_sim::metrics::ClusterMetrics;
-use nups_sim::net::Network;
 use nups_sim::time::SimDuration;
 use nups_sim::topology::{NodeId, Topology};
 
 use crate::adaptive::AdaptiveManager;
 use crate::key::{Key, KeySpace};
 use crate::replication::{ReplicaSet, ReplicaSync};
+use crate::runtime::{Fabric, Runtime};
 use crate::sampling::scheme::SamplingScheme;
 use crate::sampling::Distribution;
 use crate::store::Store;
@@ -72,11 +70,12 @@ pub struct Shared {
     pub keyspace: KeySpace,
     pub technique: TechniqueMap,
     pub value_len: usize,
-    pub cost: CostModel,
     pub relocation_enabled: bool,
     pub metrics: Arc<ClusterMetrics>,
-    pub network: Arc<Network>,
-    pub clocks: Arc<ClusterClocks>,
+    /// The execution backend: clocks, pricing, progress waits.
+    pub runtime: Arc<dyn Runtime>,
+    /// The message fabric every port is bound from.
+    pub fabric: Arc<dyn Fabric>,
     pub gate: Arc<SyncGate>,
     pub sync: Arc<ReplicaSync>,
     /// The adaptive technique manager, when enabled by the configuration.
@@ -105,12 +104,16 @@ impl Shared {
 
     /// The work executed at a synchronization rendezvous: the replica
     /// all-reduce, then (when adaptation is enabled and due) an adaptation
-    /// round. The returned duration slips the next sync boundary.
+    /// round. The returned duration slips the next sync boundary; the
+    /// runtime decides whether it is the modelled duration (virtual
+    /// backend) or the real execution time (wall-clock backend).
     pub fn merge_step(&self) -> SimDuration {
-        let mut d = self.sync.sync_once(&self.metrics);
-        if let Some(mgr) = &self.adaptive {
-            d += mgr.maybe_adapt(self);
-        }
-        d
+        self.runtime.measure(&mut || {
+            let mut d = self.sync.sync_once(&self.metrics);
+            if let Some(mgr) = &self.adaptive {
+                d += mgr.maybe_adapt(self);
+            }
+            d
+        })
     }
 }

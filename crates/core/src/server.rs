@@ -10,13 +10,13 @@
 use std::sync::Arc;
 
 use nups_sim::codec::WireEncode;
-use nups_sim::net::Endpoint;
 use nups_sim::time::SimTime;
 use nups_sim::topology::{Addr, NodeId};
 
 use crate::key::Key;
 use crate::messages::{KeyUpdate, Msg};
 use crate::node::{NodeState, Shared};
+use crate::runtime::Port;
 use crate::store::{ServerAccess, TakeOutcome};
 
 /// Append `item` to `dst`'s group, keeping one group per destination in
@@ -32,11 +32,11 @@ pub(crate) fn group_by_node<T>(groups: &mut Vec<(NodeId, Vec<T>)>, dst: NodeId, 
 pub struct Server {
     shared: Arc<Shared>,
     state: Arc<NodeState>,
-    endpoint: Endpoint,
+    endpoint: Box<dyn Port>,
 }
 
 impl Server {
-    pub fn new(shared: Arc<Shared>, state: Arc<NodeState>, endpoint: Endpoint) -> Server {
+    pub fn new(shared: Arc<Shared>, state: Arc<NodeState>, endpoint: Box<dyn Port>) -> Server {
         Server { shared, state, endpoint }
     }
 
@@ -352,5 +352,9 @@ impl Server {
         if let Some((node, value)) = out.release {
             self.send(Addr::server(node), at, &Msg::Transfer { key, value });
         }
+        // Wake control-plane waiters parked on cluster progress: an
+        // evaluation read racing this relocation, or the adaptive manager
+        // waiting for a chain to settle before a promotion.
+        self.shared.runtime.notify_progress();
     }
 }

@@ -14,11 +14,14 @@
 //!   over-communication (after warm-up every node replicates the full
 //!   accessed model — the bottleneck Figure 8 shows).
 //!
-//! As with NuPS, protocol messages really cross the simulated network; the
+//! As with NuPS, protocol messages really cross the message fabric; the
 //! eager propagation traffic is charged to per-node background-busy time,
 //! and the paper's observation that Petuum pays intra-process messaging
 //! even for node-local access is modelled via
-//! [`CostModel::intra_process_msg`].
+//! [`CostModel::intra_process_msg`]. All flush and refresh timing routes
+//! through the [`crate::runtime`] layer, so the baseline runs on either
+//! the virtual-time simulator or the wall-clock backend
+//! ([`SspConfig::with_backend`]).
 
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
@@ -31,14 +34,15 @@ use std::thread::JoinHandle;
 use nups_sim::clock::ClusterClocks;
 use nups_sim::cost::CostModel;
 use nups_sim::metrics::{ClusterMetrics, MetricsSnapshot};
-use nups_sim::net::{Endpoint, Frame, Network};
+use nups_sim::net::{Frame, Network};
 use nups_sim::time::SimTime;
 use nups_sim::topology::{Addr, NodeId, Topology, WorkerId};
-use nups_sim::{WireEncode, WorkerClock};
+use nups_sim::WireEncode;
 
 use crate::api::PsWorker;
 use crate::key::{Key, KeySpace};
 use crate::messages::{KeyUpdate, Msg};
+use crate::runtime::{build_runtime, Backend, Fabric, Port, Runtime, RuntimeClock, SimFabric};
 use crate::sampling::{ConformityLevel, DistId, Distribution, DistributionKind, SampleHandle};
 use crate::store::{ServerAccess, Store};
 use crate::value::add_assign;
@@ -64,6 +68,9 @@ pub struct SspConfig {
     /// tried 1, 10, 100 and saw 10 work best).
     pub clock_every: usize,
     pub seed: u64,
+    /// Which runtime the baseline executes on (see
+    /// [`crate::runtime::Backend`]).
+    pub backend: Backend,
 }
 
 impl SspConfig {
@@ -82,6 +89,7 @@ impl SspConfig {
             staleness: 10,
             clock_every: 10,
             seed: 0x5550,
+            backend: Backend::Virtual,
         }
     }
 
@@ -92,6 +100,11 @@ impl SspConfig {
 
     pub fn with_cost(mut self, cost: CostModel) -> SspConfig {
         self.cost = cost;
+        self
+    }
+
+    pub fn with_backend(mut self, backend: Backend) -> SspConfig {
+        self.backend = backend;
         self
     }
 }
@@ -117,8 +130,8 @@ struct SspShared {
     keyspace: KeySpace,
     nodes: Vec<Arc<SspNode>>,
     metrics: Arc<ClusterMetrics>,
-    network: Arc<Network>,
-    clocks: Arc<ClusterClocks>,
+    runtime: Arc<dyn Runtime>,
+    fabric: Arc<dyn Fabric>,
     dists: Mutex<Vec<Arc<Distribution>>>,
 }
 
@@ -134,7 +147,8 @@ impl SspPs {
         let keyspace = KeySpace::new(cfg.n_keys, topo.n_nodes);
         let metrics = Arc::new(ClusterMetrics::new(topo.n_nodes as usize));
         let network = Network::new(topo, Arc::clone(&metrics));
-        let clocks = Arc::new(ClusterClocks::new(topo));
+        let fabric: Arc<dyn Fabric> = Arc::new(SimFabric::new(Arc::clone(&network)));
+        let runtime = build_runtime(cfg.backend, cfg.cost, Arc::new(ClusterClocks::new(topo)));
 
         let mut scratch = vec![0.0f32; cfg.value_len];
         let nodes: Vec<Arc<SspNode>> = topo
@@ -161,15 +175,15 @@ impl SspPs {
             keyspace,
             nodes,
             metrics,
-            network: Arc::clone(&network),
-            clocks,
+            runtime,
+            fabric,
             dists: Mutex::new(Vec::new()),
         });
 
         let servers = topo
             .nodes()
             .map(|node| {
-                let endpoint = network.bind(Addr::server(node));
+                let endpoint = shared.fabric.bind(Addr::server(node));
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("ssp-server-{node}"))
@@ -197,8 +211,8 @@ impl SspPs {
     }
 
     pub fn worker(&self, id: WorkerId) -> SspWorker {
-        let endpoint = self.shared.network.bind(Addr::worker(id.node, id.local));
-        let clock = self.shared.clocks.worker_clock(id);
+        let endpoint = self.shared.fabric.bind(Addr::worker(id.node, id.local));
+        let clock = self.shared.runtime.clock(id);
         let seed =
             self.shared.cfg.seed.wrapping_add(1 + self.shared.cfg.topology.worker_index(id) as u64);
         SspWorker {
@@ -232,15 +246,11 @@ impl SspPs {
     }
 
     pub fn virtual_time(&self) -> SimTime {
-        let mut t = self.shared.clocks.max_time();
+        let mut t = self.shared.runtime.elapsed();
         for n in &self.shared.nodes {
             t = t.max(SimTime(n.background_busy.load(std::sync::atomic::Ordering::Relaxed)));
         }
         t
-    }
-
-    pub fn clocks(&self) -> &Arc<ClusterClocks> {
-        &self.shared.clocks
     }
 
     pub fn shutdown(mut self) {
@@ -252,7 +262,7 @@ impl SspPs {
             return;
         }
         for node in self.shared.cfg.topology.nodes() {
-            self.shared.network.send(Frame {
+            self.shared.fabric.post(Frame {
                 src: Addr::server(node),
                 dst: Addr::server(node),
                 sent_at: SimTime::ZERO,
@@ -271,7 +281,7 @@ impl Drop for SspPs {
     }
 }
 
-fn run_ssp_server(shared: Arc<SspShared>, me: NodeId, endpoint: Endpoint) {
+fn run_ssp_server(shared: Arc<SspShared>, me: NodeId, endpoint: Box<dyn Port>) {
     let state = Arc::clone(&shared.nodes[me.index()]);
     while let Some(frame) = endpoint.recv() {
         let mut payload = frame.payload;
@@ -312,7 +322,7 @@ fn run_ssp_server(shared: Arc<SspShared>, me: NodeId, endpoint: Endpoint) {
                     endpoint.send(Addr::server(dst), frame.sent_at, msg.to_bytes());
                     // Eager propagation is background server work.
                     state.background_busy.fetch_add(
-                        shared.cfg.cost.message(bytes).as_nanos(),
+                        shared.runtime.pricing().message(bytes).as_nanos(),
                         std::sync::atomic::Ordering::Relaxed,
                     );
                 }
@@ -345,8 +355,8 @@ pub struct SspWorker {
     id: WorkerId,
     node: Arc<SspNode>,
     shared: Arc<SspShared>,
-    endpoint: Endpoint,
-    clock: WorkerClock,
+    endpoint: Box<dyn Port>,
+    clock: Box<dyn RuntimeClock>,
     logical_clock: u64,
     buffered: FxHashMap<Key, Vec<f32>>,
     rng: SmallRng,
@@ -359,7 +369,8 @@ impl SspWorker {
     }
 
     fn charge_intra_process(&mut self) {
-        self.clock.advance(self.shared.cfg.cost.intra_process_msg);
+        let c = self.shared.runtime.pricing().intra_process_msg();
+        self.clock.advance(c);
     }
 
     /// Synchronous replica refresh from the owner.
@@ -382,7 +393,7 @@ impl SspWorker {
         match Msg::decode(&mut payload).expect("bad reply") {
             Msg::SspPullResp { key: k, value } => {
                 debug_assert_eq!(k, key);
-                let cost = self.shared.cfg.cost.round_trip(req_bytes, wire_bytes);
+                let cost = self.shared.runtime.pricing().round_trip(req_bytes, wire_bytes);
                 self.clock.advance(cost);
                 if self.shared.cfg.protocol == SspProtocol::Essp {
                     let sub = Msg::SspSubscribe { from: self.id.node, keys: vec![key] };
@@ -411,7 +422,7 @@ impl SspWorker {
             if dst == self.id.node {
                 self.charge_intra_process();
             } else {
-                let cost = self.shared.cfg.cost.message(bytes);
+                let cost = self.shared.runtime.pricing().message(bytes);
                 self.clock.advance(cost);
             }
         }
@@ -492,7 +503,8 @@ impl PsWorker for SspWorker {
     }
 
     fn charge_compute(&mut self, flops: u64) {
-        self.clock.advance(self.shared.cfg.cost.compute(flops));
+        let c = self.shared.runtime.pricing().compute(flops);
+        self.clock.advance(c);
     }
 
     fn prepare_sample(&mut self, dist: DistId, n: usize) -> SampleHandle {
@@ -628,6 +640,28 @@ mod tests {
         }
         w0.pull(7, &mut buf);
         assert_eq!(ps.metrics().replica_refreshes, refreshes);
+        ps.shutdown();
+    }
+
+    #[test]
+    fn ssp_runs_on_the_wall_clock_backend() {
+        let cfg = SspConfig::new(Topology::new(2, 1), 10, 2, SspProtocol::Ssp)
+            .with_backend(Backend::WallClock);
+        let ps = SspPs::new(cfg, |k, v| v.fill(k as f32));
+        let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+        let mut buf = vec![0.0; 2];
+        w.pull(7, &mut buf); // remote refresh over the real channel fabric
+        assert_eq!(buf, vec![7.0; 2]);
+        w.push(7, &[1.0, 1.0]);
+        w.end_epoch(); // flushes the buffered update
+        for _ in 0..500 {
+            if ps.read_value(7) == vec![8.0; 2] {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(ps.read_value(7), vec![8.0; 2]);
+        assert!(ps.virtual_time() > SimTime::ZERO, "wall backend reports real elapsed time");
         ps.shutdown();
     }
 

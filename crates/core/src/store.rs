@@ -9,7 +9,10 @@
 //!   initiated; operations arriving meanwhile queue on the entry (remote
 //!   ones) or block on the shard condvar (local workers) and are served in
 //!   arrival order when the transfer installs, preserving per-key
-//!   sequential consistency.
+//!   sequential consistency. These waits are real thread parking on every
+//!   backend; the virtual backend additionally *charges* the blocked
+//!   worker via the entry's availability stamp, while the wall-clock
+//!   backend simply lets the block take the time it takes.
 //! * [`Entry::ForwardedTo`] — a tombstone left after giving ownership away;
 //!   late messages chase the forwarding chain, which always ends at the
 //!   current owner or an in-flight entry.

@@ -1,15 +1,20 @@
-//! The virtual-time synchronization gate.
+//! The time-based synchronization gate.
 //!
 //! NuPS synchronizes replicas on a *time-based* staleness bound (Section
-//! 3.2): by default every 40 ms, i.e. 25 synchronizations per second. On
-//! the virtual timeline this means a sync boundary every `period`; a worker
-//! whose clock crosses the next boundary rendezvouses here with all other
-//! workers, and the last arrival executes the merge. Workers are *not*
-//! charged for the merge — in the real system it runs on a background
-//! thread — but the merge's modelled duration pushes the next boundary out
-//! when it exceeds the period. That reproduces the paper's observed
-//! *achieved* synchronization frequencies collapsing when replica volume
-//! outgrows the network (Figures 11 and 12, red annotations).
+//! 3.2): by default every 40 ms, i.e. 25 synchronizations per second. The
+//! gate places a sync boundary every `period` on the runtime's timeline —
+//! callers pass their [`crate::runtime::RuntimeClock`] position into
+//! [`SyncGate::poll`], so on the virtual backend boundaries live on the
+//! virtual timeline and on the wall-clock backend they fire on *real*
+//! elapsed time. A worker whose clock crosses the next boundary
+//! rendezvouses here with all other workers, and the last arrival executes
+//! the merge. Workers are *not* charged for the merge — in the real system
+//! it runs on a background thread — but the merge's duration (modelled on
+//! the simulator, measured for real on the wall-clock backend) pushes the
+//! next boundary out when it exceeds the period. That reproduces the
+//! paper's observed *achieved* synchronization frequencies collapsing when
+//! replica volume outgrows the network (Figures 11 and 12, red
+//! annotations).
 //!
 //! The gate also exposes a *network busy fraction* (sync time / period),
 //! which the worker uses as a congestion multiplier on remote-access costs:

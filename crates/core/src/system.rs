@@ -18,6 +18,7 @@ use crate::key::{Key, KeySpace};
 use crate::messages::Msg;
 use crate::node::{Directory, NodeState, Shared};
 use crate::replication::{ReplicaSet, ReplicaSync};
+use crate::runtime::{build_runtime, Fabric, SimFabric};
 use crate::sampling::scheme::SamplingScheme;
 use crate::sampling::{ConformityLevel, DistId, Distribution, DistributionKind};
 use crate::server::Server;
@@ -46,7 +47,9 @@ impl ParameterServer {
 
         let metrics = Arc::new(ClusterMetrics::new(topo.n_nodes as usize));
         let network = Network::new(topo, Arc::clone(&metrics));
-        let clocks = Arc::new(ClusterClocks::new(topo));
+        let fabric: Arc<dyn Fabric> = Arc::new(SimFabric::new(Arc::clone(&network)));
+        let runtime =
+            build_runtime(config.backend, config.cost, Arc::new(ClusterClocks::new(topo)));
 
         // Identical initial replica values on every node.
         let mut scratch = vec![0.0f32; config.value_len];
@@ -97,11 +100,10 @@ impl ParameterServer {
             keyspace,
             technique,
             value_len: config.value_len,
-            cost: config.cost,
             relocation_enabled: config.relocation_enabled,
             metrics,
-            network: Arc::clone(&network),
-            clocks,
+            runtime,
+            fabric,
             gate,
             sync,
             adaptive,
@@ -112,7 +114,7 @@ impl ParameterServer {
         let servers = topo
             .nodes()
             .map(|node| {
-                let endpoint = network.bind(Addr::server(node));
+                let endpoint = shared.fabric.bind(Addr::server(node));
                 let server = Server::new(
                     Arc::clone(&shared),
                     Arc::clone(&shared.nodes[node.index()]),
@@ -164,8 +166,8 @@ impl ParameterServer {
     pub fn worker(&self, id: WorkerId) -> NupsWorker {
         assert!(id.node.0 < self.config.topology.n_nodes);
         assert!(id.local < self.config.topology.workers_per_node);
-        let endpoint = self.shared.network.bind(Addr::worker(id.node, id.local));
-        let clock = self.shared.clocks.worker_clock(id);
+        let endpoint = self.shared.fabric.bind(Addr::worker(id.node, id.local));
+        let clock = self.shared.runtime.clock(id);
         let seed = self.config.seed.wrapping_add(
             0x9E37_79B9_7F4A_7C15u64.wrapping_mul(1 + self.shared.topology.worker_index(id) as u64),
         );
@@ -184,22 +186,31 @@ impl ParameterServer {
         }
     }
 
-    /// Read the current value of one key (evaluation; not priced).
-    /// Retries while the key is mid-relocation.
+    /// Read the current value of one key (evaluation; not priced). A key
+    /// mid-relocation parks on the runtime's progress wait until a server
+    /// installs it (the install wakes us; no spin-sleep backoff).
     pub fn read_value(&self, key: Key) -> Vec<f32> {
         if let Some(slot) = self.shared.technique.replica_slot(key) {
             return self.shared.sync.sets()[0].get(slot);
         }
-        for attempt in 0..5000 {
+        let mut found: Option<Vec<f32>> = None;
+        self.shared.runtime.wait_until(std::time::Duration::from_secs(30), &mut || {
+            // The technique may flip while we wait: an adaptation round can
+            // promote the key mid-relocation, leaving every store with a
+            // tombstone and the value in the replica sets.
+            if let Some(slot) = self.shared.technique.replica_slot(key) {
+                found = Some(self.shared.sync.sets()[0].get(slot));
+                return true;
+            }
             for node in &self.shared.nodes {
                 if let Some(v) = node.store.get(key) {
-                    return v;
+                    found = Some(v);
+                    return true;
                 }
             }
-            // The key is in flight between nodes; let the servers settle.
-            std::thread::sleep(std::time::Duration::from_micros(50 * (attempt + 1).min(20)));
-        }
-        panic!("key {key} not found on any node (lost in transit?)");
+            false
+        });
+        found.unwrap_or_else(|| panic!("key {key} not found on any node (lost in transit?)"))
     }
 
     /// Snapshot every key's value (evaluation; not priced).
@@ -236,10 +247,6 @@ impl ParameterServer {
         self.shared.metrics.snapshot_node(node)
     }
 
-    pub fn clocks(&self) -> &Arc<ClusterClocks> {
-        &self.shared.clocks
-    }
-
     pub fn sync_stats(&self) -> SyncStats {
         self.shared.gate.stats()
     }
@@ -263,14 +270,21 @@ impl ParameterServer {
         &self.config
     }
 
-    /// The cluster-wide virtual time: the slowest worker's clock, folded
-    /// with any background busy time (epoch "run time" reads).
+    /// The cluster-wide elapsed time on the runtime's timeline — the
+    /// slowest worker's virtual clock on the simulator, real time since
+    /// startup on the wall-clock backend — folded with any modelled
+    /// background busy time (epoch "run time" reads).
     pub fn virtual_time(&self) -> SimTime {
-        let mut t = self.shared.clocks.max_time();
+        let mut t = self.shared.runtime.elapsed();
         for node in &self.shared.nodes {
             t = t.max(SimTime::ZERO + node.background_busy());
         }
         t
+    }
+
+    /// The backend this server executes on.
+    pub fn backend(&self) -> crate::runtime::Backend {
+        self.shared.runtime.backend()
     }
 
     /// Stop the server threads. Called automatically on drop.
@@ -283,7 +297,7 @@ impl ParameterServer {
             return;
         }
         for node in self.config.topology.nodes() {
-            self.shared.network.send(Frame {
+            self.shared.fabric.post(Frame {
                 src: Addr::server(node),
                 dst: Addr::server(node),
                 sent_at: SimTime::ZERO,

@@ -19,9 +19,12 @@
 //! the batch entries. `localize` likewise coalesces its relocation intents
 //! into one [`Msg::LocalizeBatchReq`] per home node.
 //!
-//! All remote waiting is charged to the worker's virtual clock, scaled by
-//! the congestion multiplier when replica synchronization is saturating the
-//! network (Section 5.6).
+//! All remote waiting is charged to the worker's runtime clock through the
+//! [`crate::runtime::Pricing`] hooks, scaled by the congestion multiplier
+//! when replica synchronization is saturating the network (Section 5.6).
+//! On the virtual backend the charge *is* the wait; on the wall-clock
+//! backend pricing is free and the blocking receive itself takes the real
+//! time.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -31,15 +34,14 @@ use std::sync::Arc;
 
 use nups_sim::codec::WireEncode;
 use nups_sim::metrics::Metrics;
-use nups_sim::net::Endpoint;
 use nups_sim::time::{SimDuration, SimTime};
 use nups_sim::topology::{Addr, NodeId, WorkerId};
-use nups_sim::WorkerClock;
 
 use crate::api::PsWorker;
 use crate::key::Key;
 use crate::messages::{KeyUpdate, Msg};
 use crate::node::{NodeState, Shared};
+use crate::runtime::{Port, Pricing, RuntimeClock};
 use crate::sampling::reuse::PoolSequence;
 use crate::sampling::scheme::SamplingScheme;
 use crate::sampling::{DistId, Distribution, SampleHandle};
@@ -59,8 +61,8 @@ pub struct NupsWorker {
     id: WorkerId,
     shared: Arc<Shared>,
     node: Arc<NodeState>,
-    endpoint: Endpoint,
-    clock: WorkerClock,
+    endpoint: Box<dyn Port>,
+    clock: Box<dyn RuntimeClock>,
     rng: SmallRng,
     dists: Vec<Arc<(Distribution, SamplingScheme)>>,
     samplers: Vec<SamplerState>,
@@ -70,8 +72,8 @@ impl NupsWorker {
     pub(crate) fn new(
         id: WorkerId,
         shared: Arc<Shared>,
-        endpoint: Endpoint,
-        clock: WorkerClock,
+        endpoint: Box<dyn Port>,
+        clock: Box<dyn RuntimeClock>,
         seed: u64,
     ) -> NupsWorker {
         let node = Arc::clone(&shared.nodes[id.node.index()]);
@@ -107,6 +109,13 @@ impl NupsWorker {
         self.shared.metrics.node(self.id.node)
     }
 
+    /// The runtime's pricing hooks: the cost model on the virtual backend,
+    /// free of charge on the wall-clock backend.
+    #[inline]
+    fn pricing(&self) -> &dyn Pricing {
+        self.shared.runtime.pricing()
+    }
+
     /// Congestion multiplier on remote traffic: relocation messages compete
     /// with replica synchronization for the network (Section 5.6).
     #[inline]
@@ -116,7 +125,7 @@ impl NupsWorker {
 
     #[inline]
     fn charge_shared_memory(&mut self) {
-        let c = self.shared.cost.shared_memory_access(4 * self.shared.value_len);
+        let c = self.pricing().shared_memory_access(4 * self.shared.value_len);
         self.clock.advance(c);
     }
 
@@ -124,8 +133,8 @@ impl NupsWorker {
         // `hops` counts all messages in the chain including the response;
         // intermediate forwards carry the request payload.
         let hops = hops.max(2) as u64;
-        let cost = self.shared.cost.message(request_bytes) * (hops - 1)
-            + self.shared.cost.message(response_bytes);
+        let cost = self.pricing().message(request_bytes) * (hops - 1)
+            + self.pricing().message(response_bytes);
         self.clock.advance(cost * self.congestion());
     }
 
@@ -143,8 +152,8 @@ impl NupsWorker {
         hops: u8,
     ) {
         let intermediates = (hops.max(2) - 2) as u64;
-        let cost = self.shared.cost.message(forwarded_request_bytes) * intermediates
-            + self.shared.cost.message(response_bytes);
+        let cost = self.pricing().message(forwarded_request_bytes) * intermediates
+            + self.pricing().message(response_bytes);
         self.clock.advance(cost * self.congestion());
     }
 
@@ -167,7 +176,7 @@ impl NupsWorker {
     /// Estimated completion of a relocation initiated now: the 3-message
     /// Lapse protocol, two small messages plus the value transfer.
     fn relocation_estimate(&self) -> SimTime {
-        let c = &self.shared.cost;
+        let c = self.pricing();
         let d = c.message(16) + c.message(16) + c.message(self.shared.value_bytes());
         self.clock.now() + d * self.congestion()
     }
@@ -403,7 +412,7 @@ impl NupsWorker {
                 [key] => Msg::PullReq { key: *key, reply_to, hops: 1 },
                 _ => Msg::PullBatchReq { keys: group_keys, reply_to, hops: 1 },
             };
-            let send_cost = self.shared.cost.message(req.encoded_len());
+            let send_cost = self.pricing().message(req.encoded_len());
             self.endpoint.send(Addr::server(dst), self.clock.now(), req.to_bytes());
             self.clock.advance(send_cost * self.congestion());
         }
@@ -472,19 +481,31 @@ impl NupsWorker {
         let mut pending: FxHashMap<Key, usize> = FxHashMap::default();
         let mut outstanding = 0usize;
         for (dst, entries) in remote {
-            let mut updates: Vec<KeyUpdate> = entries
-                .iter()
-                .map(|&(key, i)| KeyUpdate { key, delta: deltas[i * vl..(i + 1) * vl].to_vec() })
-                .collect();
-            let n = entries.len() as u64;
-            for (key, _) in entries {
-                *pending.entry(key).or_default() += 1;
+            let n_occurrences = entries.len() as u64;
+            // Coalesce duplicate keys before encoding: deltas are additive,
+            // so their sum rides the wire (and is priced) as one entry per
+            // key — the push mirror of the pull-batch dedup. The server
+            // applies the summed delta once and acks the key once.
+            let mut updates: Vec<KeyUpdate> = Vec::with_capacity(entries.len());
+            let mut slot_of: FxHashMap<Key, usize> = FxHashMap::default();
+            for (key, i) in entries {
+                let delta = &deltas[i * vl..(i + 1) * vl];
+                match slot_of.get(&key) {
+                    Some(&slot) => add_assign(&mut updates[slot].delta, delta),
+                    None => {
+                        slot_of.insert(key, updates.len());
+                        updates.push(KeyUpdate { key, delta: delta.to_vec() });
+                    }
+                }
+            }
+            for u in &updates {
+                *pending.entry(u.key).or_default() += 1;
                 outstanding += 1;
             }
             let m = self.metrics();
-            m.add(|m| &m.remote_pushes, n);
+            m.add(|m| &m.remote_pushes, n_occurrences);
             m.inc(|m| &m.batch_push_msgs);
-            m.add(|m| &m.batch_push_keys, n);
+            m.add(|m| &m.batch_push_keys, updates.len() as u64);
             let req = match updates.len() {
                 1 => {
                     let KeyUpdate { key, delta } = updates.pop().expect("one update");
@@ -492,7 +513,7 @@ impl NupsWorker {
                 }
                 _ => Msg::PushBatchReq { updates, reply_to, hops: 1 },
             };
-            let send_cost = self.shared.cost.message(req.encoded_len());
+            let send_cost = self.pricing().message(req.encoded_len());
             self.endpoint.send(Addr::server(dst), self.clock.now(), req.to_bytes());
             self.clock.advance(send_cost * self.congestion());
         }
@@ -599,7 +620,8 @@ impl PsWorker for NupsWorker {
             m.add(|m| &m.localize_keys, n);
             // Issuing is asynchronous: only the (tiny) per-message issue
             // cost is charged to the worker.
-            self.clock.advance(self.shared.cost.local_access);
+            let c = self.pricing().local_access();
+            self.clock.advance(c);
         }
     }
 
@@ -608,7 +630,7 @@ impl PsWorker for NupsWorker {
     }
 
     fn charge_compute(&mut self, flops: u64) {
-        let c = self.shared.cost.compute(flops);
+        let c = self.pricing().compute(flops);
         self.clock.advance(c);
         let shared = Arc::clone(&self.shared);
         self.shared.gate.poll(self.clock.now(), || shared.merge_step());

@@ -72,13 +72,53 @@ fn duplicate_keys_in_a_pull_batch_ride_the_wire_once() {
     assert_eq!(m.batch_pull_msgs, 1);
     assert_eq!(m.batch_pull_keys, 2, "the duplicate is deduplicated before encoding");
     assert_eq!(m.remote_pulls, 3, "logical pulls still count per occurrence");
-    // Duplicate pushes each land (pushes carry distinct deltas and are
-    // deliberately *not* deduplicated).
+    // Duplicate pushes coalesce: the deltas are summed into one wire entry
+    // per key, and every occurrence still lands in the final value.
     let deltas = vec![0.5f32; keys.len() * 2];
     w.push_many(&keys, &deltas);
     drop(w);
     assert_eq!(ps.read_value(10), vec![11.0; 2]);
     assert_eq!(ps.read_value(11), vec![11.5; 2]);
+    ps.shutdown();
+}
+
+#[test]
+fn duplicate_keys_in_a_push_batch_coalesce_before_encoding() {
+    let ps = classic_3node();
+    let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+    // Key 10 appears three times with distinct deltas, key 11 once; all
+    // are homed at node 1, so the batch goes to a single destination.
+    let keys = [10u64, 10, 11, 10];
+    let deltas: Vec<f32> = vec![1.0, 1.0, 2.0, 2.0, 4.0, 4.0, 8.0, 8.0];
+    w.push_many(&keys, &deltas);
+    let m = ps.metrics();
+    assert_eq!(m.msgs_sent, 2, "single destination: one request, one ack");
+    assert_eq!(m.batch_push_msgs, 1);
+    assert_eq!(m.batch_push_keys, 2, "duplicates summed into one wire entry per key");
+    assert_eq!(m.remote_pushes, 4, "logical pushes still count per occurrence");
+    drop(w);
+    // All three deltas for key 10 are applied exactly once, as their sum.
+    assert_eq!(ps.read_value(10), vec![10.0 + 1.0 + 2.0 + 8.0; 2]);
+    assert_eq!(ps.read_value(11), vec![11.0 + 4.0; 2]);
+    ps.shutdown();
+}
+
+#[test]
+fn all_duplicate_push_batch_collapses_to_single_key_message() {
+    // After coalescing, a group of repeated keys is a singleton and takes
+    // the compact single-key push message, not the batch framing.
+    let ps = classic_3node();
+    let mut w = ps.worker(WorkerId { node: NodeId(0), local: 0 });
+    let keys = [15u64, 15, 15];
+    let deltas = vec![1.0f32; keys.len() * 2];
+    w.push_many(&keys, &deltas);
+    let m = ps.metrics();
+    assert_eq!(m.msgs_sent, 2, "one compact request, one ack");
+    assert_eq!(m.batch_push_msgs, 1);
+    assert_eq!(m.batch_push_keys, 1);
+    assert_eq!(m.remote_pushes, 3);
+    drop(w);
+    assert_eq!(ps.read_value(15), vec![15.0 + 3.0; 2]);
     ps.shutdown();
 }
 
