@@ -1,118 +1,83 @@
-//! Throughput on both runtime backends: the same skewed minibatch
-//! workload on the deterministic virtual-time simulator and on the
-//! wall-clock backend, where waits block for real and the numbers are
-//! actual keys/sec and wall-clock epoch times.
+//! Throughput across execution modes: the same skewed minibatch workload
+//! on the deterministic virtual-time simulator, on the in-process
+//! wall-clock backend, and (with `--fabric tcp`) across real OS processes
+//! connected by loopback TCP sockets.
 //!
-//! The two backends must also *agree*: with integer-valued deltas every
-//! partial sum is exact, so the final model is identical bit-for-bit no
-//! matter how real scheduling interleaved the updates. `--check` gates on
-//! that equivalence (the CI wall-clock smoke job runs it).
+//! All modes must also *agree*: with integer-valued deltas every partial
+//! sum is exact, so the final model is identical bit-for-bit no matter how
+//! real scheduling interleaved the updates or which fabric carried them.
+//! `--check` gates on that equivalence (the CI wall-clock and tcp-loopback
+//! smoke jobs run it).
 //!
 //! Usage: cargo run --release -p nups-bench --bin throughput -- \
 //!   [--scale tiny|small|medium] [--nodes 4] [--workers 2] \
-//!   [--backend sim|wall|both] [--json PATH] [--check]
+//!   [--backend sim|wall|both] [--fabric tcp] [--json PATH] [--check]
 //!
 //! `--json` writes a report in the standard bench shape. The wall-backend
-//! numbers are real measurements and vary run to run, so this report is
-//! uploaded as a CI artifact but not gated against a baseline.
+//! and tcp numbers are real measurements and vary run to run, so this
+//! report is uploaded as a CI artifact but not gated against a baseline.
+//!
+//! `--fabric tcp` spawns the `nups-node` binary in launcher mode (one OS
+//! process per node, rendezvous + full-mesh handshake on loopback) and
+//! folds the multi-process run into the table, the report, and the check.
 
+use std::time::Instant;
+
+use nups_bench::drift_bench::{
+    init_value, model_bits, parse_model, ps_config, run_phases, total_accesses, workload_for,
+};
 use nups_bench::json::Json;
 use nups_bench::report::print_table;
 use nups_bench::{Args, Scale};
 use nups_core::runtime::Backend;
-use nups_core::system::run_epoch;
-use nups_core::technique::heuristic_replicated_keys;
-use nups_core::{NupsConfig, ParameterServer, PsWorker};
+use nups_core::ParameterServer;
 use nups_sim::metrics::MetricsSnapshot;
 use nups_sim::time::SimDuration;
 use nups_sim::topology::Topology;
-use nups_workloads::drift::{DriftConfig, DriftingHotspots};
+use nups_workloads::drift::DriftingHotspots;
 
-const VALUE_LEN: usize = 8;
-
-fn workload_for(scale: Scale) -> DriftingHotspots {
-    let (n_keys, hot_keys, phases, batches_per_phase) = match scale {
-        Scale::Tiny => (1024, 4, 3, 40),
-        Scale::Small => (4096, 8, 4, 150),
-        Scale::Medium => (16384, 16, 5, 300),
-    };
-    DriftingHotspots::new(DriftConfig {
-        n_keys,
-        hot_keys,
-        hot_share: 0.9,
-        phases,
-        batches_per_phase,
-        batch: 8,
-        seed: 0x7490,
-    })
-}
-
-struct BackendRun {
-    backend: Backend,
-    /// Total run time on the backend's timeline (virtual or wall-clock).
+struct ModeRun {
+    /// Row label: backend name, or "tcp" for the multi-process run.
+    mode: &'static str,
+    /// Total run time on the mode's timeline (virtual or wall-clock).
     elapsed: SimDuration,
-    /// Per-epoch times on the backend's timeline.
+    /// Per-epoch times, when the mode reports them (empty for tcp: the
+    /// launcher only observes whole-process time).
     epoch_times: Vec<SimDuration>,
     /// Key accesses performed (pulls + pushes).
     accesses: u64,
+    /// Cluster-wide counters for in-process modes; the coordinator
+    /// process's view for tcp.
     metrics: MetricsSnapshot,
-    /// Bit patterns of the final model, for the cross-backend check.
+    /// Bit patterns of the final model, for the cross-mode check.
     model: Vec<Vec<u32>>,
 }
 
-impl BackendRun {
+impl ModeRun {
     fn keys_per_sec(&self) -> f64 {
         self.accesses as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
 
-    fn mean_epoch(&self) -> SimDuration {
-        let n = self.epoch_times.len().max(1) as u64;
-        self.epoch_times.iter().copied().sum::<SimDuration>() / n
+    fn mean_epoch(&self) -> Option<SimDuration> {
+        if self.epoch_times.is_empty() {
+            return None;
+        }
+        let n = self.epoch_times.len() as u64;
+        Some(self.epoch_times.iter().copied().sum::<SimDuration>() / n)
     }
 }
 
-fn run_backend(workload: &DriftingHotspots, topology: Topology, backend: Backend) -> BackendRun {
-    let cfg = workload.config();
-    let freqs = workload.phase_frequencies(0, topology.total_workers());
-    let ps_cfg = NupsConfig::nups(topology, cfg.n_keys, VALUE_LEN)
-        .with_replicated_keys(heuristic_replicated_keys(&freqs))
-        .with_sync_period(SimDuration::from_millis(1))
-        .with_backend(backend);
-    let ps = ParameterServer::new(ps_cfg, |k, v| v.fill((k % 97) as f32));
-    let mut workers = ps.workers();
-    let mut epoch_times = Vec::with_capacity(cfg.phases);
-    let mut accesses = 0u64;
-    let mut last = ps.virtual_time();
-    // One epoch per drift phase: each batch is pulled, updated with an
-    // exact integer delta, and pushed back through the batched paths.
-    for phase in 0..cfg.phases {
-        for worker in 0..topology.total_workers() {
-            for batch in workload.worker_batches(phase, worker) {
-                accesses += 2 * batch.len() as u64;
-            }
-        }
-        run_epoch(&mut workers, |i, w| {
-            for keys in workload.worker_batches(phase, i) {
-                let mut out = vec![0.0f32; keys.len() * VALUE_LEN];
-                w.pull_many(&keys, &mut out);
-                let deltas = vec![1.0f32; keys.len() * VALUE_LEN];
-                w.push_many(&keys, &deltas);
-                w.charge_compute(500 * keys.len() as u64);
-            }
-        });
-        let now = ps.virtual_time();
-        epoch_times.push(now.saturating_since(last));
-        last = now;
-    }
-    drop(workers);
+fn run_backend(workload: &DriftingHotspots, topology: Topology, backend: Backend) -> ModeRun {
+    let ps_cfg = ps_config(topology, workload).with_backend(backend);
+    let ps = ParameterServer::new(ps_cfg, init_value);
+    let epoch_times = run_phases(&ps, workload);
     ps.flush_replicas();
-    let model: Vec<Vec<u32>> =
-        ps.read_all().into_iter().map(|v| v.into_iter().map(f32::to_bits).collect()).collect();
-    let run = BackendRun {
-        backend,
+    let model = model_bits(ps.read_all());
+    let run = ModeRun {
+        mode: backend.name(),
         elapsed: epoch_times.iter().copied().sum(),
         epoch_times,
-        accesses,
+        accesses: total_accesses(workload, topology),
         metrics: ps.metrics(),
         model,
     };
@@ -120,10 +85,96 @@ fn run_backend(workload: &DriftingHotspots, topology: Topology, backend: Backend
     run
 }
 
-fn backend_json(r: &BackendRun) -> Json {
+/// Run the workload across real OS processes: spawn `nups-node` in
+/// launcher mode, then read back the model node 0 assembled.
+fn run_tcp(workload: &DriftingHotspots, topology: Topology, scale: Scale) -> ModeRun {
+    let exe = std::env::current_exe().expect("own executable path");
+    let node_bin = exe.with_file_name(if cfg!(windows) { "nups-node.exe" } else { "nups-node" });
+    if !node_bin.exists() {
+        eprintln!(
+            "FAIL: {} not found — build it first (cargo build -p nups-bench --bin nups-node)",
+            node_bin.display()
+        );
+        std::process::exit(1);
+    }
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let model_path = dir.join(format!("nups-throughput-{pid}-model.txt"));
+    let report_path = dir.join(format!("nups-throughput-{pid}-report.json"));
+
+    let start = Instant::now();
+    let status = std::process::Command::new(&node_bin)
+        .arg("--launch")
+        .arg("--nodes")
+        .arg(topology.n_nodes.to_string())
+        .arg("--workers")
+        .arg(topology.workers_per_node.to_string())
+        .arg("--scale")
+        .arg(scale.name())
+        .arg("--model-out")
+        .arg(&model_path)
+        .arg("--json")
+        .arg(&report_path)
+        .status()
+        .expect("spawn nups-node launcher");
+    let elapsed = start.elapsed();
+    if !status.success() {
+        eprintln!("FAIL: nups-node launcher exited with {status}");
+        std::process::exit(1);
+    }
+    let model = std::fs::read_to_string(&model_path)
+        .ok()
+        .and_then(|s| parse_model(&s))
+        .unwrap_or_else(|| {
+            eprintln!("FAIL: could not read the model from {}", model_path.display());
+            std::process::exit(1);
+        });
+    // Pull the coordinator's counters out of its report; the cross-process
+    // totals live in the other processes.
+    let report = std::fs::read_to_string(&report_path).unwrap_or_default();
+    // Prefer the coordinator's workload-only time (keys/sec over the
+    // sockets, excluding process spawn and handshake); fall back to the
+    // launcher's wall time if the report is missing.
+    let elapsed = match json_u64(&report, "elapsed_us") {
+        0 => SimDuration(elapsed.as_nanos() as u64),
+        us => SimDuration(us * 1_000),
+    };
+    let metrics = MetricsSnapshot {
+        msgs_sent: json_u64(&report, "msgs_node0"),
+        bytes_sent: json_u64(&report, "bytes_node0"),
+        relocations: json_u64(&report, "relocations_node0"),
+        sync_rounds: json_u64(&report, "sync_rounds_node0"),
+        ..MetricsSnapshot::default()
+    };
+    let _ = std::fs::remove_file(&model_path);
+    let _ = std::fs::remove_file(&report_path);
+    ModeRun {
+        mode: "tcp",
+        elapsed,
+        epoch_times: Vec::new(),
+        accesses: total_accesses(workload, topology),
+        metrics,
+        model,
+    }
+}
+
+/// Minimal field extraction from our own flat JSON reports.
+fn json_u64(report: &str, key: &str) -> u64 {
+    report
+        .split(&format!("\"{key}\":"))
+        .nth(1)
+        .and_then(|rest| {
+            let digits: String =
+                rest.trim_start().chars().take_while(|c| c.is_ascii_digit()).collect();
+            digits.parse().ok()
+        })
+        .unwrap_or(0)
+}
+
+fn mode_json(r: &ModeRun) -> Json {
     Json::obj()
         .set("elapsed_us", r.elapsed.as_nanos() / 1_000)
-        .set("mean_epoch_us", r.mean_epoch().as_nanos() / 1_000)
+        .set("mean_epoch_us", r.mean_epoch().map(|d| d.as_nanos() / 1_000).unwrap_or(0))
         .set("accesses", r.accesses)
         .set("keys_per_sec", r.keys_per_sec())
         .set("msgs", r.metrics.msgs_sent)
@@ -149,35 +200,58 @@ fn main() {
             }
         },
     };
+    let with_tcp = match args.get("fabric") {
+        None | Some("channel") | Some("sim") => false,
+        Some("tcp") => true,
+        Some(other) => {
+            eprintln!("unknown --fabric {other:?} (expected tcp)");
+            std::process::exit(2);
+        }
+    };
 
-    let runs: Vec<BackendRun> = backends
+    let mut runs: Vec<ModeRun> = backends
         .iter()
         .map(|&b| {
             eprintln!("[throughput] running {} backend", b.name());
             run_backend(&workload, topology, b)
         })
         .collect();
+    if with_tcp {
+        eprintln!(
+            "[throughput] running tcp multi-process deployment ({} processes on loopback)",
+            topology.n_nodes
+        );
+        runs.push(run_tcp(&workload, topology, scale));
+    }
 
     let rows: Vec<Vec<String>> = runs
         .iter()
         .map(|r| {
             vec![
-                r.backend.name().to_string(),
+                r.mode.to_string(),
                 r.elapsed.to_string(),
-                r.mean_epoch().to_string(),
+                r.mean_epoch().map(|d| d.to_string()).unwrap_or_else(|| "-".to_string()),
                 format!("{}", r.accesses),
                 format!("{:.0}", r.keys_per_sec()),
-                format!("{}", r.metrics.msgs_sent),
+                // The tcp row only sees the coordinator process's
+                // counters; the other nodes' totals live in their own
+                // processes. Label it so the column is not misread as a
+                // cluster-wide comparison.
+                if r.mode == "tcp" {
+                    format!("{} (node 0 only)", r.metrics.msgs_sent)
+                } else {
+                    format!("{}", r.metrics.msgs_sent)
+                },
             ]
         })
         .collect();
     print_table(
         &format!(
-            "Throughput — same workload per backend ({} epochs, {} keys)",
+            "Throughput — same workload per execution mode ({} epochs, {} keys)",
             workload.config().phases,
             workload.config().n_keys
         ),
-        &["backend", "run time", "mean epoch", "accesses", "keys/sec", "messages"],
+        &["mode", "run time", "mean epoch", "accesses", "keys/sec", "messages"],
         &rows,
     );
 
@@ -187,28 +261,41 @@ fn main() {
             format!("{}x{}", topology.n_nodes, topology.workers_per_node).as_str(),
         );
         for r in &runs {
-            report = report.set(r.backend.name(), backend_json(r));
+            report = report.set(r.mode, mode_json(r));
         }
         std::fs::write(path, report.render()).expect("write json report");
         eprintln!("[throughput] wrote {path}");
     }
 
     if args.get_flag("check") {
-        let sim = runs.iter().find(|r| r.backend == Backend::Virtual);
-        let wall = runs.iter().find(|r| r.backend == Backend::WallClock);
-        match (sim, wall) {
-            (Some(s), Some(w)) if s.model == w.model => {
-                eprintln!("[throughput] OK: backends agree on the final model");
+        let Some(reference) = runs.iter().find(|r| r.mode == Backend::Virtual.name()) else {
+            eprintln!("FAIL: --check needs the sim backend as reference (drop --backend)");
+            std::process::exit(1);
+        };
+        let mut ok = true;
+        for r in runs.iter().filter(|r| r.mode != reference.mode) {
+            if r.model == reference.model {
+                eprintln!("[throughput] OK: {} model identical to sim", r.mode);
+            } else if r.model.len() != reference.model.len() {
+                eprintln!(
+                    "FAIL: {} model has {} keys, sim has {}",
+                    r.mode,
+                    r.model.len(),
+                    reference.model.len()
+                );
+                ok = false;
+            } else {
+                let diverged = reference.model.iter().zip(&r.model).filter(|(a, b)| a != b).count();
+                eprintln!("FAIL: {diverged} parameter(s) differ between sim and {}", r.mode);
+                ok = false;
             }
-            (Some(s), Some(w)) => {
-                let diverged = s.model.iter().zip(&w.model).filter(|(a, b)| a != b).count();
-                eprintln!("FAIL: {diverged} parameter(s) differ between sim and wall backends");
-                std::process::exit(1);
-            }
-            _ => {
-                eprintln!("FAIL: --check needs both backends (drop --backend or use both)");
-                std::process::exit(1);
-            }
+        }
+        if runs.len() < 2 {
+            eprintln!("FAIL: --check needs at least two modes (drop --backend)");
+            ok = false;
+        }
+        if !ok {
+            std::process::exit(1);
         }
     }
 }

@@ -1,0 +1,166 @@
+//! Shared pieces of the drift-throughput workload: the one benchmark that
+//! runs identically on the virtual-time simulator, the in-process
+//! wall-clock backend, and the TCP multi-process deployment — so the
+//! three final models can be compared bit for bit.
+//!
+//! Everything here is deterministic in the (scale, topology) pair alone:
+//! the workload batches, the technique assignment, and the initial values
+//! are derived without any cross-process exchange, which is what lets every
+//! `nups-node` process construct the same configuration independently.
+//! Deltas are integer-valued, so floating-point accumulation is exact and
+//! the final model does not depend on scheduling, interleaving, or which
+//! fabric carried the updates.
+
+use nups_core::system::run_epoch;
+use nups_core::technique::heuristic_replicated_keys;
+use nups_core::{Key, NupsConfig, ParameterServer, PsWorker};
+use nups_sim::time::SimDuration;
+use nups_sim::topology::Topology;
+use nups_workloads::drift::{DriftConfig, DriftingHotspots};
+
+use crate::tasks::Scale;
+
+pub const VALUE_LEN: usize = 8;
+
+/// The drift workload at a bench scale (the same shape `throughput` has
+/// always used).
+pub fn workload_for(scale: Scale) -> DriftingHotspots {
+    let (n_keys, hot_keys, phases, batches_per_phase) = match scale {
+        Scale::Tiny => (1024, 4, 3, 40),
+        Scale::Small => (4096, 8, 4, 150),
+        Scale::Medium => (16384, 16, 5, 300),
+    };
+    DriftingHotspots::new(DriftConfig {
+        n_keys,
+        hot_keys,
+        hot_share: 0.9,
+        phases,
+        batches_per_phase,
+        batch: 8,
+        seed: 0x7490,
+    })
+}
+
+/// Deterministic initial value of every key.
+pub fn init_value(key: Key, v: &mut [f32]) {
+    v.fill((key % 97) as f32);
+}
+
+/// The parameter-server configuration every execution mode runs: NuPS
+/// with the phase-0 heuristic replication choice and a 1 ms sync period.
+pub fn ps_config(topology: Topology, workload: &DriftingHotspots) -> NupsConfig {
+    let cfg = workload.config();
+    let freqs = workload.phase_frequencies(0, topology.total_workers());
+    NupsConfig::nups(topology, cfg.n_keys, VALUE_LEN)
+        .with_replicated_keys(heuristic_replicated_keys(&freqs))
+        .with_sync_period(SimDuration::from_millis(1))
+}
+
+/// Total key accesses (pulls + pushes) the whole cluster performs.
+pub fn total_accesses(workload: &DriftingHotspots, topology: Topology) -> u64 {
+    let mut accesses = 0u64;
+    for phase in 0..workload.config().phases {
+        for worker in 0..topology.total_workers() {
+            for batch in workload.worker_batches(phase, worker) {
+                accesses += 2 * batch.len() as u64;
+            }
+        }
+    }
+    accesses
+}
+
+/// Drive every phase of the workload on the workers this process hosts
+/// (all of them in-process, the local node's in a multi-process
+/// deployment). Batches are selected by each worker's *global* index, so
+/// the cluster-wide work is identical no matter how workers are spread
+/// over processes. Returns the per-phase times on the server's timeline.
+pub fn run_phases(ps: &ParameterServer, workload: &DriftingHotspots) -> Vec<SimDuration> {
+    let topo = ps.config().topology;
+    let mut workers = ps.workers();
+    let phases = workload.config().phases;
+    let mut epoch_times = Vec::with_capacity(phases);
+    let mut last = ps.virtual_time();
+    for phase in 0..phases {
+        run_epoch(&mut workers, |_, w| {
+            let global = topo.worker_index(w.id());
+            for keys in workload.worker_batches(phase, global) {
+                let mut out = vec![0.0f32; keys.len() * VALUE_LEN];
+                w.pull_many(&keys, &mut out);
+                let deltas = vec![1.0f32; keys.len() * VALUE_LEN];
+                w.push_many(&keys, &deltas);
+                w.charge_compute(500 * keys.len() as u64);
+            }
+        });
+        let now = ps.virtual_time();
+        epoch_times.push(now.saturating_since(last));
+        last = now;
+    }
+    epoch_times
+}
+
+/// Bit patterns of a final model (for exact cross-mode comparison).
+pub fn model_bits(model: Vec<Vec<f32>>) -> Vec<Vec<u32>> {
+    model.into_iter().map(|v| v.into_iter().map(f32::to_bits).collect()).collect()
+}
+
+/// Serialize model bits: one line per key, lowercase hex words separated
+/// by commas. Stable, diffable, and independent of float formatting.
+pub fn render_model(bits: &[Vec<u32>]) -> String {
+    let mut out = String::new();
+    for v in bits {
+        let words: Vec<String> = v.iter().map(|w| format!("{w:08x}")).collect();
+        out.push_str(&words.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse [`render_model`] output.
+pub fn parse_model(s: &str) -> Option<Vec<Vec<u32>>> {
+    s.lines()
+        .map(|line| line.split(',').map(|w| u32::from_str_radix(w.trim(), 16).ok()).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_render_parse_roundtrip() {
+        let bits = vec![vec![0u32, 0xDEAD_BEEF, 42], vec![u32::MAX]];
+        let s = render_model(&bits);
+        assert_eq!(parse_model(&s), Some(bits));
+        assert_eq!(parse_model("zz"), None);
+    }
+
+    #[test]
+    fn run_phases_matches_the_historic_throughput_workload() {
+        // The same tiny run the throughput bench has gated since PR 4:
+        // driving by global worker index must not change the workload.
+        let topo = Topology::new(2, 1);
+        let workload = workload_for(Scale::Tiny);
+        let ps = ParameterServer::new(ps_config(topo, &workload), init_value);
+        let times = run_phases(&ps, &workload);
+        assert_eq!(times.len(), workload.config().phases);
+        let model = model_bits(ps.read_all());
+        // Every key got `init + count` where count is its total access
+        // count; spot-check exactness on key 0.
+        let count = {
+            let mut c = 0u64;
+            for phase in 0..workload.config().phases {
+                for w in 0..topo.total_workers() {
+                    for b in workload.worker_batches(phase, w) {
+                        c += b.iter().filter(|&&k| k == 0).count() as u64;
+                    }
+                }
+            }
+            c
+        };
+        // init_value(0) is 0.0, so the final value is just the count.
+        let expect = count as f32;
+        assert_eq!(model[0], vec![expect.to_bits(); VALUE_LEN]);
+        assert_eq!(total_accesses(&workload, topo) % 2, 0);
+        ps.shutdown();
+    }
+}

@@ -17,6 +17,7 @@
 
 pub mod args;
 pub mod baremetal;
+pub mod drift_bench;
 pub mod json;
 pub mod report;
 pub mod runner;

@@ -48,11 +48,11 @@ pub use adaptive::{AdaptiveConfig, AdaptiveManager};
 pub use api::PsWorker;
 pub use config::NupsConfig;
 pub use key::{Key, KeySpace};
-pub use runtime::{Backend, Runtime};
+pub use runtime::{Backend, Fabric, Port, RecvOutcome, Runtime};
 pub use sampling::scheme::{ReuseParams, SamplingScheme};
 pub use sampling::{ConformityLevel, DistId, DistributionKind, SampleHandle};
 pub use ssp::{SspConfig, SspProtocol, SspPs, SspWorker};
-pub use system::{run_epoch, ParameterServer};
+pub use system::{run_epoch, Deployment, FinalizeOutcome, ParameterServer};
 pub use technique::{heuristic_replicated_keys, top_k_by_frequency, Technique, TechniqueMap};
 pub use value::ClipPolicy;
 pub use worker::NupsWorker;

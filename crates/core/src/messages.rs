@@ -78,6 +78,29 @@ pub enum Msg {
     /// small). Priced as `n - 1` of these.
     Demote { key: Key, owner: NodeId },
 
+    /// Distributed replica synchronization (per-node deployments, where
+    /// the in-process all-reduce is impossible): node `from` broadcasts
+    /// the deltas it accumulated since its last sync. Each update's `key`
+    /// is a replica *slot* id; receivers fold the delta into their replica
+    /// value exactly once. Applying is commutative and (for integer-valued
+    /// deltas) exact, so replicas converge to the same bits regardless of
+    /// arrival order.
+    ReplicaDeltas { from: NodeId, updates: Vec<KeyUpdate> },
+    /// Node `from` finished its workload and issued its final
+    /// [`Msg::ReplicaDeltas`] broadcast. Sent to the *coordinator* on the
+    /// same ordered channel as the deltas, so receiving it proves every
+    /// delta from `from` has been applied there. The coordinator's
+    /// quiescence barrier counts these.
+    SyncFin { from: NodeId },
+    /// Node `from`'s share of the final model: one entry per
+    /// relocation-managed key its store owns. Sent to the coordinator's
+    /// control port in response to [`Msg::Release`].
+    ModelPart { from: NodeId, entries: Vec<KeyUpdate> },
+    /// Coordinator → peers, after every node's [`Msg::SyncFin`] arrived:
+    /// the cluster is quiescent — snapshot your store and answer with a
+    /// [`Msg::ModelPart`], then tear down.
+    Release,
+
     /// SSP/ESSP: synchronous replica refresh request.
     SspPullReq { key: Key, reply_to: Addr },
     /// SSP/ESSP: refresh response.
@@ -115,6 +138,10 @@ mod tag {
     pub const LOCALIZE_BATCH_REQ: u8 = 18;
     pub const PROMOTE: u8 = 19;
     pub const DEMOTE: u8 = 20;
+    pub const REPLICA_DELTAS: u8 = 21;
+    pub const SYNC_FIN: u8 = 22;
+    pub const MODEL_PART: u8 = 23;
+    pub const RELEASE: u8 = 24;
 }
 
 const ADDR_LEN: usize = 4;
@@ -212,6 +239,10 @@ impl WireEncode for Msg {
             Msg::LocalizeBatchReq { keys, .. } => codec::u64_slice_len(keys) + 2,
             Msg::Promote { value, .. } => 8 + 4 + f32_slice_len(value),
             Msg::Demote { .. } => 8 + 2,
+            Msg::ReplicaDeltas { updates, .. } => 2 + updates_len(updates),
+            Msg::SyncFin { .. } => 2,
+            Msg::ModelPart { entries, .. } => 2 + updates_len(entries),
+            Msg::Release => 0,
         }
     }
 
@@ -319,6 +350,21 @@ impl WireEncode for Msg {
                 buf.put_u64_le(*key);
                 buf.put_u16_le(owner.0);
             }
+            Msg::ReplicaDeltas { from, updates } => {
+                buf.put_u8(tag::REPLICA_DELTAS);
+                buf.put_u16_le(from.0);
+                put_updates(buf, updates);
+            }
+            Msg::SyncFin { from } => {
+                buf.put_u8(tag::SYNC_FIN);
+                buf.put_u16_le(from.0);
+            }
+            Msg::ModelPart { from, entries } => {
+                buf.put_u8(tag::MODEL_PART);
+                buf.put_u16_le(from.0);
+                put_updates(buf, entries);
+            }
+            Msg::Release => buf.put_u8(tag::RELEASE),
         }
     }
 
@@ -381,6 +427,14 @@ impl WireEncode for Msg {
                 value: get_f32_vec(buf)?,
             },
             tag::DEMOTE => Msg::Demote { key: get_u64(buf)?, owner: NodeId(get_u16(buf)?) },
+            tag::REPLICA_DELTAS => {
+                Msg::ReplicaDeltas { from: NodeId(get_u16(buf)?), updates: get_updates(buf)? }
+            }
+            tag::SYNC_FIN => Msg::SyncFin { from: NodeId(get_u16(buf)?) },
+            tag::MODEL_PART => {
+                Msg::ModelPart { from: NodeId(get_u16(buf)?), entries: get_updates(buf)? }
+            }
+            tag::RELEASE => Msg::Release,
             other => return Err(CodecError::UnknownTag(other)),
         })
     }
@@ -440,6 +494,20 @@ mod tests {
         roundtrip(Msg::Promote { key: 11, slot: 3, value: vec![1.5, -0.5] });
         roundtrip(Msg::Promote { key: 0, slot: 0, value: vec![] });
         roundtrip(Msg::Demote { key: 11, owner: NodeId(4) });
+        roundtrip(Msg::ReplicaDeltas {
+            from: NodeId(2),
+            updates: vec![KeyUpdate { key: 0, delta: vec![2.0, -1.0] }],
+        });
+        roundtrip(Msg::ReplicaDeltas { from: NodeId(0), updates: vec![] });
+        roundtrip(Msg::SyncFin { from: NodeId(7) });
+        roundtrip(Msg::ModelPart {
+            from: NodeId(1),
+            entries: vec![
+                KeyUpdate { key: 3, delta: vec![1.0] },
+                KeyUpdate { key: 9, delta: vec![] },
+            ],
+        });
+        roundtrip(Msg::Release);
     }
 
     #[test]
@@ -531,11 +599,22 @@ mod tests {
             ),
             (proptest::collection::vec(any::<u64>(), 0..16), addr.clone(), any::<u8>())
                 .prop_map(|(keys, reply_to, hops)| Msg::PullBatchReq { keys, reply_to, hops }),
-            (proptest::collection::vec((any::<u64>(), val), 0..8), addr, any::<u8>()).prop_map(
-                |(kv, reply_to, hops)| Msg::PushBatchReq {
+            (proptest::collection::vec((any::<u64>(), val.clone()), 0..8), addr, any::<u8>())
+                .prop_map(|(kv, reply_to, hops)| Msg::PushBatchReq {
                     updates: kv.into_iter().map(|(key, delta)| KeyUpdate { key, delta }).collect(),
                     reply_to,
                     hops,
+                }),
+            (any::<u16>(), proptest::collection::vec((any::<u64>(), val.clone()), 0..8)).prop_map(
+                |(from, kv)| Msg::ReplicaDeltas {
+                    from: NodeId(from),
+                    updates: kv.into_iter().map(|(key, delta)| KeyUpdate { key, delta }).collect(),
+                }
+            ),
+            (any::<u16>(), proptest::collection::vec((any::<u64>(), val), 0..8)).prop_map(
+                |(from, kv)| Msg::ModelPart {
+                    from: NodeId(from),
+                    entries: kv.into_iter().map(|(key, delta)| KeyUpdate { key, delta }).collect(),
                 }
             ),
         ]

@@ -84,6 +84,10 @@ pub struct Shared {
     /// Registered sampling distributions with the scheme the manager chose
     /// for each.
     pub dists: Mutex<Vec<Arc<(Distribution, SamplingScheme)>>>,
+    /// Per-node deployments: peers that announced workload completion via
+    /// [`crate::messages::Msg::SyncFin`]. The coordinator's model-assembly
+    /// barrier waits for `n_nodes - 1` of these.
+    pub sync_fins: AtomicU64,
 }
 
 impl Shared {
@@ -91,6 +95,18 @@ impl Shared {
     #[inline]
     pub fn value_bytes(&self) -> usize {
         4 + 4 * self.value_len
+    }
+
+    /// Record a peer's workload-completion announcement and wake the
+    /// barrier waiter.
+    pub fn note_sync_fin(&self) {
+        self.sync_fins.fetch_add(1, Ordering::SeqCst);
+        self.runtime.notify_progress();
+    }
+
+    /// Peers that have announced workload completion so far.
+    pub fn sync_fins(&self) -> u64 {
+        self.sync_fins.load(Ordering::SeqCst)
     }
 
     /// Feed one key access into the adaptive manager's frequency sketch

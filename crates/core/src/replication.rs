@@ -16,9 +16,13 @@ use parking_lot::{Mutex, RwLock};
 
 use nups_sim::cost::CostModel;
 use nups_sim::metrics::ClusterMetrics;
-use nups_sim::time::SimDuration;
-use nups_sim::topology::Topology;
+use nups_sim::net::Frame;
+use nups_sim::time::{SimDuration, SimTime};
+use nups_sim::topology::{Addr, NodeId, Topology};
+use nups_sim::WireEncode;
 
+use crate::messages::{KeyUpdate, Msg};
+use crate::runtime::Fabric;
 use crate::value::{add_assign, axpy, norm, ClipPolicy, ClipState};
 
 struct Slot {
@@ -142,8 +146,10 @@ impl ReplicaSet {
         out
     }
 
-    /// Absorb the sum of *other* nodes' deltas for `slot`.
-    fn apply_foreign(&self, slot: u32, delta: &[f32]) {
+    /// Absorb the sum of *other* nodes' deltas for `slot`. In per-node
+    /// deployments the server calls this when a peer's
+    /// [`Msg::ReplicaDeltas`] broadcast arrives.
+    pub fn apply_foreign(&self, slot: u32, delta: &[f32]) {
         let slots = self.slots.read();
         let mut s = slots[slot as usize].lock();
         add_assign(&mut s.value, delta);
@@ -160,6 +166,15 @@ pub struct ReplicaSync {
     topology: Topology,
     cost: CostModel,
     value_len: usize,
+    /// Per-node deployments: this process hosts exactly one node, sibling
+    /// replica sets live in other OS processes, and synchronization means
+    /// broadcasting the drained deltas over the fabric.
+    distributed: Option<DistributedSync>,
+}
+
+struct DistributedSync {
+    node: NodeId,
+    fabric: std::sync::Arc<dyn Fabric>,
 }
 
 impl ReplicaSync {
@@ -170,13 +185,74 @@ impl ReplicaSync {
         value_len: usize,
     ) -> ReplicaSync {
         assert_eq!(sets.len(), topology.n_nodes as usize);
-        ReplicaSync { sets, topology, cost, value_len }
+        ReplicaSync { sets, topology, cost, value_len, distributed: None }
+    }
+
+    /// Build the synchronizer for a per-node deployment: only `node`'s own
+    /// replica set lives in this process. [`ReplicaSync::sync_once`] then
+    /// drains the local accumulation buffers and broadcasts them as
+    /// [`Msg::ReplicaDeltas`] to every peer's server, which folds them in
+    /// on receipt ([`ReplicaSet::apply_foreign`]). There is no cluster
+    /// rendezvous — the exchange is asynchronous and never blocks on a
+    /// peer — and it is exact: every delta is applied exactly once on
+    /// every node, and integer-valued deltas sum to the same bits in any
+    /// order.
+    pub fn distributed(
+        own: std::sync::Arc<ReplicaSet>,
+        topology: Topology,
+        node: NodeId,
+        cost: CostModel,
+        value_len: usize,
+        fabric: std::sync::Arc<dyn Fabric>,
+    ) -> ReplicaSync {
+        ReplicaSync {
+            sets: vec![own],
+            topology,
+            cost,
+            value_len,
+            distributed: Some(DistributedSync { node, fabric }),
+        }
+    }
+
+    /// Broadcast this node's drained deltas to every peer (distributed
+    /// mode). Byte/message accounting happens in the fabric like any other
+    /// send; the sync counters mirror what the in-process merge records.
+    fn sync_once_distributed(&self, d: &DistributedSync, metrics: &ClusterMetrics) -> SimDuration {
+        let drained = self.sets[0].drain();
+        if drained.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let updates: Vec<KeyUpdate> = drained
+            .into_iter()
+            .map(|(slot, delta)| KeyUpdate { key: slot as u64, delta })
+            .collect();
+        let payload = Msg::ReplicaDeltas { from: d.node, updates }.to_bytes();
+        let src = Addr { node: d.node, port: self.topology.sync_port() };
+        let mut peers = 0u64;
+        for peer in self.topology.nodes().filter(|p| *p != d.node) {
+            d.fabric.post(Frame {
+                src,
+                dst: Addr::server(peer),
+                sent_at: SimTime::ZERO,
+                payload: payload.clone(),
+            });
+            peers += 1;
+        }
+        let m = metrics.node(d.node);
+        m.inc(|m| &m.sync_rounds);
+        m.add(|m| &m.sync_bytes, peers * payload.len() as u64);
+        // Real execution: the duration of the exchange is whatever the
+        // wall clock observes, not a modelled figure.
+        SimDuration::ZERO
     }
 
     /// Run one synchronization: exchange all accumulated deltas so that
     /// every replica has absorbed every node's updates. Returns the modelled
     /// duration of the round (zero when nothing was dirty).
     pub fn sync_once(&self, metrics: &ClusterMetrics) -> SimDuration {
+        if let Some(d) = &self.distributed {
+            return self.sync_once_distributed(d, metrics);
+        }
         let n = self.sets.len();
         if n <= 1 {
             // Single node: drain buffers (they were already applied
@@ -245,6 +321,10 @@ impl ReplicaSync {
     /// Install `value` into `slot` on every node (key promotion). Not
     /// priced here — the adaptive manager prices the promote broadcast.
     pub fn install_slot(&self, slot: u32, value: &[f32]) {
+        assert!(
+            self.distributed.is_none(),
+            "technique migration is not supported in per-node deployments"
+        );
         for set in &self.sets {
             set.install_slot(slot, value.to_vec());
         }
@@ -258,6 +338,10 @@ impl ReplicaSync {
     /// — the accumulation makes the collapse exact even if a late-chasing
     /// server operation snuck a delta in between.
     pub fn collapse_slot(&self, slot: u32) -> Vec<f32> {
+        assert!(
+            self.distributed.is_none(),
+            "technique migration is not supported in per-node deployments"
+        );
         let (mut value, own_accum) = self.sets[0].value_and_accum(slot);
         // set 0's value already contains its own accum; add the others'.
         for set in &self.sets[1..] {

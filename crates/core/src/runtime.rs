@@ -235,6 +235,18 @@ impl Pricing for FreeRunning {
     }
 }
 
+/// Outcome of a bounded-time receive on a [`Port`].
+#[derive(Debug)]
+pub enum RecvOutcome {
+    /// A frame arrived before the deadline.
+    Frame(Frame),
+    /// The deadline passed with the inbox still empty.
+    TimedOut,
+    /// The fabric shut down (or every sender is gone): no frame will ever
+    /// arrive again. Callers must not retry.
+    Closed,
+}
+
 /// The receiving half of one (node, port) address plus the ability to send
 /// — what workers and servers hold instead of a concrete [`Endpoint`].
 pub trait Port: Send {
@@ -247,6 +259,13 @@ pub trait Port: Send {
     /// Block until a frame arrives. `None` when every sender is gone
     /// (cluster shutdown).
     fn recv(&self) -> Option<Frame>;
+
+    /// Block until a frame arrives or `deadline` passes. Implementations
+    /// must park (channel/condvar wait), not spin: control-plane loops use
+    /// this to stay responsive to shutdown without burning a core. The
+    /// in-process fabric parks on the channel; the TCP fabric parks on the
+    /// inbox condvar with a wait bounded by the remaining time.
+    fn recv_deadline(&self, deadline: Instant) -> RecvOutcome;
 }
 
 impl Port for Endpoint {
@@ -261,10 +280,32 @@ impl Port for Endpoint {
     fn recv(&self) -> Option<Frame> {
         Endpoint::recv(self)
     }
+
+    fn recv_deadline(&self, deadline: Instant) -> RecvOutcome {
+        use nups_sim::net::RecvTimeoutError;
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        match self.recv_timeout(timeout) {
+            Ok(f) => RecvOutcome::Frame(f),
+            Err(RecvTimeoutError::Timeout) => RecvOutcome::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => RecvOutcome::Closed,
+        }
+    }
 }
 
 /// The cluster-wide message fabric: bind one [`Port`] per (node, port)
 /// address, or post a frame without owning a port (control plane).
+///
+/// **Ordering contract:** frames between the same (source node,
+/// destination node) pair must be delivered in the order they were
+/// sent/posted, regardless of destination port. Protocol correctness
+/// depends on it — e.g. the distributed finalize protocol takes a
+/// [`crate::messages::Msg::SyncFin`] as proof that the
+/// [`crate::messages::Msg::ReplicaDeltas`] posted before it were already
+/// delivered. The in-process channel fabric (one FIFO per inbox, senders
+/// enqueue synchronously) and the TCP fabric (one ordered connection per
+/// directed node pair, demuxed by a single reader) both provide this; a
+/// future backend using multiple connections per pair would have to
+/// resequence.
 pub trait Fabric: Send + Sync {
     /// Take ownership of the receiving side of `addr`. Panics if the
     /// address was already bound: each inbox has exactly one owner.
@@ -272,6 +313,13 @@ pub trait Fabric: Send + Sync {
 
     /// Inject a frame directly (shutdown signals, rendezvous-side sends).
     fn post(&self, frame: Frame);
+
+    /// Tear the fabric down: close peer connections and unblock every
+    /// reader ([`Port::recv`] returns `None`, [`Port::recv_deadline`]
+    /// returns [`RecvOutcome::Closed`]). The in-process fabric has nothing
+    /// to tear down — its channels disconnect when the senders drop — so
+    /// the default is a no-op; socket-backed fabrics override it.
+    fn shutdown(&self) {}
 }
 
 /// The in-process channel fabric both built-in backends run on: real

@@ -88,6 +88,8 @@ impl Server {
                     self.handle_localize(key, requester, at);
                 }
             }
+            Msg::ReplicaDeltas { from, updates } => self.handle_replica_deltas(from, updates),
+            Msg::SyncFin { .. } => self.shared.note_sync_fin(),
             Msg::Stop => return false,
             other => {
                 debug_assert!(false, "unexpected message at relocation server: {other:?}");
@@ -279,6 +281,20 @@ impl Server {
             }
         }
         None
+    }
+
+    /// A peer's replica-synchronization broadcast (per-node deployments):
+    /// fold its accumulated deltas into the local replica set. Each
+    /// update's key is a replica slot id. Applying is additive and
+    /// commutative, so no coordination with concurrent local pushes is
+    /// needed beyond the slot lock.
+    fn handle_replica_deltas(&mut self, from: NodeId, updates: Vec<KeyUpdate>) {
+        debug_assert_ne!(from, self.me(), "a node must not receive its own sync broadcast");
+        for u in updates {
+            self.state.replicas.apply_foreign(u.key as u32, &u.delta);
+        }
+        // Replica state advanced: wake evaluation reads parked on progress.
+        self.shared.runtime.notify_progress();
     }
 
     /// First message of the relocation protocol, handled at the home node:

@@ -623,6 +623,19 @@ impl Store {
         out
     }
 
+    /// Number of keys currently marked in flight *toward* this node: an
+    /// issued localize whose transfer has not installed yet. Per-node
+    /// deployments wait for this to reach zero before contributing their
+    /// share of the final model (a key mid-relocation is owned by nobody).
+    pub fn n_inflight(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.map.lock().values().filter(|e| matches!(e, Entry::InFlightIn { .. })).count()
+            })
+            .sum()
+    }
+
     /// Number of locally owned keys.
     pub fn n_local(&self) -> usize {
         self.shards

@@ -15,10 +15,10 @@ use crate::adaptive::AdaptiveManager;
 use crate::api::PsWorker;
 use crate::config::NupsConfig;
 use crate::key::{Key, KeySpace};
-use crate::messages::Msg;
+use crate::messages::{KeyUpdate, Msg};
 use crate::node::{Directory, NodeState, Shared};
 use crate::replication::{ReplicaSet, ReplicaSync};
-use crate::runtime::{build_runtime, Fabric, SimFabric};
+use crate::runtime::{build_runtime, Backend, Fabric, RecvOutcome, SimFabric};
 use crate::sampling::scheme::SamplingScheme;
 use crate::sampling::{ConformityLevel, DistId, Distribution, DistributionKind};
 use crate::server::Server;
@@ -27,12 +27,54 @@ use crate::syncgate::{SyncGate, SyncStats};
 use crate::technique::{Technique, TechniqueMap};
 use crate::worker::NupsWorker;
 
+/// How the nodes of one cluster map onto OS processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Deployment {
+    /// Every node of the topology lives in this process (the default):
+    /// server threads for all nodes, workers for all nodes, and replica
+    /// synchronization as an in-process merge.
+    #[default]
+    AllInProcess,
+    /// This process hosts exactly one node; its peers are separate OS
+    /// processes reached through the fabric (e.g. the TCP fabric). Only
+    /// the local node's server thread and workers run here, and replica
+    /// synchronization broadcasts real [`Msg::ReplicaDeltas`] messages.
+    SingleNode(NodeId),
+}
+
+impl Deployment {
+    /// Whether `node`'s server and workers run in this process.
+    #[inline]
+    pub fn is_local(&self, node: NodeId) -> bool {
+        match self {
+            Deployment::AllInProcess => true,
+            Deployment::SingleNode(me) => *me == node,
+        }
+    }
+}
+
+/// Outcome of [`ParameterServer::finalize_distributed`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FinalizeOutcome {
+    /// Coordinator (node 0): the fully assembled final model, one value
+    /// per key, bit-identical to what an in-process run of the same
+    /// workload produces.
+    Model(Vec<Vec<f32>>),
+    /// Peer: the model part was delivered and the coordinator released the
+    /// cluster; safe to shut down.
+    Released,
+    /// The deadline passed before the cluster quiesced (a peer died or
+    /// never finished).
+    TimedOut,
+}
+
 /// A running NuPS-family parameter server (NuPS, Lapse, Classic and the
 /// single-node baseline are all configurations of this one system — the
 /// paper's "reduces to a single-technique PS" property).
 pub struct ParameterServer {
     shared: Arc<Shared>,
     config: NupsConfig,
+    deployment: Deployment,
     servers: Vec<JoinHandle<()>>,
 }
 
@@ -40,14 +82,49 @@ impl ParameterServer {
     /// Build and start the server. `init` provides the initial value of
     /// every key (called once per key; must be deterministic in `key` if
     /// runs are to be reproducible).
-    pub fn new(config: NupsConfig, mut init: impl FnMut(Key, &mut [f32])) -> ParameterServer {
+    pub fn new(config: NupsConfig, init: impl FnMut(Key, &mut [f32])) -> ParameterServer {
         let topo = config.topology;
+        let metrics = Arc::new(ClusterMetrics::new(topo.n_nodes as usize));
+        let network = Network::new(topo, Arc::clone(&metrics));
+        let fabric: Arc<dyn Fabric> = Arc::new(SimFabric::new(network));
+        Self::deploy(config, fabric, metrics, Deployment::AllInProcess, init)
+    }
+
+    /// Build and start the server on an explicit fabric and deployment.
+    /// This is how a per-node OS process joins a multi-process cluster:
+    /// every process constructs the same configuration (the technique map,
+    /// key space and initial values are derived deterministically, so all
+    /// processes agree without exchanging them) and passes
+    /// [`Deployment::SingleNode`] with its own node id plus a fabric
+    /// connected to the peers. `metrics` must be the same instance the
+    /// fabric accounts its sends to.
+    ///
+    /// Single-node deployments require the wall-clock backend (virtual
+    /// time is a per-process construct) and run without adaptive technique
+    /// management (migration is an in-process rendezvous protocol).
+    pub fn deploy(
+        config: NupsConfig,
+        fabric: Arc<dyn Fabric>,
+        metrics: Arc<ClusterMetrics>,
+        deployment: Deployment,
+        mut init: impl FnMut(Key, &mut [f32]),
+    ) -> ParameterServer {
+        let topo = config.topology;
+        if let Deployment::SingleNode(me) = deployment {
+            assert!(me.0 < topo.n_nodes, "node {me} outside the topology");
+            assert_eq!(
+                config.backend,
+                Backend::WallClock,
+                "single-node deployments require the wall-clock backend"
+            );
+            assert!(
+                config.adaptive.is_none(),
+                "adaptive technique management is not supported in per-node deployments"
+            );
+        }
         let keyspace = KeySpace::new(config.n_keys, topo.n_nodes);
         let technique = TechniqueMap::from_replicated_keys(config.n_keys, &config.replicated_keys);
 
-        let metrics = Arc::new(ClusterMetrics::new(topo.n_nodes as usize));
-        let network = Network::new(topo, Arc::clone(&metrics));
-        let fabric: Arc<dyn Fabric> = Arc::new(SimFabric::new(Arc::clone(&network)));
         let runtime =
             build_runtime(config.backend, config.cost, Arc::new(ClusterClocks::new(topo)));
 
@@ -67,11 +144,16 @@ impl ParameterServer {
         for node in topo.nodes() {
             let store = Store::new(config.store_shards);
             let range = keyspace.range_of(node);
-            for key in range.clone() {
-                if technique.technique(key) == Technique::Relocated {
-                    scratch.iter_mut().for_each(|x| *x = 0.0);
-                    init(key, &mut scratch);
-                    store.seed(key, scratch.clone());
+            // Seed only the nodes this process hosts: a remote node's
+            // store stays empty here, so its keys route as remote instead
+            // of silently serving a stale local copy.
+            if deployment.is_local(node) {
+                for key in range.clone() {
+                    if technique.technique(key) == Technique::Relocated {
+                        scratch.iter_mut().for_each(|x| *x = 0.0);
+                        init(key, &mut scratch);
+                        store.seed(key, scratch.clone());
+                    }
                 }
             }
             nodes.push(Arc::new(NodeState {
@@ -83,12 +165,22 @@ impl ParameterServer {
             }));
         }
 
-        let sync = Arc::new(ReplicaSync::new(
-            nodes.iter().map(|n| Arc::clone(&n.replicas)).collect(),
-            topo,
-            config.cost,
-            config.value_len,
-        ));
+        let sync = Arc::new(match deployment {
+            Deployment::AllInProcess => ReplicaSync::new(
+                nodes.iter().map(|n| Arc::clone(&n.replicas)).collect(),
+                topo,
+                config.cost,
+                config.value_len,
+            ),
+            Deployment::SingleNode(me) => ReplicaSync::distributed(
+                Arc::clone(&nodes[me.index()].replicas),
+                topo,
+                me,
+                config.cost,
+                config.value_len,
+                Arc::clone(&fabric),
+            ),
+        });
         // The gate must also run for adaptive servers that start with no
         // replicated keys: the rendezvous is where adaptation happens.
         let gate_enabled = technique.n_replicated() > 0 || config.adaptive.is_some();
@@ -109,10 +201,12 @@ impl ParameterServer {
             adaptive,
             nodes,
             dists: parking_lot::Mutex::new(Vec::new()),
+            sync_fins: std::sync::atomic::AtomicU64::new(0),
         });
 
         let servers = topo
             .nodes()
+            .filter(|node| deployment.is_local(*node))
             .map(|node| {
                 let endpoint = shared.fabric.bind(Addr::server(node));
                 let server = Server::new(
@@ -127,7 +221,7 @@ impl ParameterServer {
             })
             .collect();
 
-        ParameterServer { shared, config, servers }
+        ParameterServer { shared, config, deployment, servers }
     }
 
     /// Register a sampling distribution (Section 4.3's
@@ -166,6 +260,10 @@ impl ParameterServer {
     pub fn worker(&self, id: WorkerId) -> NupsWorker {
         assert!(id.node.0 < self.config.topology.n_nodes);
         assert!(id.local < self.config.topology.workers_per_node);
+        assert!(
+            self.deployment.is_local(id.node),
+            "worker {id} belongs to a node hosted by another process"
+        );
         let endpoint = self.shared.fabric.bind(Addr::worker(id.node, id.local));
         let clock = self.shared.runtime.clock(id);
         let seed = self.config.seed.wrapping_add(
@@ -174,9 +272,21 @@ impl ParameterServer {
         NupsWorker::new(id, Arc::clone(&self.shared), endpoint, clock, seed)
     }
 
-    /// All worker handles, in topology order.
+    /// All worker handles this process hosts, in topology order (every
+    /// worker for in-process deployments, the local node's workers for
+    /// per-node deployments).
     pub fn workers(&self) -> Vec<NupsWorker> {
-        self.config.topology.workers().map(|w| self.worker(w)).collect()
+        self.config
+            .topology
+            .workers()
+            .filter(|w| self.deployment.is_local(w.node))
+            .map(|w| self.worker(w))
+            .collect()
+    }
+
+    /// How this process maps onto the cluster.
+    pub fn deployment(&self) -> Deployment {
+        self.deployment
     }
 
     /// Force one replica synchronization (epoch boundaries / evaluation).
@@ -190,6 +300,12 @@ impl ParameterServer {
     /// mid-relocation parks on the runtime's progress wait until a server
     /// installs it (the install wakes us; no spin-sleep backoff).
     pub fn read_value(&self, key: Key) -> Vec<f32> {
+        assert_eq!(
+            self.deployment,
+            Deployment::AllInProcess,
+            "read_value needs every store in-process; per-node deployments assemble \
+             the model with finalize_distributed"
+        );
         if let Some(slot) = self.shared.technique.replica_slot(key) {
             return self.shared.sync.sets()[0].get(slot);
         }
@@ -215,6 +331,12 @@ impl ParameterServer {
 
     /// Snapshot every key's value (evaluation; not priced).
     pub fn read_all(&self) -> Vec<Vec<f32>> {
+        assert_eq!(
+            self.deployment,
+            Deployment::AllInProcess,
+            "read_all needs every store in-process; per-node deployments assemble \
+             the model with finalize_distributed"
+        );
         let n = self.config.n_keys;
         let mut out: Vec<Option<Vec<f32>>> = vec![None; n as usize];
         // Replicated keys from node 0 (all replicas equal after a flush).
@@ -287,6 +409,137 @@ impl ParameterServer {
         self.shared.runtime.backend()
     }
 
+    /// Finish a per-node deployment's run and assemble the final model at
+    /// the coordinator (node 0). Call after every local worker joined.
+    ///
+    /// The protocol (all on the fabric, no side channels):
+    ///
+    /// 1. Wait until no relocation is in flight toward this node, then
+    ///    drain and broadcast the final replica deltas, then send
+    ///    [`Msg::SyncFin`] to the coordinator. Per-link FIFO ordering
+    ///    makes the fin prove the deltas arrived first.
+    /// 2. The coordinator counts `n - 1` fins (each sent after that node's
+    ///    workers joined, and every push is applied before its worker
+    ///    unblocks, so the cluster's stores are final) and broadcasts
+    ///    [`Msg::Release`].
+    /// 3. Each peer answers the release with a [`Msg::ModelPart`] snapshot
+    ///    of the relocated keys its store owns, then returns
+    ///    [`FinalizeOutcome::Released`].
+    /// 4. The coordinator merges its own replicas and store with the
+    ///    parts, checks every key is covered, and returns
+    ///    [`FinalizeOutcome::Model`].
+    pub fn finalize_distributed(&self, timeout: std::time::Duration) -> FinalizeOutcome {
+        let Deployment::SingleNode(me) = self.deployment else {
+            panic!("finalize_distributed requires a single-node deployment");
+        };
+        let topo = self.config.topology;
+        let deadline = std::time::Instant::now() + timeout;
+        let store = &self.shared.nodes[me.index()].store;
+        let ctl_addr = Addr { node: me, port: topo.sync_port() };
+        let ctl = self.shared.fabric.bind(ctl_addr);
+
+        // Every stage spends from the same deadline: the caller's budget
+        // bounds the whole protocol, not each step separately.
+        let remaining = |deadline: std::time::Instant| {
+            deadline.saturating_duration_since(std::time::Instant::now())
+        };
+
+        // 1. Quiesce locally: a key mid-transfer toward us is owned by
+        // nobody until its install, which also wakes this wait.
+        if !self.shared.runtime.wait_until(remaining(deadline), &mut || store.n_inflight() == 0) {
+            return FinalizeOutcome::TimedOut;
+        }
+        self.flush_replicas();
+        let coordinator = NodeId(0);
+        if me != coordinator {
+            self.post_ctl(ctl_addr, Addr::server(coordinator), &Msg::SyncFin { from: me });
+            // Wait for the cluster-wide quiescence announcement, then
+            // contribute our share of the model.
+            loop {
+                match ctl.recv_deadline(deadline) {
+                    RecvOutcome::Frame(f) => {
+                        let mut payload = f.payload;
+                        if matches!(Msg::decode(&mut payload), Ok(Msg::Release)) {
+                            break;
+                        }
+                    }
+                    RecvOutcome::TimedOut | RecvOutcome::Closed => {
+                        return FinalizeOutcome::TimedOut;
+                    }
+                }
+            }
+            let part = Msg::ModelPart { from: me, entries: self.local_model_part() };
+            self.post_ctl(ctl_addr, Addr { node: coordinator, port: topo.sync_port() }, &part);
+            return FinalizeOutcome::Released;
+        }
+
+        // Coordinator: barrier on every peer's fin …
+        let n_peers = topo.n_nodes as u64 - 1;
+        if !self
+            .shared
+            .runtime
+            .wait_until(remaining(deadline), &mut || self.shared.sync_fins() >= n_peers)
+        {
+            return FinalizeOutcome::TimedOut;
+        }
+        // … release the quiesced cluster and collect the model parts.
+        for peer in topo.nodes().filter(|p| *p != me) {
+            self.post_ctl(ctl_addr, Addr { node: peer, port: topo.sync_port() }, &Msg::Release);
+        }
+        let mut seen = vec![false; topo.n_nodes as usize];
+        let mut parts: Vec<Vec<KeyUpdate>> = Vec::new();
+        while (parts.len() as u64) < n_peers {
+            match ctl.recv_deadline(deadline) {
+                RecvOutcome::Frame(f) => {
+                    let mut payload = f.payload;
+                    if let Ok(Msg::ModelPart { from, entries }) = Msg::decode(&mut payload) {
+                        if !std::mem::replace(&mut seen[from.index()], true) {
+                            parts.push(entries);
+                        }
+                    }
+                }
+                RecvOutcome::TimedOut | RecvOutcome::Closed => return FinalizeOutcome::TimedOut,
+            }
+        }
+        let n = self.config.n_keys as usize;
+        let mut out: Vec<Option<Vec<f32>>> = vec![None; n];
+        for (slot, key) in self.shared.technique.slot_entries() {
+            out[key as usize] = Some(self.shared.sync.sets()[0].get(slot));
+        }
+        for u in self.local_model_part().into_iter().chain(parts.into_iter().flatten()) {
+            out[u.key as usize] = Some(u.delta);
+        }
+        let model = out
+            .into_iter()
+            .enumerate()
+            .map(|(k, v)| v.unwrap_or_else(|| panic!("key {k} missing from every model part")))
+            .collect();
+        FinalizeOutcome::Model(model)
+    }
+
+    /// This node's share of the final model: one `(key, value)` entry per
+    /// relocation-managed key its store owns, in key order.
+    fn local_model_part(&self) -> Vec<KeyUpdate> {
+        let Deployment::SingleNode(me) = self.deployment else {
+            panic!("local_model_part requires a single-node deployment");
+        };
+        let store = &self.shared.nodes[me.index()].store;
+        let mut keys = store.local_keys();
+        keys.sort_unstable();
+        keys.into_iter()
+            .map(|key| KeyUpdate { key, delta: store.get(key).expect("local key has a value") })
+            .collect()
+    }
+
+    fn post_ctl(&self, src: Addr, dst: Addr, msg: &Msg) {
+        self.shared.fabric.post(Frame {
+            src,
+            dst,
+            sent_at: SimTime::ZERO,
+            payload: msg.to_bytes(),
+        });
+    }
+
     /// Stop the server threads. Called automatically on drop.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
@@ -296,7 +549,7 @@ impl ParameterServer {
         if self.servers.is_empty() {
             return;
         }
-        for node in self.config.topology.nodes() {
+        for node in self.config.topology.nodes().filter(|n| self.deployment.is_local(*n)) {
             self.shared.fabric.post(Frame {
                 src: Addr::server(node),
                 dst: Addr::server(node),
@@ -306,6 +559,12 @@ impl ParameterServer {
         }
         for h in self.servers.drain(..) {
             let _ = h.join();
+        }
+        // Per-node deployments own their fabric: tear the connections down
+        // so peer readers unblock (the in-process fabric's default is a
+        // no-op).
+        if self.deployment != Deployment::AllInProcess {
+            self.shared.fabric.shutdown();
         }
     }
 }

@@ -1,0 +1,332 @@
+//! Cluster bootstrap: rendezvous, membership exchange, and the barrier.
+//!
+//! Every node starts knowing only its own id, the cluster size, and the
+//! coordinator's rendezvous address (node 0). The handshake proceeds in
+//! three phases, all over the versioned frame protocol (so a mismatched
+//! binary is rejected at the first byte, not mid-run):
+//!
+//! 1. **Rendezvous** — each peer binds its own data listener on an
+//!    ephemeral port, dials the coordinator, and sends `Hello{node,
+//!    listen_addr}`. The coordinator waits for all `n - 1` peers, then
+//!    answers each with `Membership{addrs}`: the full node-id → address
+//!    table.
+//! 2. **Mesh** — every node dials one data connection to every other node
+//!    (its *outbound* link, used only for sending) and accepts `n - 1`
+//!    inbound links, each opened by a `Hello{node}` frame. Two directed
+//!    connections per pair keep the writer/reader threading trivially
+//!    single-owner.
+//! 3. **Barrier** — each node sends a `Barrier` control frame on every
+//!    outbound link and waits until it has received one from every peer:
+//!    when that holds, every directed link in the mesh has carried real
+//!    bytes, so the cluster is fully connected before any protocol
+//!    traffic is issued.
+
+use std::io::{self, Read, Write};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use nups_sim::metrics::ClusterMetrics;
+use nups_sim::net::Frame;
+use nups_sim::time::SimTime;
+use nups_sim::topology::{Addr, NodeId, Topology};
+
+use crate::fabric::{TcpFabric, CTRL_PORT};
+use crate::frame::{read_frame, write_frame, ReadError};
+
+/// How one node joins (or forms) a TCP cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterOptions {
+    /// This process's node id.
+    pub node: NodeId,
+    /// The cluster shape every process must agree on.
+    pub topology: Topology,
+    /// The coordinator's rendezvous address (node 0 binds it, everyone
+    /// else dials it).
+    pub coordinator: SocketAddr,
+    /// Local IP the data listener binds on (loopback by default).
+    pub bind_ip: IpAddr,
+    /// Deadline for the whole handshake.
+    pub timeout: Duration,
+}
+
+impl ClusterOptions {
+    pub fn new(node: NodeId, topology: Topology, coordinator: SocketAddr) -> ClusterOptions {
+        ClusterOptions {
+            node,
+            topology,
+            coordinator,
+            bind_ip: IpAddr::V4(Ipv4Addr::LOCALHOST),
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Bootstrap control messages (never seen outside this module).
+enum Ctl {
+    /// `node` introduces itself; at the rendezvous it also announces the
+    /// data listener peers should dial.
+    Hello { node: NodeId, listen: Option<SocketAddr> },
+    /// Coordinator → peer: `addrs[i]` is node `i`'s data listener.
+    Membership { addrs: Vec<SocketAddr> },
+    /// Mesh link liveness acknowledgement.
+    Barrier,
+}
+
+mod tag {
+    pub const HELLO: u8 = 1;
+    pub const MEMBERSHIP: u8 = 2;
+    pub const BARRIER: u8 = 3;
+}
+
+impl Ctl {
+    fn encode(&self) -> Bytes {
+        let mut out = Vec::new();
+        match self {
+            Ctl::Hello { node, listen } => {
+                out.push(tag::HELLO);
+                out.extend_from_slice(&node.0.to_le_bytes());
+                put_opt_addr(&mut out, listen);
+            }
+            Ctl::Membership { addrs } => {
+                out.push(tag::MEMBERSHIP);
+                out.extend_from_slice(&(addrs.len() as u16).to_le_bytes());
+                for a in addrs {
+                    put_opt_addr(&mut out, &Some(*a));
+                }
+            }
+            Ctl::Barrier => out.push(tag::BARRIER),
+        }
+        Bytes::copy_from_slice(&out)
+    }
+
+    fn decode(payload: &[u8]) -> io::Result<Ctl> {
+        let mut r = payload;
+        match take_u8(&mut r)? {
+            tag::HELLO => {
+                let node = NodeId(take_u16(&mut r)?);
+                let listen = take_opt_addr(&mut r)?;
+                Ok(Ctl::Hello { node, listen })
+            }
+            tag::MEMBERSHIP => {
+                let n = take_u16(&mut r)? as usize;
+                let mut addrs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    addrs.push(take_opt_addr(&mut r)?.ok_or_else(bad_ctl)?);
+                }
+                Ok(Ctl::Membership { addrs })
+            }
+            tag::BARRIER => Ok(Ctl::Barrier),
+            _ => Err(bad_ctl()),
+        }
+    }
+}
+
+fn bad_ctl() -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, "malformed bootstrap control message")
+}
+
+fn put_opt_addr(out: &mut Vec<u8>, addr: &Option<SocketAddr>) {
+    match addr {
+        None => out.push(0),
+        Some(a) => {
+            let s = a.to_string();
+            out.push(1);
+            out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+fn take_u8(r: &mut &[u8]) -> io::Result<u8> {
+    let (&b, rest) = r.split_first().ok_or_else(bad_ctl)?;
+    *r = rest;
+    Ok(b)
+}
+
+fn take_u16(r: &mut &[u8]) -> io::Result<u16> {
+    Ok(u16::from_le_bytes([take_u8(r)?, take_u8(r)?]))
+}
+
+fn take_opt_addr(r: &mut &[u8]) -> io::Result<Option<SocketAddr>> {
+    if take_u8(r)? == 0 {
+        return Ok(None);
+    }
+    let len = take_u16(r)? as usize;
+    if r.len() < len {
+        return Err(bad_ctl());
+    }
+    let (s, rest) = r.split_at(len);
+    *r = rest;
+    let s = std::str::from_utf8(s).map_err(|_| bad_ctl())?;
+    s.parse().map(Some).map_err(|_| bad_ctl())
+}
+
+fn ctl_frame(src: NodeId, dst: NodeId, ctl: &Ctl) -> Frame {
+    Frame {
+        src: Addr { node: src, port: CTRL_PORT },
+        dst: Addr { node: dst, port: CTRL_PORT },
+        sent_at: SimTime::ZERO,
+        payload: ctl.encode(),
+    }
+}
+
+fn write_ctl(w: &mut impl Write, src: NodeId, dst: NodeId, ctl: &Ctl) -> io::Result<()> {
+    write_frame(w, &ctl_frame(src, dst, ctl))?;
+    w.flush()
+}
+
+fn read_ctl(r: &mut impl Read) -> io::Result<(NodeId, Ctl)> {
+    let frame = read_frame(r).map_err(|e| match e {
+        ReadError::Io(e) => e,
+        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+    })?;
+    Ok((frame.src.node, Ctl::decode(&frame.payload)?))
+}
+
+fn timed_out(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::TimedOut, format!("bootstrap timed out: {what}"))
+}
+
+/// Accept with a deadline (the listener is flipped to non-blocking).
+fn accept_deadline(listener: &TcpListener, deadline: Instant) -> io::Result<TcpStream> {
+    listener.set_nonblocking(true)?;
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(timed_out("waiting for an inbound connection"));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Dial with retries: the peer may not have bound its listener yet.
+fn connect_retry(addr: SocketAddr, deadline: Instant) -> io::Result<TcpStream> {
+    loop {
+        match TcpStream::connect_timeout(&addr, Duration::from_secs(2)) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        e.kind(),
+                        format!("bootstrap could not reach {addr}: {e}"),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Run the full handshake and return this node's connected fabric.
+/// Blocks until every node of `opts.topology` has joined (or the timeout
+/// passes). `metrics` is the instance the fabric accounts its sends to.
+pub fn connect_cluster(
+    opts: &ClusterOptions,
+    metrics: Arc<ClusterMetrics>,
+) -> io::Result<TcpFabric> {
+    let me = opts.node;
+    let topo = opts.topology;
+    let n = topo.n_nodes;
+    assert!(me.0 < n, "node {me} outside the topology");
+    let deadline = Instant::now() + opts.timeout;
+
+    if n == 1 {
+        // A cluster of one has no peers to shake hands with.
+        return TcpFabric::assemble(me, topo, metrics, Vec::new(), Vec::new());
+    }
+
+    let data_listener = TcpListener::bind(SocketAddr::new(opts.bind_ip, 0))?;
+    let my_data_addr = data_listener.local_addr()?;
+
+    // Phase 1: rendezvous — learn every node's data listener address.
+    let membership: Vec<SocketAddr> = if me == NodeId(0) {
+        let rendezvous = TcpListener::bind(opts.coordinator)?;
+        let mut addrs: Vec<Option<SocketAddr>> = vec![None; n as usize];
+        addrs[0] = Some(my_data_addr);
+        let mut waiting = Vec::with_capacity(n as usize - 1);
+        while waiting.len() < n as usize - 1 {
+            let mut stream = accept_deadline(&rendezvous, deadline)?;
+            stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+            match read_ctl(&mut stream)? {
+                (_, Ctl::Hello { node, listen: Some(listen) }) => {
+                    if node.0 >= n || addrs[node.index()].replace(listen).is_some() {
+                        return Err(bad_ctl());
+                    }
+                    waiting.push(stream);
+                }
+                _ => return Err(bad_ctl()),
+            }
+        }
+        let addrs: Vec<SocketAddr> =
+            addrs.into_iter().map(|a| a.expect("all slots filled")).collect();
+        for mut stream in waiting {
+            write_ctl(&mut stream, me, me, &Ctl::Membership { addrs: addrs.clone() })?;
+        }
+        addrs
+    } else {
+        let mut stream = connect_retry(opts.coordinator, deadline)?;
+        stream.set_read_timeout(Some(opts.timeout))?;
+        write_ctl(
+            &mut stream,
+            me,
+            NodeId(0),
+            &Ctl::Hello { node: me, listen: Some(my_data_addr) },
+        )?;
+        match read_ctl(&mut stream)? {
+            (_, Ctl::Membership { addrs }) if addrs.len() == n as usize => addrs,
+            _ => return Err(bad_ctl()),
+        }
+    };
+
+    // Phase 2: mesh — dial every peer (outbound links), accept every peer
+    // (inbound links), each link introduced by a Hello.
+    let mut outbound = Vec::with_capacity(n as usize - 1);
+    for peer in topo.nodes().filter(|p| *p != me) {
+        let mut stream = connect_retry(membership[peer.index()], deadline)?;
+        stream.set_nodelay(true)?;
+        write_ctl(&mut stream, me, peer, &Ctl::Hello { node: me, listen: None })?;
+        outbound.push((peer, stream));
+    }
+    let mut inbound = Vec::with_capacity(n as usize - 1);
+    let mut seen = vec![false; n as usize];
+    while inbound.len() < n as usize - 1 {
+        let mut stream = accept_deadline(&data_listener, deadline)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        match read_ctl(&mut stream)? {
+            (_, Ctl::Hello { node, .. }) if node.0 < n && node != me => {
+                if std::mem::replace(&mut seen[node.index()], true) {
+                    return Err(bad_ctl());
+                }
+                stream.set_read_timeout(None)?;
+                stream.set_nodelay(true)?;
+                inbound.push(stream);
+            }
+            _ => return Err(bad_ctl()),
+        }
+    }
+
+    // Phase 3: barrier — every directed link carries one control frame
+    // before any protocol traffic flows.
+    let fabric = TcpFabric::assemble(me, topo, metrics, outbound, inbound)?;
+    for peer in topo.nodes().filter(|p| *p != me) {
+        fabric.post(ctl_frame(me, peer, &Ctl::Barrier));
+    }
+    if !fabric.wait_barrier(n as u32 - 1, deadline) {
+        return Err(timed_out("waiting for the connection barrier"));
+    }
+    Ok(fabric)
+}
+
+// `post` comes from the Fabric trait.
+use nups_core::runtime::Fabric;

@@ -1,0 +1,446 @@
+//! The TCP fabric: [`nups_core::runtime::Fabric`] over real sockets.
+//!
+//! One fabric instance is one node's view of the cluster. For every peer
+//! it holds one *outbound* connection driven by a dedicated writer thread
+//! behind a bounded frame queue (backpressure instead of unbounded memory
+//! when a peer stalls), and one *inbound* connection drained by a reader
+//! thread that reassembles frames ([`crate::frame`]) and demultiplexes
+//! them into per-port inboxes — exactly the (node, port) mailbox shape the
+//! in-process [`nups_sim::net::Network`] provides, so `nups-core` runs on
+//! either without knowing which.
+//!
+//! Frames addressed to the local node never touch a socket (the paper
+//! co-locates servers and workers in one process; intra-node traffic is
+//! shared memory) and are not counted as network traffic, mirroring the
+//! simulated fabric's accounting.
+//!
+//! Shutdown is cooperative and total: closing the fabric closes the send
+//! queues (writers drain what was already queued, then the sockets close),
+//! unblocks every reader, and marks every inbox closed so blocked
+//! [`Port::recv`] calls return `None` instead of hanging a process.
+
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use nups_core::runtime::{Fabric, Port, RecvOutcome};
+use nups_sim::metrics::ClusterMetrics;
+use nups_sim::net::Frame;
+use nups_sim::time::SimTime;
+use nups_sim::topology::{Addr, NodeId, Topology};
+
+use crate::frame::{read_frame, write_frame, ReadError};
+
+/// Reserved port for fabric-internal control frames (the bootstrap
+/// handshake's hello/barrier). Never collides with protocol ports, which
+/// are dense from zero.
+pub const CTRL_PORT: u16 = u16::MAX;
+
+/// Outbound frames queued per peer before senders block (backpressure).
+const SEND_QUEUE_FRAMES: usize = 1024;
+
+struct InboxState {
+    queue: VecDeque<Frame>,
+    closed: bool,
+    bound: bool,
+}
+
+struct Inbox {
+    state: Mutex<InboxState>,
+    cv: Condvar,
+}
+
+impl Inbox {
+    fn new() -> Inbox {
+        Inbox {
+            state: Mutex::new(InboxState { queue: VecDeque::new(), closed: false, bound: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, frame: Frame) {
+        let mut st = self.state.lock();
+        if st.closed {
+            return;
+        }
+        st.queue.push_back(frame);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+struct SendQueueState {
+    queue: VecDeque<Frame>,
+    closed: bool,
+}
+
+/// Bounded MPSC frame queue feeding one peer's writer thread.
+struct SendQueue {
+    state: Mutex<SendQueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl SendQueue {
+    fn new() -> SendQueue {
+        SendQueue {
+            state: Mutex::new(SendQueueState { queue: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueue, blocking while the queue is full. Frames offered after
+    /// close are dropped (shutdown races lose messages by design, exactly
+    /// like the channel fabric).
+    fn push(&self, frame: Frame) {
+        let mut st = self.state.lock();
+        while !st.closed && st.queue.len() >= SEND_QUEUE_FRAMES {
+            self.not_full.wait(&mut st);
+        }
+        if st.closed {
+            return;
+        }
+        st.queue.push_back(frame);
+        drop(st);
+        self.not_empty.notify_one();
+    }
+
+    /// Dequeue, blocking while empty. `None` once closed *and* drained:
+    /// the writer flushes everything accepted before close.
+    fn pop(&self) -> Option<Frame> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(f) = st.queue.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(f);
+            }
+            if st.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut st);
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+struct PeerLink {
+    queue: Arc<SendQueue>,
+    /// Clone of the writer's stream, kept to force-close it at shutdown.
+    stream: TcpStream,
+    writer: Mutex<Option<JoinHandle<()>>>,
+}
+
+struct FabricInner {
+    node: NodeId,
+    metrics: Arc<ClusterMetrics>,
+    inboxes: Vec<Inbox>,
+    /// Indexed by peer node id; `None` for self.
+    peers: Vec<Option<PeerLink>>,
+    open: AtomicBool,
+    /// Inbound streams, kept to unblock their readers at shutdown.
+    reader_streams: Mutex<Vec<TcpStream>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Bootstrap barrier acknowledgements received so far.
+    barrier_seen: Mutex<u32>,
+    barrier_cv: Condvar,
+}
+
+impl FabricInner {
+    fn send(&self, frame: Frame) {
+        if frame.dst.node == self.node {
+            self.deliver_local(frame);
+            return;
+        }
+        // Account real network traffic on the sending node, excluding
+        // fabric-internal control frames (bootstrap barrier).
+        if frame.dst.port != CTRL_PORT {
+            let m = self.metrics.node(self.node);
+            m.inc(|m| &m.msgs_sent);
+            m.add(|m| &m.bytes_sent, frame.wire_bytes() as u64);
+        }
+        match self.peers.get(frame.dst.node.index()).and_then(|p| p.as_ref()) {
+            Some(p) => p.queue.push(frame),
+            None => debug_assert!(false, "no link to node {}", frame.dst.node),
+        }
+    }
+
+    fn deliver_local(&self, frame: Frame) {
+        if frame.dst.port == CTRL_PORT {
+            self.note_barrier();
+            return;
+        }
+        match self.inboxes.get(frame.dst.port as usize) {
+            Some(inbox) => inbox.push(frame),
+            None => debug_assert!(false, "frame for unknown port {}", frame.dst),
+        }
+    }
+
+    fn note_barrier(&self) {
+        *self.barrier_seen.lock() += 1;
+        self.barrier_cv.notify_all();
+    }
+
+    /// Wait until `n` barrier control frames arrived (bootstrap).
+    fn wait_barrier(&self, n: u32, deadline: Instant) -> bool {
+        let mut seen = self.barrier_seen.lock();
+        while *seen < n {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let _ = self.barrier_cv.wait_for(&mut seen, deadline - now);
+        }
+        true
+    }
+
+    fn close(&self) {
+        if self.open.swap(false, Ordering::SeqCst) {
+            // Stop accepting outbound work; writers drain what is queued.
+            for p in self.peers.iter().flatten() {
+                p.queue.close();
+            }
+            // Give the writers a bounded grace period to flush (the normal
+            // case: a few frames to a live peer). A writer wedged in
+            // write_all on a dead or stalled peer must not hang shutdown
+            // forever, so after the grace the socket is closed under it,
+            // which errors the write out, and the join is then safe.
+            let grace = Instant::now() + Duration::from_secs(5);
+            for p in self.peers.iter().flatten() {
+                let handle = p.writer.lock().take();
+                if let Some(h) = handle {
+                    while !h.is_finished() && Instant::now() < grace {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    let _ = p.stream.shutdown(Shutdown::Both);
+                    let _ = h.join();
+                } else {
+                    let _ = p.stream.shutdown(Shutdown::Both);
+                }
+            }
+            // Unblock and collect the readers.
+            for s in self.reader_streams.lock().drain(..) {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            for h in self.readers.lock().drain(..) {
+                let _ = h.join();
+            }
+            // Wake everything still parked on an inbox or the barrier.
+            for inbox in &self.inboxes {
+                inbox.close();
+            }
+            self.barrier_cv.notify_all();
+        }
+    }
+}
+
+/// One node's TCP fabric (see module docs). Construct via
+/// [`crate::bootstrap::connect_cluster`].
+pub struct TcpFabric {
+    inner: Arc<FabricInner>,
+}
+
+impl TcpFabric {
+    /// Assemble a fabric from established, hello-validated connections.
+    /// `outbound[i]` carries frames to node `i`; `inbound` streams are
+    /// drained by reader threads. Used by the bootstrap (and directly by
+    /// tests that build meshes by hand).
+    pub(crate) fn assemble(
+        node: NodeId,
+        topology: Topology,
+        metrics: Arc<ClusterMetrics>,
+        outbound: Vec<(NodeId, TcpStream)>,
+        inbound: Vec<TcpStream>,
+    ) -> std::io::Result<TcpFabric> {
+        let inboxes = (0..topology.ports_per_node()).map(|_| Inbox::new()).collect();
+        let mut peers: Vec<Option<PeerLink>> = (0..topology.n_nodes).map(|_| None).collect();
+        for (peer, stream) in outbound {
+            assert_ne!(peer, node, "a node does not dial itself");
+            let queue = Arc::new(SendQueue::new());
+            let writer_queue = Arc::clone(&queue);
+            let mut writer_stream = stream.try_clone()?;
+            let writer = std::thread::Builder::new()
+                .name(format!("nups-net-tx-{node}-to-{peer}"))
+                .spawn(move || {
+                    while let Some(frame) = writer_queue.pop() {
+                        if write_frame(&mut writer_stream, &frame).is_err() {
+                            // Peer gone: stop accepting frames so senders
+                            // do not block on a queue nobody drains.
+                            writer_queue.close();
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn writer thread");
+            peers[peer.index()] =
+                Some(PeerLink { queue, stream, writer: Mutex::new(Some(writer)) });
+        }
+
+        let inner = Arc::new(FabricInner {
+            node,
+            metrics,
+            inboxes,
+            peers,
+            open: AtomicBool::new(true),
+            reader_streams: Mutex::new(Vec::new()),
+            readers: Mutex::new(Vec::new()),
+            barrier_seen: Mutex::new(0),
+            barrier_cv: Condvar::new(),
+        });
+
+        for stream in inbound {
+            let reader_inner = Arc::clone(&inner);
+            let reader_stream = stream.try_clone()?;
+            inner.reader_streams.lock().push(stream);
+            let handle = std::thread::Builder::new()
+                .name(format!("nups-net-rx-{node}"))
+                .spawn(move || {
+                    let mut r = BufReader::new(reader_stream);
+                    loop {
+                        match read_frame(&mut r) {
+                            Ok(frame) => {
+                                debug_assert_eq!(
+                                    frame.dst.node, reader_inner.node,
+                                    "peer routed a frame to the wrong node"
+                                );
+                                if frame.dst.node == reader_inner.node {
+                                    reader_inner.deliver_local(frame);
+                                }
+                            }
+                            // Clean close or socket teardown: the link is
+                            // done, silently (shutdown is the normal case).
+                            Err(ReadError::Eof) | Err(ReadError::Io(_)) => break,
+                            // A protocol violation must be *observable* —
+                            // a silently dead link shows up only as a
+                            // worker hung in recv with no diagnostics.
+                            Err(ReadError::Frame(e)) => {
+                                eprintln!(
+                                    "[nups-net {}] dropping inbound link: {e}",
+                                    reader_inner.node
+                                );
+                                debug_assert!(false, "bad frame from peer: {e}");
+                                break;
+                            }
+                        }
+                    }
+                })
+                .expect("spawn reader thread");
+            inner.readers.lock().push(handle);
+        }
+
+        Ok(TcpFabric { inner })
+    }
+
+    /// Internal handle for bootstrap coordination.
+    pub(crate) fn wait_barrier(&self, n: u32, deadline: Instant) -> bool {
+        self.inner.wait_barrier(n, deadline)
+    }
+
+    /// Close connections and unblock every reader and bound port.
+    /// Idempotent; also runs on drop.
+    pub fn close(&self) {
+        self.inner.close();
+    }
+}
+
+impl Drop for TcpFabric {
+    fn drop(&mut self) {
+        self.inner.close();
+    }
+}
+
+impl Fabric for TcpFabric {
+    fn bind(&self, addr: Addr) -> Box<dyn Port> {
+        assert_eq!(addr.node, self.inner.node, "cannot bind a remote node's port");
+        let inbox = self
+            .inner
+            .inboxes
+            .get(addr.port as usize)
+            .unwrap_or_else(|| panic!("address {addr} outside this topology's port range"));
+        let mut st = inbox.state.lock();
+        assert!(!st.bound, "address {addr} bound twice");
+        st.bound = true;
+        drop(st);
+        Box::new(TcpPort { inner: Arc::clone(&self.inner), addr })
+    }
+
+    fn post(&self, frame: Frame) {
+        self.inner.send(frame);
+    }
+
+    fn shutdown(&self) {
+        self.inner.close();
+    }
+}
+
+/// One bound (node, port) inbox on the TCP fabric.
+pub struct TcpPort {
+    inner: Arc<FabricInner>,
+    addr: Addr,
+}
+
+impl TcpPort {
+    #[inline]
+    fn inbox(&self) -> &Inbox {
+        &self.inner.inboxes[self.addr.port as usize]
+    }
+}
+
+impl Port for TcpPort {
+    fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    fn send(&self, dst: Addr, sent_at: SimTime, payload: bytes::Bytes) {
+        self.inner.send(Frame { src: self.addr, dst, sent_at, payload });
+    }
+
+    fn recv(&self) -> Option<Frame> {
+        let inbox = self.inbox();
+        let mut st = inbox.state.lock();
+        loop {
+            if let Some(f) = st.queue.pop_front() {
+                return Some(f);
+            }
+            if st.closed {
+                return None;
+            }
+            inbox.cv.wait(&mut st);
+        }
+    }
+
+    fn recv_deadline(&self, deadline: Instant) -> RecvOutcome {
+        let inbox = self.inbox();
+        let mut st = inbox.state.lock();
+        loop {
+            if let Some(f) = st.queue.pop_front() {
+                return RecvOutcome::Frame(f);
+            }
+            if st.closed {
+                return RecvOutcome::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return RecvOutcome::TimedOut;
+            }
+            let _ = inbox.cv.wait_for(&mut st, deadline - now);
+        }
+    }
+}

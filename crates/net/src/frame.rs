@@ -1,0 +1,423 @@
+//! The on-wire frame format.
+//!
+//! Every message crossing a TCP connection is one *frame*: a fixed 32-byte
+//! header followed by the payload bytes the [`nups_core::messages::Msg`]
+//! codec produced. The header is versioned and checksummed so a desynced,
+//! truncated or corrupted stream is rejected with a typed error instead of
+//! feeding garbage into the message decoder:
+//!
+//! ```text
+//! offset size field
+//! 0      4    magic "NUPS" (little-endian u32)
+//! 4      2    protocol version (currently 1)
+//! 6      2    reserved, must be zero
+//! 8      2    src node    ─┐
+//! 10     2    src port     │ the simulator's Addr pair, verbatim
+//! 12     2    dst node     │
+//! 14     2    dst port    ─┘
+//! 16     8    sent_at (nanoseconds, sender's timeline)
+//! 24     4    payload length
+//! 28     4    CRC-32 (IEEE) of the payload
+//! ```
+//!
+//! The header is exactly [`WIRE_HEADER_BYTES`] long — the framing overhead
+//! the cost model has charged per message all along — so the byte counters
+//! of a simulated run and the bytes a TCP run actually puts on loopback
+//! sockets agree by construction.
+
+use std::io::{self, Read, Write};
+
+use bytes::Bytes;
+use nups_sim::net::Frame;
+use nups_sim::time::SimTime;
+use nups_sim::topology::{Addr, NodeId};
+
+/// `b"NUPS"` as a little-endian u32.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"NUPS");
+
+/// Current protocol version. Bumped on any incompatible frame or message
+/// change; the handshake rejects mismatched peers at connect time.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Size of the fixed frame header. Kept equal to the cost model's
+/// modelled framing overhead (asserted in the tests below).
+pub const HEADER_BYTES: usize = 32;
+
+/// Upper bound on a frame payload. Far above anything the protocol emits
+/// (the largest messages are batched value transfers); primarily a guard
+/// against a corrupt length field committing us to a huge allocation.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// A malformed frame header or corrupted payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first four bytes were not the protocol magic: the stream is
+    /// desynchronized or the peer is not a NuPS node.
+    BadMagic(u32),
+    /// The peer speaks a different protocol version.
+    UnsupportedVersion(u16),
+    /// Reserved header bits were set (sent by a future version?).
+    ReservedBitsSet(u16),
+    /// The length field exceeds [`MAX_PAYLOAD`].
+    PayloadTooLarge { len: u32, max: u32 },
+    /// The payload did not hash to the header's checksum.
+    ChecksumMismatch { expected: u32, actual: u32 },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            FrameError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::ReservedBitsSet(r) => write!(f, "reserved header bits set: {r:#06x}"),
+            FrameError::PayloadTooLarge { len, max } => {
+                write!(f, "payload length {len} exceeds maximum {max}")
+            }
+            FrameError::ChecksumMismatch { expected, actual } => {
+                write!(f, "payload checksum {actual:#010x} != header {expected:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Why reading the next frame off a stream failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection cleanly between frames.
+    Eof,
+    /// The socket failed (or closed mid-frame).
+    Io(io::Error),
+    /// The bytes arrived but did not form a valid frame.
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Eof => write!(f, "connection closed"),
+            ReadError::Io(e) => write!(f, "socket error: {e}"),
+            ReadError::Frame(e) => write!(f, "bad frame: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// The decoded fixed-size frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    pub src: Addr,
+    pub dst: Addr,
+    pub sent_at: SimTime,
+    pub payload_len: u32,
+    pub checksum: u32,
+}
+
+impl FrameHeader {
+    /// The header describing `frame`.
+    pub fn of(frame: &Frame) -> FrameHeader {
+        FrameHeader {
+            src: frame.src,
+            dst: frame.dst,
+            sent_at: frame.sent_at,
+            payload_len: frame.payload.len() as u32,
+            checksum: crc32(&frame.payload),
+        }
+    }
+
+    pub fn encode(&self) -> [u8; HEADER_BYTES] {
+        let mut b = [0u8; HEADER_BYTES];
+        b[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        b[4..6].copy_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        // b[6..8] reserved, zero.
+        b[8..10].copy_from_slice(&self.src.node.0.to_le_bytes());
+        b[10..12].copy_from_slice(&self.src.port.to_le_bytes());
+        b[12..14].copy_from_slice(&self.dst.node.0.to_le_bytes());
+        b[14..16].copy_from_slice(&self.dst.port.to_le_bytes());
+        b[16..24].copy_from_slice(&self.sent_at.as_nanos().to_le_bytes());
+        b[24..28].copy_from_slice(&self.payload_len.to_le_bytes());
+        b[28..32].copy_from_slice(&self.checksum.to_le_bytes());
+        b
+    }
+
+    /// Parse and validate a header. The payload checksum is verified later
+    /// (by [`read_frame`], once the payload bytes are in).
+    pub fn decode(b: &[u8; HEADER_BYTES]) -> Result<FrameHeader, FrameError> {
+        let u16_at = |i: usize| u16::from_le_bytes([b[i], b[i + 1]]);
+        let u32_at = |i: usize| u32::from_le_bytes([b[i], b[i + 1], b[i + 2], b[i + 3]]);
+        let magic = u32_at(0);
+        if magic != MAGIC {
+            return Err(FrameError::BadMagic(magic));
+        }
+        let version = u16_at(4);
+        if version != PROTOCOL_VERSION {
+            return Err(FrameError::UnsupportedVersion(version));
+        }
+        let reserved = u16_at(6);
+        if reserved != 0 {
+            return Err(FrameError::ReservedBitsSet(reserved));
+        }
+        let payload_len = u32_at(24);
+        if payload_len > MAX_PAYLOAD {
+            return Err(FrameError::PayloadTooLarge { len: payload_len, max: MAX_PAYLOAD });
+        }
+        Ok(FrameHeader {
+            src: Addr { node: NodeId(u16_at(8)), port: u16_at(10) },
+            dst: Addr { node: NodeId(u16_at(12)), port: u16_at(14) },
+            sent_at: SimTime(u64::from_le_bytes(b[16..24].try_into().expect("8 bytes"))),
+            payload_len,
+            checksum: u32_at(28),
+        })
+    }
+}
+
+/// Encode a frame into one contiguous buffer (header + payload), ready for
+/// a single `write_all`.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES + frame.payload.len());
+    out.extend_from_slice(&FrameHeader::of(frame).encode());
+    out.extend_from_slice(&frame.payload);
+    out
+}
+
+/// Write one frame to `w` (no flush; callers batch or flush as they like).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&encode_frame(frame))
+}
+
+/// Read exactly `buf.len()` bytes, reporting a clean EOF *before the first
+/// byte* as `Ok(false)`. An EOF mid-buffer is an error: the peer died in
+/// the middle of a frame.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, ReadError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(ReadError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Read the next frame off `r`, however the bytes are chunked: short reads
+/// and partial writes reassemble here. Returns [`ReadError::Eof`] on a
+/// clean close at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, ReadError> {
+    let mut header_bytes = [0u8; HEADER_BYTES];
+    if !read_exact_or_eof(r, &mut header_bytes)? {
+        return Err(ReadError::Eof);
+    }
+    let header = FrameHeader::decode(&header_bytes).map_err(ReadError::Frame)?;
+    let mut payload = vec![0u8; header.payload_len as usize];
+    if !payload.is_empty() && !read_exact_or_eof(r, &mut payload)? {
+        return Err(ReadError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before the payload",
+        )));
+    }
+    let actual = crc32(&payload);
+    if actual != header.checksum {
+        return Err(ReadError::Frame(FrameError::ChecksumMismatch {
+            expected: header.checksum,
+            actual,
+        }));
+    }
+    Ok(Frame {
+        src: header.src,
+        dst: header.dst,
+        sent_at: header.sent_at,
+        payload: Bytes::from(payload),
+    })
+}
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = u32::MAX;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ u32::MAX
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nups_sim::cost::WIRE_HEADER_BYTES;
+    use proptest::prelude::*;
+
+    fn frame(src: Addr, dst: Addr, sent_at: u64, payload: &[u8]) -> Frame {
+        Frame { src, dst, sent_at: SimTime(sent_at), payload: Bytes::copy_from_slice(payload) }
+    }
+
+    #[test]
+    fn header_matches_the_cost_models_framing_overhead() {
+        assert_eq!(HEADER_BYTES, WIRE_HEADER_BYTES, "byte accounting must stay exact");
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_through_a_buffer() {
+        let f = frame(Addr::server(NodeId(2)), Addr::worker(NodeId(0), 3), 42, b"payload");
+        let bytes = encode_frame(&f);
+        assert_eq!(bytes.len(), HEADER_BYTES + 7);
+        let back = read_frame(&mut &bytes[..]).expect("valid frame");
+        assert_eq!(back.src, f.src);
+        assert_eq!(back.dst, f.dst);
+        assert_eq!(back.sent_at, f.sent_at);
+        assert_eq!(&back.payload[..], &f.payload[..]);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let f = frame(Addr::server(NodeId(0)), Addr::server(NodeId(1)), 0, b"");
+        let bytes = encode_frame(&f);
+        assert_eq!(bytes.len(), HEADER_BYTES);
+        let back = read_frame(&mut &bytes[..]).expect("valid frame");
+        assert!(back.payload.is_empty());
+    }
+
+    #[test]
+    fn clean_eof_between_frames() {
+        let empty: &[u8] = &[];
+        assert!(matches!(read_frame(&mut &empty[..]), Err(ReadError::Eof)));
+    }
+
+    #[test]
+    fn eof_mid_header_is_an_io_error() {
+        let f = frame(Addr::server(NodeId(0)), Addr::server(NodeId(1)), 0, b"xyz");
+        let bytes = encode_frame(&f);
+        let truncated = &bytes[..HEADER_BYTES / 2];
+        assert!(matches!(read_frame(&mut &truncated[..]), Err(ReadError::Io(_))));
+        let no_payload = &bytes[..HEADER_BYTES + 1];
+        assert!(matches!(read_frame(&mut &no_payload[..]), Err(ReadError::Io(_))));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let f = frame(Addr::server(NodeId(0)), Addr::server(NodeId(1)), 0, b"x");
+        let mut bytes = encode_frame(&f);
+        bytes[0] ^= 0xFF;
+        match read_frame(&mut &bytes[..]) {
+            Err(ReadError::Frame(FrameError::BadMagic(_))) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let f = frame(Addr::server(NodeId(0)), Addr::server(NodeId(1)), 0, b"x");
+        let mut bytes = encode_frame(&f);
+        bytes[4] = 99;
+        match read_frame(&mut &bytes[..]) {
+            Err(ReadError::Frame(FrameError::UnsupportedVersion(99))) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reserved_bits_rejected() {
+        let f = frame(Addr::server(NodeId(0)), Addr::server(NodeId(1)), 0, b"x");
+        let mut bytes = encode_frame(&f);
+        bytes[6] = 1;
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(ReadError::Frame(FrameError::ReservedBitsSet(1)))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let f = frame(Addr::server(NodeId(0)), Addr::server(NodeId(1)), 0, b"x");
+        let mut bytes = encode_frame(&f);
+        bytes[24..28].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(ReadError::Frame(FrameError::PayloadTooLarge { .. }))
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_checksum() {
+        let f = frame(Addr::server(NodeId(0)), Addr::server(NodeId(1)), 0, b"payload");
+        let mut bytes = encode_frame(&f);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            read_frame(&mut &bytes[..]),
+            Err(ReadError::Frame(FrameError::ChecksumMismatch { .. }))
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn header_roundtrip_prop(
+            src_node in any::<u16>(), src_port in any::<u16>(),
+            dst_node in any::<u16>(), dst_port in any::<u16>(),
+            sent_at in any::<u64>(),
+            payload_len in 0u32..MAX_PAYLOAD,
+            checksum in any::<u32>(),
+        ) {
+            let h = FrameHeader {
+                src: Addr { node: NodeId(src_node), port: src_port },
+                dst: Addr { node: NodeId(dst_node), port: dst_port },
+                sent_at: SimTime(sent_at),
+                payload_len,
+                checksum,
+            };
+            let back = FrameHeader::decode(&h.encode()).expect("valid header");
+            prop_assert_eq!(back, h);
+        }
+
+        #[test]
+        fn frame_roundtrip_prop(
+            payload in proptest::collection::vec(any::<u8>(), 0..512),
+            sent_at in any::<u64>(),
+        ) {
+            let f = frame(Addr::server(NodeId(1)), Addr::worker(NodeId(0), 2), sent_at, &payload);
+            let bytes = encode_frame(&f);
+            let back = read_frame(&mut &bytes[..]).expect("valid frame");
+            prop_assert_eq!(&back.payload[..], &payload[..]);
+            prop_assert_eq!(back.sent_at, SimTime(sent_at));
+        }
+
+        #[test]
+        fn arbitrary_header_bytes_never_panic(b in proptest::collection::vec(any::<u8>(), HEADER_BYTES..=HEADER_BYTES)) {
+            let arr: [u8; HEADER_BYTES] = b.try_into().unwrap();
+            let _ = FrameHeader::decode(&arr); // must not panic
+        }
+    }
+}

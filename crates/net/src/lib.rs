@@ -1,0 +1,34 @@
+//! # nups-net — the TCP message fabric
+//!
+//! Real sockets under the NuPS parameter server: this crate implements
+//! the [`nups_core::runtime::Fabric`]/[`nups_core::runtime::Port`] traits
+//! over `std::net::TcpStream`, so the exact same worker/server protocol
+//! code that runs on the in-process channel fabric (and, with the virtual
+//! runtime, inside the deterministic simulator) runs across OS processes
+//! connected by length-prefixed, checksummed, versioned frames.
+//!
+//! * [`frame`] — the on-wire format: a fixed 32-byte header (magic,
+//!   protocol version, src/dst address, send timestamp, payload length,
+//!   CRC-32) followed by the `Msg` codec bytes. Malformed input yields
+//!   typed [`frame::FrameError`]s, never panics.
+//! * [`fabric`] — [`TcpFabric`]: per-peer writer threads behind bounded
+//!   outbound queues, a reader thread per inbound connection demuxing
+//!   into per-(node, port) inboxes, and total teardown on shutdown.
+//! * [`bootstrap`] — [`connect_cluster`]: rendezvous on a coordinator
+//!   address, membership exchange, full-mesh dialing, and a barrier that
+//!   proves every directed link live before protocol traffic flows.
+//!
+//! Deployment entry point: each OS process builds the same
+//! [`nups_core::NupsConfig`], calls [`connect_cluster`] with its node id,
+//! and hands the fabric to
+//! [`nups_core::ParameterServer::deploy`] with
+//! [`nups_core::Deployment::SingleNode`]. The `nups-node` binary in
+//! `nups-bench` wraps exactly that.
+
+pub mod bootstrap;
+pub mod fabric;
+pub mod frame;
+
+pub use bootstrap::{connect_cluster, ClusterOptions};
+pub use fabric::{TcpFabric, TcpPort};
+pub use frame::{FrameError, FrameHeader, ReadError, HEADER_BYTES, MAX_PAYLOAD, PROTOCOL_VERSION};

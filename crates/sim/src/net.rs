@@ -8,7 +8,8 @@
 //! prices an all-reduce round) — but it counts every message and every byte
 //! on the sender's node, which is what the experiments report.
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+pub use crossbeam::channel::RecvTimeoutError;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
