@@ -139,7 +139,7 @@ fn bench_allreduce(c: &mut Criterion) {
     let mut g = c.benchmark_group("allreduce");
     for n_nodes in [2u16, 4, 8] {
         let topo = Topology::new(n_nodes, 1);
-        let init: Vec<Vec<f32>> = (0..512).map(|_| vec![0.0; VALUE_LEN]).collect();
+        let init: Vec<(u64, Vec<f32>)> = (0..512).map(|k| (k, vec![0.0; VALUE_LEN])).collect();
         let sets: Vec<Arc<ReplicaSet>> =
             (0..n_nodes).map(|_| Arc::new(ReplicaSet::new(&init, ClipPolicy::None))).collect();
         let sync = ReplicaSync::new(sets.clone(), topo, CostModel::zero(), VALUE_LEN);
@@ -148,8 +148,8 @@ fn bench_allreduce(c: &mut Criterion) {
         g.bench_function(BenchmarkId::new("sync_512_dirty", n_nodes), |b| {
             b.iter(|| {
                 for s in &sets {
-                    for slot in 0..512 {
-                        s.push(slot, &delta);
+                    for slot in 0..512u32 {
+                        assert!(s.push(slot, slot as u64, &delta));
                     }
                 }
                 black_box(sync.sync_once(&metrics))

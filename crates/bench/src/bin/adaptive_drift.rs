@@ -10,13 +10,20 @@
 //!
 //! Usage: cargo run --release -p nups-bench --bin adaptive_drift -- \
 //!   [--scale tiny|small|medium] [--nodes 4] [--workers 2] \
-//!   [--json PATH] [--check]
+//!   [--fabric tcp] [--json PATH] [--check]
 //!
 //! `--json` writes the counters the CI `bench-regression` job gates on;
 //! `--check` exits non-zero unless the adaptive variant beats the static
 //! one on both total messages and virtual runtime.
+//!
+//! `--fabric tcp` compares the variants across real OS processes instead:
+//! two `nups-node` launcher runs (static, then `--adaptive`) over loopback
+//! sockets, judged on the coordinator process's counters. Wall-clock
+//! traffic varies run to run, so the gated report carries the
+//! adaptive/static *ratios* (common-mode timing noise cancels) and
+//! `--check` requires the adaptive cluster to win on messages outright.
 
-use nups_bench::json::Json;
+use nups_bench::json::{field_u64, Json};
 use nups_bench::report::{fmt_time, print_table};
 use nups_bench::{Args, Scale};
 use nups_core::adaptive::AdaptiveConfig;
@@ -102,8 +109,139 @@ fn variant_json(r: &DriftRun) -> Json {
         .set("virtual_time_us", r.time.as_nanos() / 1_000)
 }
 
+/// The coordinator-process counters of one multi-process run.
+struct TcpRun {
+    msgs: u64,
+    remote: u64,
+    promotions: u64,
+    demotions: u64,
+    rounds: u64,
+    elapsed_us: u64,
+}
+
+/// Run the drift workload across real OS processes via the `nups-node`
+/// launcher and read back node 0's counters.
+fn run_tcp_variant(scale: Scale, topology: Topology, adaptive: bool) -> TcpRun {
+    let exe = std::env::current_exe().expect("own executable path");
+    let node_bin = exe.with_file_name(if cfg!(windows) { "nups-node.exe" } else { "nups-node" });
+    if !node_bin.exists() {
+        eprintln!(
+            "FAIL: {} not found — build it first (cargo build -p nups-bench --bin nups-node)",
+            node_bin.display()
+        );
+        std::process::exit(1);
+    }
+    let report_path = std::env::temp_dir().join(format!(
+        "nups-adaptive-drift-{}-{}.json",
+        std::process::id(),
+        if adaptive { "adaptive" } else { "static" }
+    ));
+    let mut cmd = std::process::Command::new(&node_bin);
+    if adaptive {
+        cmd.arg("--adaptive");
+    }
+    let status = cmd
+        .arg("--launch")
+        .arg("--nodes")
+        .arg(topology.n_nodes.to_string())
+        .arg("--workers")
+        .arg(topology.workers_per_node.to_string())
+        .arg("--scale")
+        .arg(scale.name())
+        .arg("--json")
+        .arg(&report_path)
+        .status()
+        .expect("spawn nups-node launcher");
+    if !status.success() {
+        eprintln!("FAIL: nups-node launcher exited with {status}");
+        std::process::exit(1);
+    }
+    let report = std::fs::read_to_string(&report_path).unwrap_or_else(|e| {
+        eprintln!("FAIL: could not read {}: {e}", report_path.display());
+        std::process::exit(1);
+    });
+    let _ = std::fs::remove_file(&report_path);
+    TcpRun {
+        msgs: field_u64(&report, "msgs_node0"),
+        remote: field_u64(&report, "remote_accesses_node0"),
+        promotions: field_u64(&report, "promotions_node0"),
+        demotions: field_u64(&report, "demotions_node0"),
+        rounds: field_u64(&report, "adaptation_rounds"),
+        elapsed_us: field_u64(&report, "elapsed_us"),
+    }
+}
+
+/// The `--fabric tcp` comparison: static vs adaptive, each across one
+/// multi-process loopback cluster.
+fn main_tcp(args: &Args) -> ! {
+    let scale = args.scale();
+    let topology = args.topology();
+    eprintln!("[adaptive_drift] tcp static assignment (phase-0 heuristic, frozen)");
+    let stat = run_tcp_variant(scale, topology, false);
+    eprintln!("[adaptive_drift] tcp adaptive assignment (leader-driven epoch protocol)");
+    let adap = run_tcp_variant(scale, topology, true);
+
+    let row = |name: &str, r: &TcpRun| {
+        vec![
+            name.to_string(),
+            format!("{} us", r.elapsed_us),
+            format!("{}", r.msgs),
+            format!("{}", r.remote),
+            format!("{}/{}", r.promotions, r.demotions),
+        ]
+    };
+    print_table(
+        "Static vs adaptive over TCP — node 0 counters, one process per node",
+        &["variant", "workload time", "messages", "remote acc.", "promo/demo"],
+        &[row("Static (NuPS heuristic)", &stat), row("Adaptive", &adap)],
+    );
+    let msgs_ratio = 100.0 * adap.msgs as f64 / stat.msgs.max(1) as f64;
+    let remote_ratio = 100.0 * adap.remote as f64 / stat.remote.max(1) as f64;
+    println!(
+        "\nadaptive vs static over tcp: {msgs_ratio:.1}% of the messages, \
+         {remote_ratio:.1}% of the remote accesses"
+    );
+
+    if let Some(path) = args.get("json") {
+        // Only the ratios are gated: absolute wall-clock counters vary run
+        // to run, but both variants ride the same machine and the same
+        // moment, so their quotient is stable enough for a wide band.
+        let report = Json::obj()
+            .set("bench", "adaptive_drift_tcp")
+            .set("scale", scale.name())
+            .set("topology", format!("{}x{}", topology.n_nodes, topology.workers_per_node).as_str())
+            .set("msgs_ratio_pct", msgs_ratio)
+            .set("remote_ratio_pct", remote_ratio);
+        std::fs::write(path, report.render()).expect("write json report");
+        eprintln!("[adaptive_drift] wrote {path}");
+    }
+
+    if args.get_flag("check") {
+        if adap.msgs >= stat.msgs {
+            eprintln!(
+                "FAIL: adaptive cluster did not beat static on messages ({} vs {})",
+                adap.msgs, stat.msgs
+            );
+            std::process::exit(1);
+        }
+        if adap.rounds == 0 {
+            eprintln!("FAIL: the adaptive cluster never ran an adaptation round");
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args = Args::parse();
+    match args.get("fabric") {
+        Some("tcp") => main_tcp(&args),
+        None | Some("channel") | Some("sim") => {}
+        Some(other) => {
+            eprintln!("unknown --fabric {other:?} (expected tcp)");
+            std::process::exit(2);
+        }
+    }
     let scale = args.scale();
     let topology = args.topology();
     let drift = drift_for(scale);

@@ -37,7 +37,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use nups_bench::drift_bench::{
-    self, init_value, model_bits, ps_config, render_model, total_accesses, workload_for,
+    self, adaptive_ps_config, init_value, model_bits, ps_config, render_model, total_accesses,
+    workload_for,
 };
 use nups_bench::json::Json;
 use nups_bench::Args;
@@ -84,6 +85,9 @@ fn launch(args: &Args) -> i32 {
             .arg("--coordinator")
             .arg(&coordinator)
             .stdin(Stdio::null());
+        if args.get_flag("adaptive") {
+            cmd.arg("--adaptive");
+        }
         if node == NodeId(0) {
             if let Some(path) = args.get("model-out") {
                 cmd.arg("--model-out").arg(path);
@@ -166,7 +170,10 @@ fn run_node(args: &Args) -> i32 {
     };
 
     let workload = workload_for(scale);
-    let cfg = ps_config(topo, &workload).with_backend(Backend::WallClock);
+    let adaptive = args.get_flag("adaptive");
+    let cfg =
+        if adaptive { adaptive_ps_config(topo, &workload) } else { ps_config(topo, &workload) }
+            .with_backend(Backend::WallClock);
     let metrics = Arc::new(ClusterMetrics::new(topo.n_nodes as usize));
 
     eprintln!(
@@ -215,7 +222,11 @@ fn run_node(args: &Args) -> i32 {
                     .set("msgs_node0", m.msgs_sent)
                     .set("bytes_node0", m.bytes_sent)
                     .set("relocations_node0", m.relocations)
-                    .set("sync_rounds_node0", m.sync_rounds);
+                    .set("sync_rounds_node0", m.sync_rounds)
+                    .set("remote_accesses_node0", m.remote_pulls + m.remote_pushes)
+                    .set("promotions_node0", m.promotions)
+                    .set("demotions_node0", m.demotions)
+                    .set("adaptation_rounds", m.adaptation_rounds);
                 std::fs::write(path, report.render()).expect("write json report");
                 eprintln!("[nups-node {me}] wrote {path}");
             }

@@ -11,7 +11,14 @@
 //!
 //! Usage: cargo run --release -p nups-bench --bin throughput -- \
 //!   [--scale tiny|small|medium] [--nodes 4] [--workers 2] \
-//!   [--backend sim|wall|both] [--fabric tcp] [--json PATH] [--check]
+//!   [--backend sim|wall|both] [--fabric tcp] [--adaptive] \
+//!   [--json PATH] [--check]
+//!
+//! `--adaptive` turns on the adaptive technique manager in every mode:
+//! in-process runs adapt at the merge gate, the multi-process run uses the
+//! leader-driven epoch protocol over the sockets. The `--check` contract
+//! is unchanged — adaptation moves keys, it never loses deltas, so the
+//! final models still agree bit for bit.
 //!
 //! `--json` writes a report in the standard bench shape. The wall-backend
 //! and tcp numbers are real measurements and vary run to run, so this
@@ -24,7 +31,8 @@
 use std::time::Instant;
 
 use nups_bench::drift_bench::{
-    init_value, model_bits, parse_model, ps_config, run_phases, total_accesses, workload_for,
+    adaptive_ps_config, init_value, model_bits, parse_model, ps_config, run_phases, total_accesses,
+    workload_for,
 };
 use nups_bench::json::Json;
 use nups_bench::report::print_table;
@@ -67,8 +75,18 @@ impl ModeRun {
     }
 }
 
-fn run_backend(workload: &DriftingHotspots, topology: Topology, backend: Backend) -> ModeRun {
-    let ps_cfg = ps_config(topology, workload).with_backend(backend);
+fn run_backend(
+    workload: &DriftingHotspots,
+    topology: Topology,
+    backend: Backend,
+    adaptive: bool,
+) -> ModeRun {
+    let ps_cfg = if adaptive {
+        adaptive_ps_config(topology, workload)
+    } else {
+        ps_config(topology, workload)
+    }
+    .with_backend(backend);
     let ps = ParameterServer::new(ps_cfg, init_value);
     let epoch_times = run_phases(&ps, workload);
     ps.flush_replicas();
@@ -87,7 +105,12 @@ fn run_backend(workload: &DriftingHotspots, topology: Topology, backend: Backend
 
 /// Run the workload across real OS processes: spawn `nups-node` in
 /// launcher mode, then read back the model node 0 assembled.
-fn run_tcp(workload: &DriftingHotspots, topology: Topology, scale: Scale) -> ModeRun {
+fn run_tcp(
+    workload: &DriftingHotspots,
+    topology: Topology,
+    scale: Scale,
+    adaptive: bool,
+) -> ModeRun {
     let exe = std::env::current_exe().expect("own executable path");
     let node_bin = exe.with_file_name(if cfg!(windows) { "nups-node.exe" } else { "nups-node" });
     if !node_bin.exists() {
@@ -103,7 +126,11 @@ fn run_tcp(workload: &DriftingHotspots, topology: Topology, scale: Scale) -> Mod
     let report_path = dir.join(format!("nups-throughput-{pid}-report.json"));
 
     let start = Instant::now();
-    let status = std::process::Command::new(&node_bin)
+    let mut cmd = std::process::Command::new(&node_bin);
+    if adaptive {
+        cmd.arg("--adaptive");
+    }
+    let status = cmd
         .arg("--launch")
         .arg("--nodes")
         .arg(topology.n_nodes.to_string())
@@ -160,15 +187,7 @@ fn run_tcp(workload: &DriftingHotspots, topology: Topology, scale: Scale) -> Mod
 
 /// Minimal field extraction from our own flat JSON reports.
 fn json_u64(report: &str, key: &str) -> u64 {
-    report
-        .split(&format!("\"{key}\":"))
-        .nth(1)
-        .and_then(|rest| {
-            let digits: String =
-                rest.trim_start().chars().take_while(|c| c.is_ascii_digit()).collect();
-            digits.parse().ok()
-        })
-        .unwrap_or(0)
+    nups_bench::json::field_u64(report, key)
 }
 
 fn mode_json(r: &ModeRun) -> Json {
@@ -209,19 +228,26 @@ fn main() {
         }
     };
 
+    let adaptive = args.get_flag("adaptive");
+
     let mut runs: Vec<ModeRun> = backends
         .iter()
         .map(|&b| {
-            eprintln!("[throughput] running {} backend", b.name());
-            run_backend(&workload, topology, b)
+            eprintln!(
+                "[throughput] running {} backend{}",
+                b.name(),
+                if adaptive { " (adaptive)" } else { "" }
+            );
+            run_backend(&workload, topology, b, adaptive)
         })
         .collect();
     if with_tcp {
         eprintln!(
-            "[throughput] running tcp multi-process deployment ({} processes on loopback)",
-            topology.n_nodes
+            "[throughput] running tcp multi-process deployment ({} processes on loopback{})",
+            topology.n_nodes,
+            if adaptive { ", adaptive" } else { "" }
         );
-        runs.push(run_tcp(&workload, topology, scale));
+        runs.push(run_tcp(&workload, topology, scale, adaptive));
     }
 
     let rows: Vec<Vec<String>> = runs

@@ -11,6 +11,7 @@
 //! the final model does not depend on scheduling, interleaving, or which
 //! fabric carried the updates.
 
+use nups_core::adaptive::AdaptiveConfig;
 use nups_core::system::run_epoch;
 use nups_core::technique::heuristic_replicated_keys;
 use nups_core::{Key, NupsConfig, ParameterServer, PsWorker};
@@ -54,6 +55,20 @@ pub fn ps_config(topology: Topology, workload: &DriftingHotspots) -> NupsConfig 
     NupsConfig::nups(topology, cfg.n_keys, VALUE_LEN)
         .with_replicated_keys(heuristic_replicated_keys(&freqs))
         .with_sync_period(SimDuration::from_millis(1))
+}
+
+/// [`ps_config`] plus the adaptive technique manager. The adaptive
+/// parameters are part of the cross-mode contract: every process of a
+/// multi-process run derives the same configuration, and the leader-driven
+/// epoch protocol keeps the final model bit-identical to the in-process
+/// backends even when the adaptation *decisions* differ (deltas are
+/// conserved through every promotion and demotion).
+pub fn adaptive_ps_config(topology: Topology, workload: &DriftingHotspots) -> NupsConfig {
+    ps_config(topology, workload).with_adaptive(AdaptiveConfig {
+        adapt_every: 2,
+        sketch_bits: 14,
+        ..AdaptiveConfig::default()
+    })
 }
 
 /// Total key accesses (pulls + pushes) the whole cluster performs.

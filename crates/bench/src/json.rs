@@ -70,6 +70,21 @@ impl Json {
     }
 }
 
+/// Extract an integer field from one of our own flat reports. Not a JSON
+/// parser — just enough to read back the machine-written reports the
+/// benches themselves emit (the workspace builds offline, so no serde).
+pub fn field_u64(report: &str, key: &str) -> u64 {
+    report
+        .split(&format!("\"{key}\":"))
+        .nth(1)
+        .and_then(|rest| {
+            let digits: String =
+                rest.trim_start().chars().take_while(|c| c.is_ascii_digit()).collect();
+            digits.parse().ok()
+        })
+        .unwrap_or(0)
+}
+
 impl From<u64> for Json {
     fn from(v: u64) -> Json {
         Json::U64(v)
@@ -108,5 +123,13 @@ mod tests {
     #[test]
     fn empty_object_renders_braces() {
         assert_eq!(Json::obj().render(), "{}\n");
+    }
+
+    #[test]
+    fn field_extraction_reads_back_rendered_reports() {
+        let s = Json::obj().set("msgs", 42u64).set("nested", Json::obj().set("x", 7u64)).render();
+        assert_eq!(field_u64(&s, "msgs"), 42);
+        assert_eq!(field_u64(&s, "x"), 7);
+        assert_eq!(field_u64(&s, "missing"), 0);
     }
 }

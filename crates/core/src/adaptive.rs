@@ -43,6 +43,9 @@
 use std::cmp::Reverse;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use parking_lot::{Mutex, MutexGuard};
+use rustc_hash::{FxHashMap, FxHashSet};
+
 use nups_sim::cost::WIRE_HEADER_BYTES;
 use nups_sim::metrics::FreqSketch;
 use nups_sim::net::Frame;
@@ -55,6 +58,12 @@ use crate::messages::Msg;
 use crate::node::Shared;
 use crate::store::{PromoteTake, QueuedOp};
 use crate::value::add_assign;
+
+/// Keys paired with their sketch-estimated frequency, scoring order.
+type ScoredKeys = Vec<(u64, Key)>;
+
+/// The node that runs adaptation rounds in per-node deployments.
+pub const ADAPT_LEADER: NodeId = NodeId(0);
 
 /// How long migration control loops wait for relocation traffic to drain
 /// before declaring the protocol wedged. Generous: the pending chains are
@@ -133,20 +142,31 @@ impl AdaptiveManager {
     /// modelled duration of any migrations, which the gate folds into the
     /// merge time (slipping the next boundary, raising the congestion
     /// multiplier — migration traffic competes like sync traffic does).
+    ///
+    /// Per-node deployments take the distributed branch instead: peers ship
+    /// their sketch window to the leader, the leader scores from the merged
+    /// view and broadcasts a plan; the plan's migrations execute on the
+    /// server threads, never under this gate.
     pub fn maybe_adapt(&self, shared: &Shared) -> SimDuration {
         let n = self.merges.fetch_add(1, Ordering::Relaxed) + 1;
         if !n.is_multiple_of(self.cfg.adapt_every.max(1)) {
             return SimDuration::ZERO;
         }
+        if let Some(dist) = &shared.dist_adaptive {
+            self.adapt_distributed(shared, dist);
+            return SimDuration::ZERO;
+        }
         self.adapt(shared)
     }
 
-    /// Score all keys and execute the chosen migrations.
-    fn adapt(&self, shared: &Shared) -> SimDuration {
-        shared.metrics.node(NodeId(0)).inc(|m| &m.adaptation_rounds);
+    /// Score all keys against the merged sketch: hottest promotions first,
+    /// coldest demotions first, ties broken by key, both truncated to the
+    /// configured per-round and capacity bounds. Deterministic in the
+    /// sketch contents and the current technique map.
+    fn score(&self, shared: &Shared) -> (ScoredKeys, ScoredKeys) {
         let total = self.sketch.total();
         if total == 0 {
-            return SimDuration::ZERO;
+            return (Vec::new(), Vec::new());
         }
         let n_keys = shared.keyspace.n_keys();
         let mean = total as f64 / n_keys as f64;
@@ -166,15 +186,69 @@ impl AdaptiveManager {
                 promos.push((est, key));
             }
         }
-        // Deterministic order: hottest promotions first, coldest demotions
-        // first; ties break by key.
         promos.sort_by_key(|&(est, key)| (Reverse(est), key));
         demos.sort_by_key(|&(est, key)| (est, key));
         demos.truncate(self.cfg.max_migrations_per_round);
         let slots_after_demote = shared.technique.n_replicated().saturating_sub(demos.len());
         let capacity = self.cfg.max_replicated.saturating_sub(slots_after_demote);
         promos.truncate(self.cfg.max_migrations_per_round.min(capacity));
+        (promos, demos)
+    }
 
+    /// One distributed adaptation round at a due merge. Peers ship their
+    /// sketch window to the leader; the leader scores and broadcasts a
+    /// versioned plan — but only once the previous plan fully settled
+    /// locally, so its technique map (and thus the slot assignment it
+    /// simulates) reflects every migration it has ever issued.
+    fn adapt_distributed(&self, shared: &Shared, dist: &DistAdaptive) {
+        let boundary = shared.gate.merge_boundary();
+        if dist.me != ADAPT_LEADER {
+            let (rows, total) = self.sketch.drain_sparse();
+            if total == 0 {
+                return;
+            }
+            let [row0, row1] = rows;
+            let report = Msg::SketchReport { from: dist.me, total, row0, row1 };
+            post_server(shared, dist.me, ADAPT_LEADER, boundary, &report);
+            return;
+        }
+        let issued = dist.last_issued();
+        if !dist.quiesced(issued) || !dist.all_acked(issued) {
+            // The previous plan is still migrating somewhere in the
+            // cluster; a new plan could then demote a key whose promotion
+            // a lagging peer has not even installed, and the leader's
+            // technique map would mis-assign slots. Skip the round — the
+            // sketch keeps accumulating, and serializing rounds cluster-
+            // wide keeps at most one plan's traffic in flight.
+            return;
+        }
+        shared.metrics.node(ADAPT_LEADER).inc(|m| &m.adaptation_rounds);
+        let (promos, demos) = self.score(shared);
+        if promos.is_empty() && demos.is_empty() {
+            if self.cfg.decay {
+                self.sketch.decay();
+            }
+            return;
+        }
+        let demo_keys: Vec<Key> = demos.iter().map(|&(_, k)| k).collect();
+        let promo_keys: Vec<Key> = promos.iter().map(|&(_, k)| k).collect();
+        let promotions = shared.technique.plan_slots(&demo_keys, &promo_keys);
+        let epoch = dist.state().issue_plan();
+        let plan = Msg::AdaptPlan { epoch, promotions, demotions: demo_keys };
+        for node in shared.topology.nodes() {
+            // Including the leader itself: applying the plan on the server
+            // loop serializes it with every other protocol message.
+            post_server(shared, ADAPT_LEADER, node, boundary, &plan);
+        }
+        if self.cfg.decay {
+            self.sketch.decay();
+        }
+    }
+
+    /// Score all keys and execute the chosen migrations.
+    fn adapt(&self, shared: &Shared) -> SimDuration {
+        shared.metrics.node(NodeId(0)).inc(|m| &m.adaptation_rounds);
+        let (promos, demos) = self.score(shared);
         if promos.is_empty() && demos.is_empty() {
             if self.cfg.decay {
                 self.sketch.decay();
@@ -212,6 +286,116 @@ impl AdaptiveManager {
             self.sketch.decay();
         }
         duration
+    }
+}
+
+/// Post a protocol message to `dst`'s server port over the fabric.
+fn post_server(shared: &Shared, src: NodeId, dst: NodeId, sent_at: SimTime, msg: &Msg) {
+    shared.fabric.post(Frame {
+        src: Addr::server(src),
+        dst: Addr::server(dst),
+        sent_at,
+        payload: msg.to_bytes(),
+    });
+}
+
+/// Per-node state of the distributed adaptation protocol.
+///
+/// In per-node deployments migrations cannot run under the sync gate — the
+/// gate only parks *this* node's workers. Instead the leader broadcasts a
+/// versioned [`Msg::AdaptPlan`] and every node's server thread applies it
+/// in plan order, fencing migrating keys so late-chasing traffic takes the
+/// tombstone paths. This struct tracks where each node stands in that
+/// pipeline; all transitions happen on the server thread (or, for
+/// [`issue_plan`](DistState::issue_plan), under the leader's gate merge),
+/// serialized by the mutex.
+pub struct DistAdaptive {
+    me: NodeId,
+    state: Mutex<DistState>,
+}
+
+#[derive(Default)]
+pub(crate) struct DistState {
+    /// Leader only: epoch of the most recently broadcast plan.
+    pub(crate) last_issued: u64,
+    /// Epoch of the last plan this node finished *dispatching* (demotions
+    /// applied, promotions initiated or deferred).
+    pub(crate) applied_epoch: u64,
+    /// Keys whose promotion is in flight: key → (plan epoch, target slot).
+    pub(crate) pending_promote: FxHashMap<Key, (u64, u32)>,
+    /// Demotions from a later plan that arrived while the key's own
+    /// promotion (from an earlier plan) was still in flight.
+    pub(crate) deferred_demotes: FxHashSet<Key>,
+    /// `Msg::Promote` installs that arrived before their plan (same-port
+    /// FIFO makes this leader-side impossible, but a peer's Promote
+    /// broadcast can overtake the leader's plan broadcast).
+    pub(crate) buffered_promotes: Vec<(u64, Key, u32, Vec<f32>)>,
+    /// Sync-broadcast deltas for keys whose promotion is pending here: the
+    /// sender already installed the replica, we have not. Applied right
+    /// after the install so this node's base copy converges with the
+    /// sender's (the coordinator's copy is what finalize reads).
+    pub(crate) pending_deltas: FxHashMap<Key, Vec<Vec<f32>>>,
+    /// Self-addressed residue pushes (demotion accumulators, stray keyed
+    /// deltas folded at the home) not yet acknowledged.
+    pub(crate) acks_outstanding: usize,
+    /// Highest epoch this node has sent a [`Msg::PlanAck`] for.
+    pub(crate) last_acked: u64,
+    /// Leader only: highest epoch acked per node (self included).
+    pub(crate) peer_acked: Vec<u64>,
+}
+
+impl DistState {
+    /// Leader: mint the next plan epoch.
+    pub(crate) fn issue_plan(&mut self) -> u64 {
+        self.last_issued += 1;
+        self.last_issued
+    }
+
+    /// No migration work from any applied plan is still in flight locally.
+    pub(crate) fn settled(&self) -> bool {
+        self.pending_promote.is_empty()
+            && self.deferred_demotes.is_empty()
+            && self.buffered_promotes.is_empty()
+            && self.pending_deltas.is_empty()
+            && self.acks_outstanding == 0
+    }
+}
+
+impl DistAdaptive {
+    pub fn new(me: NodeId, n_nodes: u16) -> DistAdaptive {
+        let state = DistState { peer_acked: vec![0; n_nodes as usize], ..DistState::default() };
+        DistAdaptive { me, state: Mutex::new(state) }
+    }
+
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    pub(crate) fn state(&self) -> MutexGuard<'_, DistState> {
+        self.state.lock()
+    }
+
+    /// Has this node fully applied every plan up to and including `epoch`?
+    pub fn quiesced(&self, epoch: u64) -> bool {
+        let st = self.state.lock();
+        st.applied_epoch >= epoch && st.settled()
+    }
+
+    /// Leader: epoch of the most recently issued plan.
+    pub fn last_issued(&self) -> u64 {
+        self.state.lock().last_issued
+    }
+
+    /// Leader: record a [`Msg::PlanAck`] (or the leader's own local ack).
+    pub(crate) fn note_ack(&self, from: NodeId, epoch: u64) {
+        let mut st = self.state.lock();
+        let slot = &mut st.peer_acked[from.index()];
+        *slot = (*slot).max(epoch);
+    }
+
+    /// Leader: has every node acked plan `epoch`?
+    pub fn all_acked(&self, epoch: u64) -> bool {
+        self.state.lock().peer_acked.iter().all(|&e| e >= epoch)
     }
 }
 
@@ -308,13 +492,13 @@ fn promote_key(shared: &Shared, key: Key, boundary: SimTime) -> SimDuration {
     // its sender never reached the rendezvous — but the order costs
     // nothing and removes the window outright).
     let slot = shared.technique.next_slot();
-    shared.sync.install_slot(slot, value);
+    shared.sync.install_slot(slot, key, value);
     let assigned = shared.technique.promote(key);
     debug_assert_eq!(assigned, slot, "peeked slot must match the promoted slot");
 
     // Price: the owner broadcasts the value to every peer.
     let peers = shared.topology.n_nodes - 1;
-    let payload = Msg::Promote { key, slot, value: std::mem::take(value) }.encoded_len();
+    let payload = Msg::Promote { key, epoch: 0, slot, value: std::mem::take(value) }.encoded_len();
     shared.metrics.node(owner).inc(|m| &m.promotions);
     count_migration_msgs(shared, owner, peers, payload);
     shared.runtime.pricing().broadcast(peers, payload)

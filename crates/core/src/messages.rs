@@ -68,10 +68,12 @@ pub enum Msg {
 
     /// Technique migration, relocated → replicated: the owning node
     /// broadcasts the parameter's current value so every node can install
-    /// a replica in `slot`. Executed in-process at the synchronization
-    /// rendezvous (like replica sync) but priced as `n - 1` of these on
-    /// the wire.
-    Promote { key: Key, slot: u32, value: Vec<f32> },
+    /// a replica in `slot`. In-process deployments execute this at the
+    /// synchronization rendezvous (priced as `n - 1` of these on the
+    /// wire); per-node deployments send it for real, stamped with the
+    /// [`Msg::AdaptPlan`] epoch it completes so receivers can order it
+    /// against the plan stream.
+    Promote { key: Key, epoch: u64, slot: u32, value: Vec<f32> },
     /// Technique migration, replicated → relocated: after the final delta
     /// all-reduce the coordinator announces the elected owner; replicas
     /// free their slot (the value is already everywhere, so the notice is
@@ -80,11 +82,13 @@ pub enum Msg {
 
     /// Distributed replica synchronization (per-node deployments, where
     /// the in-process all-reduce is impossible): node `from` broadcasts
-    /// the deltas it accumulated since its last sync. Each update's `key`
-    /// is a replica *slot* id; receivers fold the delta into their replica
-    /// value exactly once. Applying is commutative and (for integer-valued
-    /// deltas) exact, so replicas converge to the same bits regardless of
-    /// arrival order.
+    /// the deltas it accumulated since its last sync. Each update carries
+    /// the real parameter key (not a slot id) so receivers can re-route
+    /// around concurrent technique migrations: a delta for a key that is
+    /// no longer replicated here folds back through the relocation push
+    /// path instead of hitting a reused slot. Applying is commutative and
+    /// (for integer-valued deltas) exact, so replicas converge to the
+    /// same bits regardless of arrival order.
     ReplicaDeltas { from: NodeId, updates: Vec<KeyUpdate> },
     /// Node `from` finished its workload and issued its final
     /// [`Msg::ReplicaDeltas`] broadcast. Sent to the *coordinator* on the
@@ -98,8 +102,32 @@ pub enum Msg {
     ModelPart { from: NodeId, entries: Vec<KeyUpdate> },
     /// Coordinator → peers, after every node's [`Msg::SyncFin`] arrived:
     /// the cluster is quiescent — snapshot your store and answer with a
-    /// [`Msg::ModelPart`], then tear down.
-    Release,
+    /// [`Msg::ModelPart`], then tear down. `epoch` is the last
+    /// [`Msg::AdaptPlan`] the coordinator issued (zero when adaptation is
+    /// off); a peer answers only once its own adaptive state has caught
+    /// up, so no migration is still tearing keys out of the snapshot.
+    Release { epoch: u64 },
+
+    /// Per-node deployments: a peer ships the access-frequency sketch it
+    /// accumulated since its last report to the adaptation leader (node
+    /// 0), as sparse count-min cells ([`nups_sim::metrics::FreqSketch`]).
+    /// The leader folds every report into its own sketch and re-scores
+    /// from the merged global view.
+    SketchReport { from: NodeId, total: u64, row0: Vec<(u32, u64)>, row1: Vec<(u32, u64)> },
+    /// Leader → everyone (including itself): the versioned migration plan
+    /// of one adaptation round. Promotions carry the replica slot the
+    /// leader assigned by simulating the free list, so every node's slot
+    /// table stays aligned without further coordination; demotions free
+    /// their slots in plan order. Plans apply in epoch order on each
+    /// node's server loop.
+    AdaptPlan { epoch: u64, promotions: Vec<(Key, u32)>, demotions: Vec<Key> },
+    /// Peer → leader: plan `epoch` is fully applied here — demotions
+    /// executed, every announced replica installed, no buffered installs
+    /// and no unacknowledged demotion residue. The leader's finalize
+    /// barrier releases the cluster only after every node acknowledged the
+    /// last issued plan, so no migration traffic is in flight when model
+    /// parts are snapshotted.
+    PlanAck { from: NodeId, epoch: u64 },
 
     /// SSP/ESSP: synchronous replica refresh request.
     SspPullReq { key: Key, reply_to: Addr },
@@ -142,6 +170,9 @@ mod tag {
     pub const SYNC_FIN: u8 = 22;
     pub const MODEL_PART: u8 = 23;
     pub const RELEASE: u8 = 24;
+    pub const SKETCH_REPORT: u8 = 25;
+    pub const ADAPT_PLAN: u8 = 26;
+    pub const PLAN_ACK: u8 = 27;
 }
 
 const ADDR_LEN: usize = 4;
@@ -217,6 +248,56 @@ fn get_updates(buf: &mut Bytes) -> Result<Vec<KeyUpdate>, CodecError> {
     Ok(out)
 }
 
+/// Sparse sketch cells and plan promotions share one wire shape: a `u32`
+/// count followed by fixed 12-byte entries.
+fn pairs_len(n: usize) -> usize {
+    4 + 12 * n
+}
+
+fn put_cells(buf: &mut BytesMut, cells: &[(u32, u64)]) {
+    buf.put_u32_le(cells.len() as u32);
+    for &(idx, count) in cells {
+        buf.put_u32_le(idx);
+        buf.put_u64_le(count);
+    }
+}
+
+fn get_cells(buf: &mut Bytes) -> Result<Vec<(u32, u64)>, CodecError> {
+    let n = codec::get_u32(buf)? as u64;
+    if n.saturating_mul(12) > buf.len() as u64 {
+        return Err(CodecError::Truncated { needed: (n * 12) as usize, remaining: buf.len() });
+    }
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let idx = codec::get_u32(buf)?;
+        let count = get_u64(buf)?;
+        out.push((idx, count));
+    }
+    Ok(out)
+}
+
+fn put_promotions(buf: &mut BytesMut, promotions: &[(Key, u32)]) {
+    buf.put_u32_le(promotions.len() as u32);
+    for &(key, slot) in promotions {
+        buf.put_u64_le(key);
+        buf.put_u32_le(slot);
+    }
+}
+
+fn get_promotions(buf: &mut Bytes) -> Result<Vec<(Key, u32)>, CodecError> {
+    let n = codec::get_u32(buf)? as u64;
+    if n.saturating_mul(12) > buf.len() as u64 {
+        return Err(CodecError::Truncated { needed: (n * 12) as usize, remaining: buf.len() });
+    }
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let key = get_u64(buf)?;
+        let slot = codec::get_u32(buf)?;
+        out.push((key, slot));
+    }
+    Ok(out)
+}
+
 impl WireEncode for Msg {
     fn encoded_len(&self) -> usize {
         1 + match self {
@@ -237,12 +318,19 @@ impl WireEncode for Msg {
             Msg::PushBatchReq { updates, .. } => updates_len(updates) + ADDR_LEN + 1,
             Msg::PushBatchAck { keys, .. } => codec::u64_slice_len(keys) + 1,
             Msg::LocalizeBatchReq { keys, .. } => codec::u64_slice_len(keys) + 2,
-            Msg::Promote { value, .. } => 8 + 4 + f32_slice_len(value),
+            Msg::Promote { value, .. } => 8 + 8 + 4 + f32_slice_len(value),
             Msg::Demote { .. } => 8 + 2,
             Msg::ReplicaDeltas { updates, .. } => 2 + updates_len(updates),
             Msg::SyncFin { .. } => 2,
             Msg::ModelPart { entries, .. } => 2 + updates_len(entries),
-            Msg::Release => 0,
+            Msg::Release { .. } => 8,
+            Msg::SketchReport { row0, row1, .. } => {
+                2 + 8 + pairs_len(row0.len()) + pairs_len(row1.len())
+            }
+            Msg::AdaptPlan { promotions, demotions, .. } => {
+                8 + pairs_len(promotions.len()) + codec::u64_slice_len(demotions)
+            }
+            Msg::PlanAck { .. } => 2 + 8,
         }
     }
 
@@ -339,9 +427,10 @@ impl WireEncode for Msg {
                 codec::put_u64_slice(buf, keys);
                 buf.put_u16_le(requester.0);
             }
-            Msg::Promote { key, slot, value } => {
+            Msg::Promote { key, epoch, slot, value } => {
                 buf.put_u8(tag::PROMOTE);
                 buf.put_u64_le(*key);
+                buf.put_u64_le(*epoch);
                 buf.put_u32_le(*slot);
                 put_f32_slice(buf, value);
             }
@@ -364,7 +453,28 @@ impl WireEncode for Msg {
                 buf.put_u16_le(from.0);
                 put_updates(buf, entries);
             }
-            Msg::Release => buf.put_u8(tag::RELEASE),
+            Msg::Release { epoch } => {
+                buf.put_u8(tag::RELEASE);
+                buf.put_u64_le(*epoch);
+            }
+            Msg::SketchReport { from, total, row0, row1 } => {
+                buf.put_u8(tag::SKETCH_REPORT);
+                buf.put_u16_le(from.0);
+                buf.put_u64_le(*total);
+                put_cells(buf, row0);
+                put_cells(buf, row1);
+            }
+            Msg::AdaptPlan { epoch, promotions, demotions } => {
+                buf.put_u8(tag::ADAPT_PLAN);
+                buf.put_u64_le(*epoch);
+                put_promotions(buf, promotions);
+                codec::put_u64_slice(buf, demotions);
+            }
+            Msg::PlanAck { from, epoch } => {
+                buf.put_u8(tag::PLAN_ACK);
+                buf.put_u16_le(from.0);
+                buf.put_u64_le(*epoch);
+            }
         }
     }
 
@@ -423,6 +533,7 @@ impl WireEncode for Msg {
             },
             tag::PROMOTE => Msg::Promote {
                 key: get_u64(buf)?,
+                epoch: get_u64(buf)?,
                 slot: codec::get_u32(buf)?,
                 value: get_f32_vec(buf)?,
             },
@@ -434,7 +545,19 @@ impl WireEncode for Msg {
             tag::MODEL_PART => {
                 Msg::ModelPart { from: NodeId(get_u16(buf)?), entries: get_updates(buf)? }
             }
-            tag::RELEASE => Msg::Release,
+            tag::RELEASE => Msg::Release { epoch: get_u64(buf)? },
+            tag::SKETCH_REPORT => Msg::SketchReport {
+                from: NodeId(get_u16(buf)?),
+                total: get_u64(buf)?,
+                row0: get_cells(buf)?,
+                row1: get_cells(buf)?,
+            },
+            tag::ADAPT_PLAN => Msg::AdaptPlan {
+                epoch: get_u64(buf)?,
+                promotions: get_promotions(buf)?,
+                demotions: codec::get_u64_vec(buf)?,
+            },
+            tag::PLAN_ACK => Msg::PlanAck { from: NodeId(get_u16(buf)?), epoch: get_u64(buf)? },
             other => return Err(CodecError::UnknownTag(other)),
         })
     }
@@ -491,8 +614,8 @@ mod tests {
         roundtrip(Msg::PushBatchAck { keys: vec![7, 8], hops: 2 });
         roundtrip(Msg::LocalizeBatchReq { keys: vec![], requester: NodeId(2) });
         roundtrip(Msg::LocalizeBatchReq { keys: vec![3, 4, 5], requester: NodeId(2) });
-        roundtrip(Msg::Promote { key: 11, slot: 3, value: vec![1.5, -0.5] });
-        roundtrip(Msg::Promote { key: 0, slot: 0, value: vec![] });
+        roundtrip(Msg::Promote { key: 11, epoch: 4, slot: 3, value: vec![1.5, -0.5] });
+        roundtrip(Msg::Promote { key: 0, epoch: 0, slot: 0, value: vec![] });
         roundtrip(Msg::Demote { key: 11, owner: NodeId(4) });
         roundtrip(Msg::ReplicaDeltas {
             from: NodeId(2),
@@ -507,7 +630,23 @@ mod tests {
                 KeyUpdate { key: 9, delta: vec![] },
             ],
         });
-        roundtrip(Msg::Release);
+        roundtrip(Msg::Release { epoch: 0 });
+        roundtrip(Msg::Release { epoch: 9 });
+        roundtrip(Msg::SketchReport { from: NodeId(3), total: 0, row0: vec![], row1: vec![] });
+        roundtrip(Msg::SketchReport {
+            from: NodeId(1),
+            total: 42,
+            row0: vec![(0, 7), (1023, 35)],
+            row1: vec![(512, 42)],
+        });
+        roundtrip(Msg::AdaptPlan { epoch: 1, promotions: vec![], demotions: vec![] });
+        roundtrip(Msg::AdaptPlan {
+            epoch: 7,
+            promotions: vec![(3, 0), (99, 2)],
+            demotions: vec![5, 6],
+        });
+        roundtrip(Msg::PlanAck { from: NodeId(0), epoch: 0 });
+        roundtrip(Msg::PlanAck { from: NodeId(5), epoch: 12 });
     }
 
     #[test]
@@ -515,11 +654,26 @@ mod tests {
         // Promotion carries the full value (it is a broadcast of state);
         // demotion is a small notice — the asymmetry the adaptive manager's
         // cost accounting depends on.
-        let promote = Msg::Promote { key: 1, slot: 0, value: vec![0.0; 100] };
-        assert_eq!(promote.encoded_len(), 1 + 8 + 4 + 4 + 400);
+        let promote = Msg::Promote { key: 1, epoch: 2, slot: 0, value: vec![0.0; 100] };
+        assert_eq!(promote.encoded_len(), 1 + 8 + 8 + 4 + 4 + 400);
         let demote = Msg::Demote { key: 1, owner: NodeId(0) };
         assert_eq!(demote.encoded_len(), 1 + 8 + 2);
         assert!(demote.encoded_len() * 10 < promote.encoded_len());
+    }
+
+    #[test]
+    fn adaptation_message_sizes_are_honest() {
+        // The sketch report is the dominant recurring adaptation message;
+        // its size must track the sparse cell count, not the sketch width.
+        let report = Msg::SketchReport {
+            from: NodeId(1),
+            total: 10,
+            row0: vec![(1, 5), (2, 5)],
+            row1: vec![(9, 10)],
+        };
+        assert_eq!(report.encoded_len(), 1 + 2 + 8 + (4 + 24) + (4 + 12));
+        let plan = Msg::AdaptPlan { epoch: 3, promotions: vec![(1, 0)], demotions: vec![2, 3] };
+        assert_eq!(plan.encoded_len(), 1 + 8 + (4 + 12) + (4 + 16));
     }
 
     #[test]
@@ -617,6 +771,30 @@ mod tests {
                     entries: kv.into_iter().map(|(key, delta)| KeyUpdate { key, delta }).collect(),
                 }
             ),
+            (
+                any::<u16>(),
+                any::<u64>(),
+                proptest::collection::vec((any::<u32>(), any::<u64>()), 0..8),
+                proptest::collection::vec((any::<u32>(), any::<u64>()), 0..8),
+            )
+                .prop_map(|(from, total, row0, row1)| Msg::SketchReport {
+                    from: NodeId(from),
+                    total,
+                    row0,
+                    row1,
+                }),
+            (
+                any::<u64>(),
+                proptest::collection::vec((any::<u64>(), any::<u32>()), 0..8),
+                proptest::collection::vec(any::<u64>(), 0..8),
+            )
+                .prop_map(|(epoch, promotions, demotions)| Msg::AdaptPlan {
+                    epoch,
+                    promotions,
+                    demotions,
+                }),
+            (any::<u16>(), any::<u64>())
+                .prop_map(|(from, epoch)| Msg::PlanAck { from: NodeId(from), epoch }),
         ]
     }
 

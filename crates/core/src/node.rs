@@ -8,7 +8,7 @@ use nups_sim::metrics::ClusterMetrics;
 use nups_sim::time::SimDuration;
 use nups_sim::topology::{NodeId, Topology};
 
-use crate::adaptive::AdaptiveManager;
+use crate::adaptive::{AdaptiveManager, DistAdaptive};
 use crate::key::{Key, KeySpace};
 use crate::replication::{ReplicaSet, ReplicaSync};
 use crate::runtime::{Fabric, Runtime};
@@ -80,6 +80,10 @@ pub struct Shared {
     pub sync: Arc<ReplicaSync>,
     /// The adaptive technique manager, when enabled by the configuration.
     pub adaptive: Option<AdaptiveManager>,
+    /// Present in per-node deployments with adaptation enabled: the
+    /// distributed epoch protocol's per-node state (see
+    /// [`crate::adaptive`]).
+    pub dist_adaptive: Option<DistAdaptive>,
     pub nodes: Vec<Arc<NodeState>>,
     /// Registered sampling distributions with the scheme the manager chose
     /// for each.

@@ -21,11 +21,17 @@ use nups_sim::time::{SimDuration, SimTime};
 use nups_sim::topology::{Addr, NodeId, Topology};
 use nups_sim::WireEncode;
 
+use crate::key::Key;
 use crate::messages::{KeyUpdate, Msg};
 use crate::runtime::Fabric;
 use crate::value::{add_assign, axpy, norm, ClipPolicy, ClipState};
 
 struct Slot {
+    /// The key currently living in this slot — the slot's *tenancy token*.
+    /// Per-node deployments migrate keys while workers run, so every
+    /// keyed access re-checks the token under the slot lock and fails out
+    /// (caller re-routes) when the slot changed tenants underneath it.
+    key: Option<Key>,
     value: Vec<f32>,
     /// Deltas accumulated locally since the last synchronization.
     accum: Vec<f32>,
@@ -33,9 +39,13 @@ struct Slot {
 }
 
 impl Slot {
-    fn new(value: Vec<f32>) -> Slot {
+    fn new(key: Option<Key>, value: Vec<f32>) -> Slot {
         let accum = vec![0.0; value.len()];
-        Slot { value, accum, dirty: false }
+        Slot { key, value, accum, dirty: false }
+    }
+
+    fn hole() -> Slot {
+        Slot::new(None, Vec::new())
     }
 }
 
@@ -43,8 +53,10 @@ impl Slot {
 ///
 /// The slot vector grows when the adaptive technique manager promotes a key
 /// past the current capacity; freed slots are cleared in place and reused.
-/// Growth happens only at synchronization rendezvous (workers parked), but
-/// server threads may serve late-chasing operations concurrently, so the
+/// In-process deployments grow only at synchronization rendezvous (workers
+/// parked); per-node deployments mutate slots from the server thread while
+/// workers run, which is what the per-slot tenancy keys are for. Server
+/// threads may also serve late-chasing operations concurrently, so the
 /// vector is behind an `RwLock` — an uncontended read on the hot path.
 pub struct ReplicaSet {
     slots: RwLock<Vec<Mutex<Slot>>>,
@@ -53,11 +65,13 @@ pub struct ReplicaSet {
 }
 
 impl ReplicaSet {
-    /// Build with `initial[slot]` as the starting value of each replica.
-    /// Every node must be initialized with identical values.
-    pub fn new(initial: &[Vec<f32>], clip_policy: ClipPolicy) -> ReplicaSet {
+    /// Build with `initial[slot]` as the `(key, starting value)` of each
+    /// replica. Every node must be initialized with identical values.
+    pub fn new(initial: &[(Key, Vec<f32>)], clip_policy: ClipPolicy) -> ReplicaSet {
         ReplicaSet {
-            slots: RwLock::new(initial.iter().map(|v| Mutex::new(Slot::new(v.clone()))).collect()),
+            slots: RwLock::new(
+                initial.iter().map(|(k, v)| Mutex::new(Slot::new(Some(*k), v.clone()))).collect(),
+            ),
             clip_policy,
             clip_state: Mutex::new(ClipState::new()),
         }
@@ -67,28 +81,41 @@ impl ReplicaSet {
         self.slots.read().len()
     }
 
-    /// Read the replica into `out` (shared-memory pull).
+    /// Read the replica into `out` (shared-memory pull). `false` when the
+    /// slot's tenant is no longer `key` (concurrent migration): the caller
+    /// re-routes.
     #[inline]
-    pub fn pull(&self, slot: u32, out: &mut [f32]) {
+    #[must_use]
+    pub fn pull(&self, slot: u32, key: Key, out: &mut [f32]) -> bool {
         let slots = self.slots.read();
         let s = slots[slot as usize].lock();
+        if s.key != Some(key) {
+            return false;
+        }
         out.copy_from_slice(&s.value);
+        true
     }
 
     /// Apply `delta` locally and buffer it for synchronization. Replicated
     /// parameters are where the paper applies gradient-norm clipping
     /// (Section 5.1) to prevent exploding gradients under staleness.
+    /// `false` on a tenancy mismatch (nothing applied).
     #[inline]
-    pub fn push(&self, slot: u32, delta: &[f32]) {
+    #[must_use]
+    pub fn push(&self, slot: u32, key: Key, delta: &[f32]) -> bool {
         let scale = {
             let mut clip = self.clip_state.lock();
             clip.observe(self.clip_policy, norm(delta))
         };
         let slots = self.slots.read();
         let mut s = slots[slot as usize].lock();
+        if s.key != Some(key) {
+            return false;
+        }
         axpy(&mut s.value, scale, delta);
         axpy(&mut s.accum, scale, delta);
         s.dirty = true;
+        true
     }
 
     /// Copy of the replica value (evaluation).
@@ -98,29 +125,50 @@ impl ReplicaSet {
         s.value.clone()
     }
 
-    /// Install `value` into `slot`, growing the set when `slot` is one past
-    /// the end (promotion of a key into a fresh slot). Resets the update
-    /// buffer: the installed value is the authoritative post-migration
-    /// state.
-    pub fn install_slot(&self, slot: u32, value: Vec<f32>) {
+    /// Install `value` as `key`'s replica in `slot`, growing the set — with
+    /// empty hole slots if needed — when `slot` is beyond the current end.
+    /// (In-process promotion fills slots densely; per-node deployments can
+    /// complete promotions out of plan order, so a later slot may install
+    /// first.) Resets the update buffer: the installed value is the
+    /// authoritative post-migration state.
+    pub fn install_slot(&self, slot: u32, key: Key, value: Vec<f32>) {
         let mut slots = self.slots.write();
         let i = slot as usize;
-        assert!(i <= slots.len(), "slot {slot} would leave a hole ({} slots)", slots.len());
+        while i > slots.len() {
+            slots.push(Mutex::new(Slot::hole()));
+        }
         if i == slots.len() {
-            slots.push(Mutex::new(Slot::new(value)));
+            slots.push(Mutex::new(Slot::new(Some(key), value)));
         } else {
-            *slots[i].lock() = Slot::new(value);
+            *slots[i].lock() = Slot::new(Some(key), value);
         }
     }
 
-    /// Clear a freed slot (demotion): zero value and buffer so a stale
-    /// delta cannot leak into the slot's next tenant.
+    /// Clear a freed slot (demotion): zero value and buffer and evict the
+    /// tenant so a stale delta cannot leak into the slot's next occupant.
     pub fn clear_slot(&self, slot: u32) {
         let slots = self.slots.read();
         let mut s = slots[slot as usize].lock();
+        s.key = None;
         s.value.iter_mut().for_each(|x| *x = 0.0);
         s.accum.iter_mut().for_each(|x| *x = 0.0);
         s.dirty = false;
+    }
+
+    /// Atomically end `key`'s tenancy of `slot` and take its final
+    /// `(value, accum)` (distributed demotion). The slot is left empty.
+    /// `None` on a tenancy mismatch (the key was already evicted).
+    pub fn seal_slot(&self, slot: u32, key: Key) -> Option<(Vec<f32>, Vec<f32>)> {
+        let slots = self.slots.read();
+        let mut s = slots[slot as usize].lock();
+        if s.key != Some(key) {
+            return None;
+        }
+        s.key = None;
+        s.dirty = false;
+        let value = std::mem::take(&mut s.value);
+        let accum = std::mem::take(&mut s.accum);
+        Some((value, accum))
     }
 
     /// Snapshot `(value, accum)` of one slot (demotion collapse).
@@ -146,12 +194,49 @@ impl ReplicaSet {
         out
     }
 
+    /// Like [`ReplicaSet::drain`], but keyed by the slots' tenant keys —
+    /// the shape the distributed [`Msg::ReplicaDeltas`] broadcast carries,
+    /// so receivers can re-route around concurrent migrations.
+    fn drain_keyed(&self) -> Vec<(Key, Vec<f32>)> {
+        let mut out = Vec::new();
+        let slots = self.slots.read();
+        for slot in slots.iter() {
+            let mut s = slot.lock();
+            if s.dirty {
+                if let Some(key) = s.key {
+                    let len = s.accum.len();
+                    let taken = std::mem::replace(&mut s.accum, vec![0.0; len]);
+                    s.dirty = false;
+                    out.push((key, taken));
+                }
+            }
+        }
+        out
+    }
+
     /// Absorb the sum of *other* nodes' deltas for `slot`. In per-node
     /// deployments the server calls this when a peer's
-    /// [`Msg::ReplicaDeltas`] broadcast arrives.
-    pub fn apply_foreign(&self, slot: u32, delta: &[f32]) {
+    /// [`Msg::ReplicaDeltas`] broadcast arrives. `false` on a tenancy
+    /// mismatch (nothing applied; the caller folds the delta back through
+    /// the relocation path instead).
+    #[must_use]
+    pub fn apply_foreign(&self, slot: u32, key: Key, delta: &[f32]) -> bool {
         let slots = self.slots.read();
         let mut s = slots[slot as usize].lock();
+        if s.key != Some(key) {
+            return false;
+        }
+        add_assign(&mut s.value, delta);
+        true
+    }
+
+    /// Unkeyed foreign-delta apply for the in-process all-reduce, where
+    /// slot assignments cannot shift mid-merge (every worker is parked at
+    /// the rendezvous and migrations run under the same gate).
+    fn apply_foreign_slot(&self, slot: u32, delta: &[f32]) {
+        let slots = self.slots.read();
+        let mut s = slots[slot as usize].lock();
+        debug_assert!(s.key.is_some(), "in-process merge over an unoccupied slot {slot}");
         add_assign(&mut s.value, delta);
     }
 }
@@ -218,14 +303,12 @@ impl ReplicaSync {
     /// mode). Byte/message accounting happens in the fabric like any other
     /// send; the sync counters mirror what the in-process merge records.
     fn sync_once_distributed(&self, d: &DistributedSync, metrics: &ClusterMetrics) -> SimDuration {
-        let drained = self.sets[0].drain();
+        let drained = self.sets[0].drain_keyed();
         if drained.is_empty() {
             return SimDuration::ZERO;
         }
-        let updates: Vec<KeyUpdate> = drained
-            .into_iter()
-            .map(|(slot, delta)| KeyUpdate { key: slot as u64, delta })
-            .collect();
+        let updates: Vec<KeyUpdate> =
+            drained.into_iter().map(|(key, delta)| KeyUpdate { key, delta }).collect();
         let payload = Msg::ReplicaDeltas { from: d.node, updates }.to_bytes();
         let src = Addr { node: d.node, port: self.topology.sync_port() };
         let mut peers = 0u64;
@@ -294,9 +377,9 @@ impl ReplicaSync {
                         for (f, o) in foreign.iter_mut().zip(own_d.iter()) {
                             *f -= o;
                         }
-                        set.apply_foreign(*slot, &foreign);
+                        set.apply_foreign_slot(*slot, &foreign);
                     }
-                    None => set.apply_foreign(*slot, total),
+                    None => set.apply_foreign_slot(*slot, total),
                 }
             }
         }
@@ -318,15 +401,18 @@ impl ReplicaSync {
         &self.sets
     }
 
-    /// Install `value` into `slot` on every node (key promotion). Not
-    /// priced here — the adaptive manager prices the promote broadcast.
-    pub fn install_slot(&self, slot: u32, value: &[f32]) {
-        assert!(
-            self.distributed.is_none(),
-            "technique migration is not supported in per-node deployments"
+    /// Install `value` as `key`'s replica in `slot` on every node (key
+    /// promotion). Not priced here — the adaptive manager prices the
+    /// promote broadcast. In a per-node deployment `sets` holds only this
+    /// process's node, which is the whole cluster exactly when `n_nodes ==
+    /// 1` (larger clusters promote via the leader-plan protocol instead).
+    pub fn install_slot(&self, slot: u32, key: Key, value: &[f32]) {
+        debug_assert!(
+            self.distributed.is_none() || self.topology.n_nodes == 1,
+            "multi-node per-node deployments migrate via AdaptPlan, not the rendezvous path"
         );
         for set in &self.sets {
-            set.install_slot(slot, value.to_vec());
+            set.install_slot(slot, key, value.to_vec());
         }
     }
 
@@ -338,9 +424,9 @@ impl ReplicaSync {
     /// — the accumulation makes the collapse exact even if a late-chasing
     /// server operation snuck a delta in between.
     pub fn collapse_slot(&self, slot: u32) -> Vec<f32> {
-        assert!(
-            self.distributed.is_none(),
-            "technique migration is not supported in per-node deployments"
+        debug_assert!(
+            self.distributed.is_none() || self.topology.n_nodes == 1,
+            "multi-node per-node deployments migrate via AdaptPlan, not the rendezvous path"
         );
         let (mut value, own_accum) = self.sets[0].value_and_accum(slot);
         // set 0's value already contains its own accum; add the others'.
@@ -361,21 +447,76 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
+    // Slot `i` is occupied by key `i`, as `ReplicaSet::new` numbers them.
     fn make_sets(n_nodes: usize, n_slots: usize, len: usize) -> Vec<Arc<ReplicaSet>> {
-        let init: Vec<Vec<f32>> = (0..n_slots).map(|_| vec![0.0; len]).collect();
+        let init: Vec<(Key, Vec<f32>)> = (0..n_slots).map(|i| (i as Key, vec![0.0; len])).collect();
         (0..n_nodes).map(|_| Arc::new(ReplicaSet::new(&init, ClipPolicy::None))).collect()
+    }
+
+    fn push(set: &ReplicaSet, slot: u32, delta: &[f32]) {
+        assert!(set.push(slot, slot as Key, delta), "tenancy of slot {slot} changed unexpectedly");
     }
 
     #[test]
     fn local_push_visible_immediately() {
         let sets = make_sets(2, 1, 2);
-        sets[0].push(0, &[1.0, 2.0]);
+        push(&sets[0], 0, &[1.0, 2.0]);
         let mut out = vec![0.0; 2];
-        sets[0].pull(0, &mut out);
+        assert!(sets[0].pull(0, 0, &mut out));
         assert_eq!(out, vec![1.0, 2.0]);
         // Other node has not seen it yet (stale until sync).
-        sets[1].pull(0, &mut out);
+        assert!(sets[1].pull(0, 0, &mut out));
         assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn keyed_access_fails_on_tenancy_mismatch() {
+        let set = ReplicaSet::new(&[(7, vec![1.0])], ClipPolicy::None);
+        let mut out = vec![0.0];
+        assert!(set.pull(0, 7, &mut out));
+        assert!(!set.pull(0, 8, &mut out), "wrong key must not read the slot");
+        assert!(!set.push(0, 8, &[5.0]));
+        assert!(!set.apply_foreign(0, 8, &[5.0]));
+        assert_eq!(set.get(0), vec![1.0], "failed accesses must not mutate");
+        // After a seal the old tenant's accesses fail too.
+        assert_eq!(set.seal_slot(0, 7), Some((vec![1.0], vec![0.0])));
+        assert!(!set.pull(0, 7, &mut out));
+        assert_eq!(set.seal_slot(0, 7), None, "double seal is a clean miss");
+    }
+
+    #[test]
+    fn seal_slot_captures_value_and_accum() {
+        let set = ReplicaSet::new(&[(3, vec![2.0, 2.0])], ClipPolicy::None);
+        assert!(set.push(0, 3, &[1.0, 0.5]));
+        let (value, accum) = set.seal_slot(0, 3).unwrap();
+        assert_eq!(value, vec![3.0, 2.5]);
+        assert_eq!(accum, vec![1.0, 0.5]);
+        // Sealed slots drain nothing and accept a new tenant cleanly.
+        assert!(set.drain_keyed().is_empty());
+        set.install_slot(0, 9, vec![7.0, 7.0]);
+        assert!(set.push(0, 9, &[1.0, 1.0]));
+        assert_eq!(set.drain_keyed(), vec![(9, vec![1.0, 1.0])]);
+    }
+
+    #[test]
+    fn install_slot_grows_with_holes() {
+        let set = ReplicaSet::new(&[(0, vec![1.0])], ClipPolicy::None);
+        set.install_slot(3, 42, vec![5.0]);
+        assert_eq!(set.n_slots(), 4);
+        assert_eq!(set.get(3), vec![5.0]);
+        let mut out = vec![0.0];
+        assert!(!set.pull(1, 1, &mut out), "hole slots have no tenant");
+        assert!(set.pull(3, 42, &mut out));
+        assert_eq!(out, vec![5.0]);
+    }
+
+    #[test]
+    fn drain_keyed_reports_tenant_keys() {
+        let init: Vec<(Key, Vec<f32>)> = vec![(10, vec![0.0]), (20, vec![0.0])];
+        let set = ReplicaSet::new(&init, ClipPolicy::None);
+        assert!(set.push(1, 20, &[2.0]));
+        assert_eq!(set.drain_keyed(), vec![(20, vec![2.0])]);
+        assert!(set.drain_keyed().is_empty(), "drain resets dirtiness");
     }
 
     #[test]
@@ -387,9 +528,9 @@ mod tests {
 
         // Each node pushes a distinct delta to slot 0; node 2 also to slot 2.
         for (i, s) in sets.iter().enumerate() {
-            s.push(0, &[i as f32 + 1.0, 0.0]);
+            push(s, 0, &[i as f32 + 1.0, 0.0]);
         }
-        sets[2].push(2, &[0.5, 0.5]);
+        push(&sets[2], 2, &[0.5, 0.5]);
 
         let d = sync.sync_once(&metrics);
         assert_eq!(d, SimDuration::ZERO, "zero cost model");
@@ -412,8 +553,8 @@ mod tests {
         let sync = ReplicaSync::new(sets.clone(), topo, CostModel::zero(), 1);
         let metrics = ClusterMetrics::new(2);
         for _ in 0..10 {
-            sets[0].push(0, &[1.0]);
-            sets[1].push(0, &[2.0]);
+            push(&sets[0], 0, &[1.0]);
+            push(&sets[1], 0, &[2.0]);
         }
         sync.sync_once(&metrics);
         for s in &sets {
@@ -439,9 +580,9 @@ mod tests {
             // Every node contributes a distinct delta to slot 0; only the
             // last node touches slot 1.
             for (i, s) in sets.iter().enumerate() {
-                s.push(0, &[(i + 1) as f32, 0.0, 1.0]);
+                push(s, 0, &[(i + 1) as f32, 0.0, 1.0]);
             }
-            sets[n_nodes - 1].push(1, &[0.0, 2.0, 0.0]);
+            push(&sets[n_nodes - 1], 1, &[0.0, 2.0, 0.0]);
             sync.sync_once(&metrics);
             let total: f32 = (1..=n_nodes).map(|i| i as f32).sum();
             for (i, s) in sets.iter().enumerate() {
@@ -461,15 +602,15 @@ mod tests {
         let sync = ReplicaSync::new(sets.clone(), topo, CostModel::zero(), 2);
         let metrics = ClusterMetrics::new(3);
         // Promote installs a fresh slot 1 on every node.
-        sync.install_slot(1, &[4.0, 4.0]);
+        sync.install_slot(1, 1, &[4.0, 4.0]);
         for s in &sets {
             assert_eq!(s.get(1), vec![4.0, 4.0]);
         }
         // Pushes on two nodes, one synced, one straggling after the sync.
-        sets[0].push(1, &[1.0, 0.0]);
-        sets[2].push(1, &[0.0, 1.0]);
+        push(&sets[0], 1, &[1.0, 0.0]);
+        push(&sets[2], 1, &[0.0, 1.0]);
         sync.sync_once(&metrics);
-        sets[1].push(1, &[0.5, 0.5]); // straggler between sync and collapse
+        push(&sets[1], 1, &[0.5, 0.5]); // straggler between sync and collapse
         let v = sync.collapse_slot(1);
         assert_eq!(v, vec![5.5, 5.5], "collapse must fold unsynced stragglers in");
         // Slot cleared everywhere; reuse by a later promotion starts clean.
@@ -481,14 +622,14 @@ mod tests {
 
     #[test]
     fn install_slot_grows_by_one() {
-        let set = ReplicaSet::new(&[vec![1.0]], ClipPolicy::None);
+        let set = ReplicaSet::new(&[(0, vec![1.0])], ClipPolicy::None);
         assert_eq!(set.n_slots(), 1);
-        set.install_slot(1, vec![2.0]);
+        set.install_slot(1, 1, vec![2.0]);
         assert_eq!(set.n_slots(), 2);
         assert_eq!(set.get(1), vec![2.0]);
         // Reinstall over an existing slot resets value and buffer.
-        set.push(1, &[5.0]);
-        set.install_slot(1, vec![9.0]);
+        push(&set, 1, &[5.0]);
+        set.install_slot(1, 1, vec![9.0]);
         assert_eq!(set.get(1), vec![9.0]);
         assert!(set.drain().is_empty(), "install clears the dirty buffer");
     }
@@ -500,7 +641,7 @@ mod tests {
         let cost = CostModel::cluster_default();
         let sync = ReplicaSync::new(sets.clone(), topo, cost, 10);
         let metrics = ClusterMetrics::new(4);
-        sets[0].push(3, &[1.0; 10]);
+        push(&sets[0], 3, &[1.0; 10]);
         let d = sync.sync_once(&metrics);
         // One dirty slot: 4 + 40 bytes per round, 2 rounds.
         let expect = cost.allreduce(2, 44);
@@ -512,13 +653,13 @@ mod tests {
 
     #[test]
     fn clipping_limits_outlier_updates_on_replicas() {
-        let init = vec![vec![0.0; 4]];
+        let init = vec![(0, vec![0.0; 4])];
         let set = ReplicaSet::new(&init, ClipPolicy::AverageNorm { factor: 2.0 });
         for _ in 0..100 {
-            set.push(0, &[0.1, 0.0, 0.0, 0.0]);
+            push(&set, 0, &[0.1, 0.0, 0.0, 0.0]);
         }
         let before = set.get(0)[0];
-        set.push(0, &[1000.0, 0.0, 0.0, 0.0]); // exploding gradient
+        push(&set, 0, &[1000.0, 0.0, 0.0, 0.0]); // exploding gradient
         let after = set.get(0)[0];
         assert!(after - before < 1.0, "outlier push not clipped: {}", after - before);
     }
@@ -529,7 +670,7 @@ mod tests {
         let sets = make_sets(1, 1, 1);
         let sync = ReplicaSync::new(sets.clone(), topo, CostModel::cluster_default(), 1);
         let metrics = ClusterMetrics::new(1);
-        sets[0].push(0, &[5.0]);
+        push(&sets[0], 0, &[5.0]);
         assert_eq!(sync.sync_once(&metrics), SimDuration::ZERO);
         assert_eq!(sets[0].get(0), vec![5.0]);
         assert_eq!(metrics.total().sync_bytes, 0);

@@ -13,11 +13,12 @@ use nups_sim::codec::WireEncode;
 use nups_sim::time::SimTime;
 use nups_sim::topology::{Addr, NodeId};
 
+use crate::adaptive::ADAPT_LEADER;
 use crate::key::Key;
 use crate::messages::{KeyUpdate, Msg};
 use crate::node::{NodeState, Shared};
 use crate::runtime::Port;
-use crate::store::{ServerAccess, TakeOutcome};
+use crate::store::{PromoteTake, QueuedOp, ServerAccess, TakeOutcome};
 
 /// Append `item` to `dst`'s group, keeping one group per destination in
 /// first-appearance order (node counts are small; linear scan wins over a
@@ -88,8 +89,22 @@ impl Server {
                     self.handle_localize(key, requester, at);
                 }
             }
-            Msg::ReplicaDeltas { from, updates } => self.handle_replica_deltas(from, updates),
+            Msg::ReplicaDeltas { from, updates } => self.handle_replica_deltas(from, updates, at),
             Msg::SyncFin { .. } => self.shared.note_sync_fin(),
+            Msg::SketchReport { from, total, row0, row1 } => {
+                self.handle_sketch_report(from, total, &row0, &row1)
+            }
+            Msg::AdaptPlan { epoch, promotions, demotions } => {
+                self.handle_adapt_plan(epoch, promotions, demotions, at)
+            }
+            Msg::Promote { key, epoch, slot, value } => {
+                self.handle_promote(key, epoch, slot, value, at)
+            }
+            Msg::PlanAck { from, epoch } => self.handle_plan_ack(from, epoch),
+            // The only pushes a server issues carry its own server port as
+            // the reply address: demotion residues and stray sync deltas
+            // folded at the home. Their acks land here.
+            Msg::PushAck { .. } => self.handle_self_ack(at),
             Msg::Stop => return false,
             other => {
                 debug_assert!(false, "unexpected message at relocation server: {other:?}");
@@ -117,7 +132,12 @@ impl Server {
     fn replica_pull(&self, key: Key) -> Option<Vec<f32>> {
         let slot = self.shared.technique.replica_slot(key)?;
         let mut value = vec![0.0; self.shared.value_len];
-        self.state.replicas.pull(slot, &mut value);
+        if !self.state.replicas.pull(slot, key, &mut value) {
+            // The slot is sealed or re-keyed: a demotion is mid-flight on
+            // this very thread's message stream. The caller re-routes via
+            // the home, which holds (or is about to hold) the key.
+            return None;
+        }
         self.shared.metrics.node(self.me()).inc(|m| &m.replica_pulls);
         Some(value)
     }
@@ -126,7 +146,9 @@ impl Server {
     /// set (folded into the next synchronization — applied exactly once).
     fn replica_push(&self, key: Key, delta: &[f32]) -> bool {
         let Some(slot) = self.shared.technique.replica_slot(key) else { return false };
-        self.state.replicas.push(slot, delta);
+        if !self.state.replicas.push(slot, key, delta) {
+            return false;
+        }
         self.shared.metrics.node(self.me()).inc(|m| &m.replica_pushes);
         true
     }
@@ -284,14 +306,40 @@ impl Server {
     }
 
     /// A peer's replica-synchronization broadcast (per-node deployments):
-    /// fold its accumulated deltas into the local replica set. Each
-    /// update's key is a replica slot id. Applying is additive and
+    /// fold its accumulated deltas into the local replica set. Each update
+    /// carries the real parameter key; applying is additive and
     /// commutative, so no coordination with concurrent local pushes is
     /// needed beyond the slot lock.
-    fn handle_replica_deltas(&mut self, from: NodeId, updates: Vec<KeyUpdate>) {
+    ///
+    /// A delta whose key migrated out from under the broadcast must be
+    /// conserved exactly once cluster-wide. Every node received this same
+    /// broadcast, and non-home replica copies are discarded at demotion,
+    /// so the rule is: the **home** folds the delta into the authoritative
+    /// copy (store or freshly promoted replica); a non-home node stashes
+    /// it when its own install of the key is still pending, and drops it
+    /// otherwise.
+    fn handle_replica_deltas(&mut self, from: NodeId, updates: Vec<KeyUpdate>, at: SimTime) {
         debug_assert_ne!(from, self.me(), "a node must not receive its own sync broadcast");
+        let shared = Arc::clone(&self.shared);
         for u in updates {
-            self.state.replicas.apply_foreign(u.key as u32, &u.delta);
+            let applied = match shared.technique.replica_slot(u.key) {
+                Some(slot) => self.state.replicas.apply_foreign(slot, u.key, &u.delta),
+                None => false,
+            };
+            if applied {
+                continue;
+            }
+            if shared.keyspace.home(u.key) == self.me() {
+                if let Some(dist) = shared.dist_adaptive.as_ref() {
+                    dist.state().acks_outstanding += 1;
+                }
+                self.handle_push(u.key, u.delta, Addr::server(self.me()), 0, at);
+            } else if let Some(dist) = shared.dist_adaptive.as_ref() {
+                let mut st = dist.state();
+                if st.pending_promote.contains_key(&u.key) {
+                    st.pending_deltas.entry(u.key).or_default().push(u.delta);
+                }
+            }
         }
         // Replica state advanced: wake evaluation reads parked on progress.
         self.shared.runtime.notify_progress();
@@ -371,6 +419,355 @@ impl Server {
         // Wake control-plane waiters parked on cluster progress: an
         // evaluation read racing this relocation, or the adaptive manager
         // waiting for a chain to settle before a promotion.
+        self.shared.runtime.notify_progress();
+        // Distributed promotion acquisition: if this node is the key's
+        // home and a plan is waiting on the key, this install may be the
+        // hand-over the acquisition chased.
+        self.maybe_complete_promotion(key, at);
+    }
+
+    // ------------------------------------------------------------------
+    // Distributed adaptive technique management (see `crate::adaptive`).
+    //
+    // The leader broadcasts a versioned `AdaptPlan`; every node's server
+    // thread applies plans in epoch order. Demotions execute immediately
+    // (the replica slot is sealed, so late keyed accesses fail over to the
+    // home). Promotions run through the regular relocation machinery: the
+    // key's home fences it, acquires the value by chasing the ownership
+    // chain, installs the replica, and broadcasts `Promote`; peers install
+    // on receipt. A node acks the plan to the leader once nothing of it —
+    // pending installs, buffered messages, unacknowledged residues — is
+    // still in flight locally.
+    // ------------------------------------------------------------------
+
+    /// A peer's count-min sketch window, folded into the leader's sketch.
+    fn handle_sketch_report(
+        &mut self,
+        from: NodeId,
+        total: u64,
+        row0: &[(u32, u64)],
+        row1: &[(u32, u64)],
+    ) {
+        debug_assert_eq!(self.me(), ADAPT_LEADER, "sketch report at non-leader");
+        debug_assert_ne!(from, self.me(), "the leader does not report to itself");
+        let _ = from;
+        if let Some(adaptive) = self.shared.adaptive.as_ref() {
+            adaptive.sketch().merge([row0, row1], total);
+        }
+    }
+
+    /// One adaptation round's migration plan. Runs on every node
+    /// (including the leader, which posts the plan to itself so it
+    /// serializes with the rest of its protocol traffic).
+    fn handle_adapt_plan(
+        &mut self,
+        epoch: u64,
+        promotions: Vec<(Key, u32)>,
+        demotions: Vec<Key>,
+        at: SimTime,
+    ) {
+        let shared = Arc::clone(&self.shared);
+        let Some(dist) = shared.dist_adaptive.as_ref() else {
+            debug_assert!(false, "adapt plan without distributed adaptive state");
+            return;
+        };
+        let mut demote_now = Vec::with_capacity(demotions.len());
+        {
+            let mut st = dist.state();
+            debug_assert_eq!(epoch, st.applied_epoch + 1, "plans must apply in issue order");
+            st.applied_epoch = epoch;
+            for &key in &demotions {
+                if st.pending_promote.contains_key(&key) {
+                    // The key's promotion (from an earlier plan) has not
+                    // landed here yet; the demotion applies when it does.
+                    st.deferred_demotes.insert(key);
+                } else {
+                    demote_now.push(key);
+                }
+            }
+            for &(key, slot) in &promotions {
+                let prev = st.pending_promote.insert(key, (epoch, slot));
+                debug_assert!(prev.is_none(), "key {key} promoted by two outstanding plans");
+            }
+        }
+        for key in demote_now {
+            self.apply_demotion(key, at);
+        }
+        for &(key, _) in &promotions {
+            if self.shared.keyspace.home(key) == self.me() {
+                self.initiate_promotion(key, at);
+            }
+        }
+        // A peer's `Promote` broadcast can overtake the leader's plan on
+        // the wire; admit any that were waiting for this plan.
+        let ready = {
+            let mut st = dist.state();
+            let (ready, rest): (Vec<_>, Vec<_>) =
+                std::mem::take(&mut st.buffered_promotes).into_iter().partition(|b| b.0 <= epoch);
+            st.buffered_promotes = rest;
+            ready
+        };
+        for (_, key, slot, value) in ready {
+            self.admit_promote(key, slot, value, at);
+        }
+        self.maybe_plan_ack(at);
+        self.shared.runtime.notify_progress();
+    }
+
+    /// Demote one key replicated → relocated, as instructed by a plan (or
+    /// deferred until the key's promotion landed). Seals the local replica
+    /// slot, installs the authoritative value at the home, and ships any
+    /// non-home residue accumulator there as an acknowledged push.
+    fn apply_demotion(&mut self, key: Key, at: SimTime) {
+        let shared = Arc::clone(&self.shared);
+        let slot = shared.technique.replica_slot(key).expect("demoted key has a slot");
+        let home = shared.keyspace.home(key);
+        let Some((value, accum)) = self.state.replicas.seal_slot(slot, key) else {
+            debug_assert!(false, "demotion of key {key} found slot {slot} not keyed to it");
+            return;
+        };
+        if home == self.me() {
+            // `push` writes the copy and the accumulator together, so the
+            // sealed value already holds this node's unsynced deltas — the
+            // accum must not be re-added. The peers' residues arrive as
+            // acknowledged pushes below.
+            let _ = accum;
+            self.state.store.install_demoted(key, value, at);
+            self.state.directory.set_owner(key, home);
+            self.shared.technique.demote(key);
+            self.shared.metrics.node(self.me()).inc(|m| &m.demotions);
+        } else {
+            self.state.store.redirect_for_demote(key, home);
+            self.shared.technique.demote(key);
+            if accum.iter().any(|&x| x != 0.0) {
+                if let Some(dist) = shared.dist_adaptive.as_ref() {
+                    dist.state().acks_outstanding += 1;
+                }
+                let residue =
+                    Msg::PushReq { key, delta: accum, reply_to: Addr::server(self.me()), hops: 0 };
+                self.send(Addr::server(home), at, &residue);
+            }
+        }
+        self.shared.runtime.notify_progress();
+    }
+
+    /// Begin acquiring a key this node (the key's home) must promote:
+    /// fence it against new relocations, then chase the ownership chain
+    /// for the authoritative value.
+    fn initiate_promotion(&mut self, key: Key, at: SimTime) {
+        debug_assert_eq!(self.shared.keyspace.home(key), self.me(), "promotion runs at home");
+        self.shared.technique.fence_key(key);
+        let owner = self.state.directory.owner(key);
+        if owner == self.me() {
+            match self.state.store.begin_promote(key) {
+                PromoteTake::Taken(value) => self.complete_promotion(key, value, at),
+                // A transfer toward us is in flight; its install retries.
+                PromoteTake::InFlight => {}
+                PromoteTake::NotHere(hint) => self.chase_promotion(key, hint, at),
+            }
+        } else {
+            // The fence blocks new localizes, so the directory is frozen:
+            // point it here and request the hand-over directly (our own
+            // localize path would drop the request at the fence).
+            self.state.directory.set_owner(key, self.me());
+            self.state.store.mark_inflight(key, at);
+            self.send(Addr::server(owner), at, &Msg::ForwardLocalize { key, requester: self.me() });
+        }
+    }
+
+    /// The directory pointed home but the value is elsewhere (a stale
+    /// forward, or an install released it onward): follow the tombstones.
+    fn chase_promotion(&mut self, key: Key, hint: Option<NodeId>, at: SimTime) {
+        let dst = self.chase(key, hint);
+        debug_assert_ne!(dst, self.me(), "promotion chase loop at {}", self.me());
+        self.state.store.mark_inflight(key, at);
+        self.send(Addr::server(dst), at, &Msg::ForwardLocalize { key, requester: self.me() });
+    }
+
+    /// After an install at the key's home: if a plan is waiting on the
+    /// key, this may be the hand-over that completes its acquisition.
+    fn maybe_complete_promotion(&mut self, key: Key, at: SimTime) {
+        let shared = Arc::clone(&self.shared);
+        let Some(dist) = shared.dist_adaptive.as_ref() else { return };
+        if self.shared.keyspace.home(key) != self.me()
+            || !dist.state().pending_promote.contains_key(&key)
+        {
+            return;
+        }
+        match self.state.store.begin_promote(key) {
+            PromoteTake::Taken(value) => self.complete_promotion(key, value, at),
+            PromoteTake::InFlight => {} // another chain link; the next install retries
+            // The install released the value onward to a localize that
+            // raced the plan: keep chasing it.
+            PromoteTake::NotHere(hint) => self.chase_promotion(key, hint, at),
+        }
+    }
+
+    /// The home holds the authoritative value: install the replica,
+    /// publish the slot, broadcast the value to every peer, and apply a
+    /// demotion a later plan deferred onto this promotion.
+    fn complete_promotion(&mut self, key: Key, value: Vec<f32>, at: SimTime) {
+        let shared = Arc::clone(&self.shared);
+        let dist = shared.dist_adaptive.as_ref().expect("promotion completes under a plan");
+        let (epoch, slot) = {
+            let st = dist.state();
+            *st.pending_promote.get(&key).expect("completed promotion was planned")
+        };
+        // Backing storage before the published assignment: a keyed access
+        // that sees the new route is then guaranteed an installed slot.
+        self.state.replicas.install_slot(slot, key, value.clone());
+        self.shared.technique.promote_to_slot(key, slot);
+        self.shared.technique.unfence_key(key);
+        let (deferred, stashed) = {
+            let mut st = dist.state();
+            st.pending_promote.remove(&key);
+            (st.deferred_demotes.remove(&key), st.pending_deltas.remove(&key))
+        };
+        debug_assert!(stashed.is_none(), "the home folds stray deltas, never stashes them");
+        self.shared.metrics.node(self.me()).inc(|m| &m.promotions);
+        let msg = Msg::Promote { key, epoch, slot, value };
+        for node in self.shared.topology.nodes() {
+            if node != self.me() {
+                self.send(Addr::server(node), at, &msg);
+            }
+        }
+        if deferred {
+            self.apply_demotion(key, at);
+        }
+        self.maybe_plan_ack(at);
+        self.shared.runtime.notify_progress();
+    }
+
+    /// A peer's (or the home's) `Promote` broadcast: install the replica
+    /// locally, or buffer it until its plan arrives.
+    fn handle_promote(&mut self, key: Key, epoch: u64, slot: u32, value: Vec<f32>, at: SimTime) {
+        let shared = Arc::clone(&self.shared);
+        let Some(dist) = shared.dist_adaptive.as_ref() else {
+            debug_assert!(false, "promote broadcast without distributed adaptive state");
+            return;
+        };
+        {
+            let mut st = dist.state();
+            if epoch > st.applied_epoch {
+                st.buffered_promotes.push((epoch, key, slot, value));
+                return;
+            }
+        }
+        self.admit_promote(key, slot, value, at);
+        self.maybe_plan_ack(at);
+    }
+
+    /// Install an announced promotion whose plan has been applied here.
+    fn admit_promote(&mut self, key: Key, slot: u32, value: Vec<f32>, at: SimTime) {
+        let shared = Arc::clone(&self.shared);
+        let dist = shared.dist_adaptive.as_ref().expect("admitted promote without dist state");
+        let (was_pending, deferred, stashed) = {
+            let mut st = dist.state();
+            (
+                st.pending_promote.remove(&key).is_some(),
+                st.deferred_demotes.remove(&key),
+                st.pending_deltas.remove(&key).unwrap_or_default(),
+            )
+        };
+        debug_assert!(was_pending, "promote install for key {key} without a plan entry");
+        if deferred {
+            // A later plan demoted this key before its promotion ever
+            // landed here. The route never flipped locally, so no local
+            // write targeted the replica: the residue is provably zero and
+            // the home's sealed value is authoritative. Skip the install;
+            // clean up relocation marks left by localize requests the
+            // home's fence dropped, forwarding anything parked on them to
+            // the home (whose directory the demotion reset).
+            let home = self.shared.keyspace.home(key);
+            let sweep = self.state.store.sweep_for_promote(key);
+            for op in sweep.waiters {
+                let fwd = match op {
+                    QueuedOp::Push { delta, reply_to, hops } => {
+                        Msg::PushReq { key, delta, reply_to, hops: hops.saturating_add(1) }
+                    }
+                    QueuedOp::Pull { reply_to, hops } => {
+                        Msg::PullReq { key, reply_to, hops: hops.saturating_add(1) }
+                    }
+                };
+                self.send(Addr::server(home), at, &fwd);
+            }
+            self.shared.runtime.notify_progress();
+            return;
+        }
+        self.state.replicas.install_slot(slot, key, value);
+        for delta in stashed {
+            let ok = self.state.replicas.apply_foreign(slot, key, &delta);
+            debug_assert!(ok, "stashed sync delta must apply right after its install");
+        }
+        self.shared.technique.promote_to_slot(key, slot);
+        // Sweep the stale in-flight mark of any localize the home's fence
+        // dropped; parked operations are served from the fresh replica.
+        let sweep = self.state.store.sweep_for_promote(key);
+        for op in sweep.waiters {
+            match op {
+                QueuedOp::Push { delta, reply_to, hops } => {
+                    let ok = self.state.replicas.push(slot, key, &delta);
+                    debug_assert!(ok, "fresh replica slot rejects nothing");
+                    self.shared.metrics.node(self.me()).inc(|m| &m.replica_pushes);
+                    self.send(reply_to, at, &Msg::PushAck { key, hops: hops.saturating_add(1) });
+                }
+                QueuedOp::Pull { reply_to, hops } => {
+                    let mut value = vec![0.0; self.shared.value_len];
+                    let ok = self.state.replicas.pull(slot, key, &mut value);
+                    debug_assert!(ok, "fresh replica slot rejects nothing");
+                    self.shared.metrics.node(self.me()).inc(|m| &m.replica_pulls);
+                    let resp = Msg::PullResp { key, value, hops: hops.saturating_add(1) };
+                    self.send(reply_to, at, &resp);
+                }
+            }
+        }
+        self.shared.runtime.notify_progress();
+    }
+
+    /// Send the leader a `PlanAck` once every applied plan fully settled
+    /// here (idempotent; called from every path that could finish one).
+    fn maybe_plan_ack(&mut self, at: SimTime) {
+        let shared = Arc::clone(&self.shared);
+        let Some(dist) = shared.dist_adaptive.as_ref() else { return };
+        let epoch = {
+            let mut st = dist.state();
+            if st.applied_epoch == 0 || st.applied_epoch <= st.last_acked || !st.settled() {
+                return;
+            }
+            st.last_acked = st.applied_epoch;
+            st.applied_epoch
+        };
+        if self.me() == ADAPT_LEADER {
+            dist.note_ack(self.me(), epoch);
+        } else {
+            self.send(Addr::server(ADAPT_LEADER), at, &Msg::PlanAck { from: self.me(), epoch });
+        }
+        self.shared.runtime.notify_progress();
+    }
+
+    /// Leader: a peer finished a plan.
+    fn handle_plan_ack(&mut self, from: NodeId, epoch: u64) {
+        debug_assert_eq!(self.me(), ADAPT_LEADER, "plan ack at non-leader");
+        if let Some(dist) = self.shared.dist_adaptive.as_ref() {
+            dist.note_ack(from, epoch);
+            self.shared.runtime.notify_progress();
+        }
+    }
+
+    /// A `PushAck` for a push this server itself issued (demotion residue
+    /// or home-folded stray delta): one less outstanding acknowledgement.
+    fn handle_self_ack(&mut self, at: SimTime) {
+        let shared = Arc::clone(&self.shared);
+        let Some(dist) = shared.dist_adaptive.as_ref() else {
+            debug_assert!(false, "push ack at a server without distributed adaptive state");
+            return;
+        };
+        {
+            let mut st = dist.state();
+            debug_assert!(st.acks_outstanding > 0, "unsolicited push ack at server port");
+            st.acks_outstanding = st.acks_outstanding.saturating_sub(1);
+        }
+        self.maybe_plan_ack(at);
         self.shared.runtime.notify_progress();
     }
 }

@@ -11,7 +11,7 @@ use nups_sim::time::SimTime;
 use nups_sim::topology::{Addr, NodeId, WorkerId};
 use nups_sim::WireEncode;
 
-use crate::adaptive::AdaptiveManager;
+use crate::adaptive::{AdaptiveManager, DistAdaptive};
 use crate::api::PsWorker;
 use crate::config::NupsConfig;
 use crate::key::{Key, KeySpace};
@@ -100,8 +100,10 @@ impl ParameterServer {
     /// fabric accounts its sends to.
     ///
     /// Single-node deployments require the wall-clock backend (virtual
-    /// time is a per-process construct) and run without adaptive technique
-    /// management (migration is an in-process rendezvous protocol).
+    /// time is a per-process construct). Adaptive technique management
+    /// runs as a distributed leader-driven epoch protocol (see
+    /// [`crate::adaptive`]): node 0 scores from merged sketch reports and
+    /// broadcasts versioned migration plans over the fabric.
     pub fn deploy(
         config: NupsConfig,
         fabric: Arc<dyn Fabric>,
@@ -117,10 +119,6 @@ impl ParameterServer {
                 Backend::WallClock,
                 "single-node deployments require the wall-clock backend"
             );
-            assert!(
-                config.adaptive.is_none(),
-                "adaptive technique management is not supported in per-node deployments"
-            );
         }
         let keyspace = KeySpace::new(config.n_keys, topo.n_nodes);
         let technique = TechniqueMap::from_replicated_keys(config.n_keys, &config.replicated_keys);
@@ -130,13 +128,13 @@ impl ParameterServer {
 
         // Identical initial replica values on every node.
         let mut scratch = vec![0.0f32; config.value_len];
-        let replica_init: Vec<Vec<f32>> = technique
+        let replica_init: Vec<(Key, Vec<f32>)> = technique
             .replicated_keys()
             .iter()
             .map(|&k| {
                 scratch.iter_mut().for_each(|x| *x = 0.0);
                 init(k, &mut scratch);
-                scratch.clone()
+                (k, scratch.clone())
             })
             .collect();
 
@@ -186,6 +184,15 @@ impl ParameterServer {
         let gate_enabled = technique.n_replicated() > 0 || config.adaptive.is_some();
         let gate = Arc::new(SyncGate::new(config.sync_period, gate_enabled));
         let adaptive = config.adaptive.clone().map(AdaptiveManager::new);
+        // Multi-node per-node deployments migrate through the distributed
+        // epoch protocol; a single-node "cluster" can keep the in-process
+        // path (its gate parks every worker that exists).
+        let dist_adaptive = match deployment {
+            Deployment::SingleNode(me) if adaptive.is_some() && topo.n_nodes > 1 => {
+                Some(DistAdaptive::new(me, topo.n_nodes))
+            }
+            _ => None,
+        };
 
         let shared = Arc::new(Shared {
             topology: topo,
@@ -199,6 +206,7 @@ impl ParameterServer {
             gate,
             sync,
             adaptive,
+            dist_adaptive,
             nodes,
             dists: parking_lot::Mutex::new(Vec::new()),
             sync_fins: std::sync::atomic::AtomicU64::new(0),
@@ -420,11 +428,19 @@ impl ParameterServer {
     ///    makes the fin prove the deltas arrived first.
     /// 2. The coordinator counts `n - 1` fins (each sent after that node's
     ///    workers joined, and every push is applied before its worker
-    ///    unblocks, so the cluster's stores are final) and broadcasts
-    ///    [`Msg::Release`].
+    ///    unblocks, so the cluster's stores are final). With adaptation
+    ///    enabled it additionally waits until its own migration state is
+    ///    quiescent and every node acknowledged the last issued plan — no
+    ///    migration traffic is in flight anywhere — then broadcasts
+    ///    [`Msg::Release`] carrying that plan epoch.
     /// 3. Each peer answers the release with a [`Msg::ModelPart`] snapshot
     ///    of the relocated keys its store owns, then returns
-    ///    [`FinalizeOutcome::Released`].
+    ///    [`FinalizeOutcome::Released`]. With adaptation enabled the peer
+    ///    first waits for its own state to catch up to the released epoch,
+    ///    flushes its replicas once more (migration fallbacks can strand
+    ///    deltas in the accumulators after the first flush), and sends a
+    ///    second [`Msg::SyncFin`] — same-link FIFO proves those deltas
+    ///    reached the coordinator before its part does.
     /// 4. The coordinator merges its own replicas and store with the
     ///    parts, checks every key is covered, and returns
     ///    [`FinalizeOutcome::Model`].
@@ -437,6 +453,7 @@ impl ParameterServer {
         let store = &self.shared.nodes[me.index()].store;
         let ctl_addr = Addr { node: me, port: topo.sync_port() };
         let ctl = self.shared.fabric.bind(ctl_addr);
+        let adaptive = self.shared.dist_adaptive.as_ref();
 
         // Every stage spends from the same deadline: the caller's budget
         // bounds the whole protocol, not each step separately.
@@ -455,18 +472,33 @@ impl ParameterServer {
             self.post_ctl(ctl_addr, Addr::server(coordinator), &Msg::SyncFin { from: me });
             // Wait for the cluster-wide quiescence announcement, then
             // contribute our share of the model.
-            loop {
+            let released_epoch = loop {
                 match ctl.recv_deadline(deadline) {
                     RecvOutcome::Frame(f) => {
                         let mut payload = f.payload;
-                        if matches!(Msg::decode(&mut payload), Ok(Msg::Release)) {
-                            break;
+                        if let Ok(Msg::Release { epoch }) = Msg::decode(&mut payload) {
+                            break epoch;
                         }
                     }
                     RecvOutcome::TimedOut | RecvOutcome::Closed => {
                         return FinalizeOutcome::TimedOut;
                     }
                 }
+            };
+            if let Some(dist) = adaptive {
+                // Catch up to the released plan, then push any deltas a
+                // migration fallback stranded in the replica accumulators
+                // since the first flush; the second fin fences them ahead
+                // of our model part on the coordinator's server link.
+                if !self
+                    .shared
+                    .runtime
+                    .wait_until(remaining(deadline), &mut || dist.quiesced(released_epoch))
+                {
+                    return FinalizeOutcome::TimedOut;
+                }
+                self.flush_replicas();
+                self.post_ctl(ctl_addr, Addr::server(coordinator), &Msg::SyncFin { from: me });
             }
             let part = Msg::ModelPart { from: me, entries: self.local_model_part() };
             self.post_ctl(ctl_addr, Addr { node: coordinator, port: topo.sync_port() }, &part);
@@ -482,9 +514,36 @@ impl ParameterServer {
         {
             return FinalizeOutcome::TimedOut;
         }
+        // … with adaptation, also on cluster-wide migration quiescence …
+        let released_epoch = match adaptive {
+            Some(dist) => {
+                let epoch = dist.last_issued();
+                if !self.shared.runtime.wait_until(remaining(deadline), &mut || {
+                    dist.quiesced(epoch) && dist.all_acked(epoch)
+                }) {
+                    return FinalizeOutcome::TimedOut;
+                }
+                epoch
+            }
+            None => 0,
+        };
         // … release the quiesced cluster and collect the model parts.
         for peer in topo.nodes().filter(|p| *p != me) {
-            self.post_ctl(ctl_addr, Addr { node: peer, port: topo.sync_port() }, &Msg::Release);
+            let release = Msg::Release { epoch: released_epoch };
+            self.post_ctl(ctl_addr, Addr { node: peer, port: topo.sync_port() }, &release);
+        }
+        if adaptive.is_some() {
+            // Absorb every peer's post-release flush before snapshotting:
+            // the second fins prove the deltas are applied locally.
+            let want = 2 * n_peers;
+            if !self
+                .shared
+                .runtime
+                .wait_until(remaining(deadline), &mut || self.shared.sync_fins() >= want)
+            {
+                return FinalizeOutcome::TimedOut;
+            }
+            self.flush_replicas();
         }
         let mut seen = vec![false; topo.n_nodes as usize];
         let mut parts: Vec<Vec<KeyUpdate>> = Vec::new();

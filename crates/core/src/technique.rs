@@ -225,6 +225,61 @@ impl TechniqueMap {
         slot
     }
 
+    /// Flip `key` to replication in the *leader-assigned* slot (per-node
+    /// deployments, where every node installs the slot a
+    /// [`crate::messages::Msg::AdaptPlan`] dictates instead of allocating
+    /// locally). Removes the slot from the free list if it is there, or
+    /// grows the slot table — with free holes — up to it; promotions of one
+    /// plan can complete out of order, so the slot is not necessarily this
+    /// node's own `next_slot`.
+    pub(crate) fn promote_to_slot(&self, key: Key, slot: u32) {
+        let mut inner = self.inner.write();
+        assert_eq!(
+            inner.techniques[key as usize],
+            Technique::Relocated as u8,
+            "promote of already-replicated key {key}"
+        );
+        let i = slot as usize;
+        if i >= inner.slot_keys.len() {
+            for hole in inner.slot_keys.len() as u32..slot {
+                inner.free_slots.push(hole);
+            }
+            inner.slot_keys.resize(i + 1, None);
+        } else if let Some(pos) = inner.free_slots.iter().rposition(|&s| s == slot) {
+            inner.free_slots.remove(pos);
+        }
+        debug_assert_eq!(inner.slot_keys[i], None, "leader assigned an occupied slot {slot}");
+        inner.slot_keys[i] = Some(key);
+        inner.replica_slot[key as usize] = slot;
+        inner.techniques[key as usize] = Technique::Replicated as u8;
+    }
+
+    /// Simulate the slot assignment the leader's plan dictates: demotions
+    /// free their slots in plan order (LIFO, exactly like
+    /// [`TechniqueMap::demote`]), then each promotion pops a free slot or
+    /// appends. Read-only — the actual flips happen when the plan applies.
+    pub(crate) fn plan_slots(&self, demotions: &[Key], promotions: &[Key]) -> Vec<(Key, u32)> {
+        let inner = self.inner.read();
+        let mut free = inner.free_slots.clone();
+        for &k in demotions {
+            let slot = inner.replica_slot[k as usize];
+            debug_assert_ne!(slot, u32::MAX, "planned demotion of non-replicated key {k}");
+            free.push(slot);
+        }
+        let mut len = inner.slot_keys.len() as u32;
+        promotions
+            .iter()
+            .map(|&k| {
+                let slot = free.pop().unwrap_or_else(|| {
+                    let s = len;
+                    len += 1;
+                    s
+                });
+                (k, slot)
+            })
+            .collect()
+    }
+
     /// Flip `key` back to relocation, freeing its replica slot. Returns the
     /// freed slot. Caller must have collapsed the replicas into a single
     /// owned store entry first.
@@ -247,6 +302,18 @@ impl TechniqueMap {
 
     pub(crate) fn end_migrations(&self) {
         self.migrating.lock().clear();
+    }
+
+    /// Per-key migration fence (per-node deployments, where promotions
+    /// complete asynchronously and one at a time rather than under a
+    /// single rendezvous): block new relocations of `key` until
+    /// [`TechniqueMap::unfence_key`].
+    pub(crate) fn fence_key(&self, key: Key) {
+        self.migrating.lock().insert(key);
+    }
+
+    pub(crate) fn unfence_key(&self, key: Key) {
+        self.migrating.lock().remove(&key);
     }
 
     /// True when the home server must drop a localize request for `key`:
@@ -351,6 +418,49 @@ mod tests {
         assert!(tm.localize_blocked(6));
         assert!(!tm.localize_blocked(7));
         tm.end_migrations();
+        assert!(!tm.localize_blocked(5));
+    }
+
+    #[test]
+    fn promote_to_slot_honors_leader_assignment() {
+        let tm = TechniqueMap::from_replicated_keys(10, &[3, 4]);
+        // Free slot 0 by demoting, then install a key into it by plan.
+        tm.demote(3);
+        tm.promote_to_slot(7, 0);
+        assert_eq!(tm.replica_slot(7), Some(0));
+        // An out-of-order completion may target a slot past the end: the
+        // skipped slots become free holes a later completion fills.
+        tm.promote_to_slot(8, 4);
+        assert_eq!(tm.replica_slot(8), Some(4));
+        assert_eq!(tm.next_slot(), 3, "hole slots are free for reuse");
+        tm.promote_to_slot(9, 3);
+        tm.promote_to_slot(5, 2);
+        assert_eq!(tm.slot_entries(), vec![(0, 7), (1, 4), (2, 5), (3, 9), (4, 8)]);
+    }
+
+    #[test]
+    fn plan_slots_mirrors_demote_then_promote() {
+        let tm = TechniqueMap::from_replicated_keys(10, &[3, 4, 5]);
+        let plan = tm.plan_slots(&[4, 3], &[7, 8, 9]);
+        // Demotions free 1 then 0 (LIFO pop order 0, 1); third promotion
+        // appends past the end.
+        assert_eq!(plan, vec![(7, 0), (8, 1), (9, 3)]);
+        // Applying the same operations step by step agrees.
+        tm.demote(4);
+        tm.demote(3);
+        for (k, s) in plan {
+            tm.promote_to_slot(k, s);
+            assert_eq!(tm.replica_slot(k), Some(s));
+        }
+    }
+
+    #[test]
+    fn per_key_fence_blocks_localize() {
+        let tm = TechniqueMap::from_replicated_keys(10, &[]);
+        tm.fence_key(5);
+        assert!(tm.localize_blocked(5));
+        assert!(!tm.localize_blocked(6));
+        tm.unfence_key(5);
         assert!(!tm.localize_blocked(5));
     }
 

@@ -201,22 +201,32 @@ impl NupsWorker {
 
     /// Serve one replicated-key pull from the node's replica set (the
     /// slot comes from the same [`KeyRoute`] lookup as the technique
-    /// check — one lock acquisition per access).
-    fn pull_replicated(&mut self, slot: u32, out: &mut [f32]) {
-        self.node.replicas.pull(slot, out);
+    /// check — one lock acquisition per access). `false` when the slot no
+    /// longer holds `key`: a distributed demotion sealed it between the
+    /// route lookup and the access, and the route flip lands as soon as
+    /// the server finishes the same plan step — the caller re-routes.
+    fn pull_replicated(&mut self, slot: u32, key: Key, out: &mut [f32]) -> bool {
+        if !self.node.replicas.pull(slot, key, out) {
+            return false;
+        }
         let m = self.metrics();
         m.inc(|m| &m.replica_pulls);
         m.inc(|m| &m.local_pulls);
         self.charge_shared_memory();
+        true
     }
 
-    /// Absorb one replicated-key push into the node's replica set.
-    fn push_replicated(&mut self, slot: u32, delta: &[f32]) {
-        self.node.replicas.push(slot, delta);
+    /// Absorb one replicated-key push into the node's replica set; same
+    /// tenancy contract as [`NupsWorker::pull_replicated`].
+    fn push_replicated(&mut self, slot: u32, key: Key, delta: &[f32]) -> bool {
+        if !self.node.replicas.push(slot, key, delta) {
+            return false;
+        }
         let m = self.metrics();
         m.inc(|m| &m.replica_pushes);
         m.inc(|m| &m.local_pushes);
         self.charge_shared_memory();
+        true
     }
 
     /// One relocated-key access through shared memory: run `apply` on the
@@ -359,15 +369,23 @@ impl NupsWorker {
         for (i, &key) in keys.iter().enumerate() {
             let slot = &mut out[i * vl..(i + 1) * vl];
             self.shared.record_access(key);
-            match self.shared.technique.route(key) {
-                KeyRoute::Replicated(r) => self.pull_replicated(r, slot),
-                KeyRoute::Relocated => {
-                    if let Some(dst) = self.relocated_local_or_dst(
-                        key,
-                        |m| &m.local_pulls,
-                        |v| slot.copy_from_slice(v),
-                    ) {
-                        group_by_node(&mut remote, dst, (key, i));
+            loop {
+                match self.shared.technique.route(key) {
+                    KeyRoute::Replicated(r) => {
+                        if self.pull_replicated(r, key, slot) {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    KeyRoute::Relocated => {
+                        if let Some(dst) = self.relocated_local_or_dst(
+                            key,
+                            |m| &m.local_pulls,
+                            |v| slot.copy_from_slice(v),
+                        ) {
+                            group_by_node(&mut remote, dst, (key, i));
+                        }
+                        break;
                     }
                 }
             }
@@ -460,15 +478,23 @@ impl NupsWorker {
         for (i, &key) in keys.iter().enumerate() {
             let delta = &deltas[i * vl..(i + 1) * vl];
             self.shared.record_access(key);
-            match self.shared.technique.route(key) {
-                KeyRoute::Replicated(r) => self.push_replicated(r, delta),
-                KeyRoute::Relocated => {
-                    if let Some(dst) = self.relocated_local_or_dst(
-                        key,
-                        |m| &m.local_pushes,
-                        |v| add_assign(v, delta),
-                    ) {
-                        group_by_node(&mut remote, dst, (key, i));
+            loop {
+                match self.shared.technique.route(key) {
+                    KeyRoute::Replicated(r) => {
+                        if self.push_replicated(r, key, delta) {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    KeyRoute::Relocated => {
+                        if let Some(dst) = self.relocated_local_or_dst(
+                            key,
+                            |m| &m.local_pushes,
+                            |v| add_assign(v, delta),
+                        ) {
+                            group_by_node(&mut remote, dst, (key, i));
+                        }
+                        break;
                     }
                 }
             }
@@ -559,18 +585,34 @@ impl PsWorker for NupsWorker {
     fn pull(&mut self, key: Key, out: &mut [f32]) {
         debug_assert_eq!(out.len(), self.shared.value_len);
         self.shared.record_access(key);
-        match self.shared.technique.route(key) {
-            KeyRoute::Replicated(slot) => self.pull_replicated(slot, out),
-            KeyRoute::Relocated => self.pull_relocated(key, out),
+        loop {
+            match self.shared.technique.route(key) {
+                KeyRoute::Replicated(slot) => {
+                    if self.pull_replicated(slot, key, out) {
+                        return;
+                    }
+                    // Demotion in progress on the server thread; the route
+                    // flips within the same plan step.
+                    std::thread::yield_now();
+                }
+                KeyRoute::Relocated => return self.pull_relocated(key, out),
+            }
         }
     }
 
     fn push(&mut self, key: Key, delta: &[f32]) {
         debug_assert_eq!(delta.len(), self.shared.value_len);
         self.shared.record_access(key);
-        match self.shared.technique.route(key) {
-            KeyRoute::Replicated(slot) => self.push_replicated(slot, delta),
-            KeyRoute::Relocated => self.push_relocated(key, delta),
+        loop {
+            match self.shared.technique.route(key) {
+                KeyRoute::Replicated(slot) => {
+                    if self.push_replicated(slot, key, delta) {
+                        return;
+                    }
+                    std::thread::yield_now();
+                }
+                KeyRoute::Relocated => return self.push_relocated(key, delta),
+            }
         }
     }
 

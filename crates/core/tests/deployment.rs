@@ -8,6 +8,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use nups_core::adaptive::AdaptiveConfig;
 use nups_core::runtime::{Backend, Fabric, SimFabric};
 use nups_core::system::{run_epoch, FinalizeOutcome};
 use nups_core::{Deployment, NupsConfig, ParameterServer, PsWorker};
@@ -23,6 +24,21 @@ fn cfg(topology: Topology) -> NupsConfig {
     NupsConfig::nups(topology, N_KEYS, VALUE_LEN)
         .with_replicated_keys(vec![0])
         .with_sync_period(SimDuration::from_millis(1))
+}
+
+/// An aggressive adaptive configuration: adapt at every merge with low
+/// thresholds, so promotions and demotions happen constantly during the
+/// short test workload.
+fn adaptive_cfg(topology: Topology) -> NupsConfig {
+    cfg(topology).with_adaptive(AdaptiveConfig {
+        adapt_every: 1,
+        promote_factor: 3.0,
+        demote_factor: 1.0,
+        max_replicated: 8,
+        max_migrations_per_round: 4,
+        sketch_bits: 10,
+        decay: true,
+    })
 }
 
 fn init(key: u64, v: &mut [f32]) {
@@ -43,9 +59,49 @@ fn drive(w: &mut impl PsWorker, global: u64) {
     }
 }
 
+/// A workload built to race the adaptive protocol: the hot pair rotates,
+/// so every phase change triggers promotions of keys that localize
+/// traffic is simultaneously relocating, plus batched pushes that can
+/// chase a key mid-migration.
+fn drive_adaptive(w: &mut impl PsWorker, global: u64) {
+    let mut out = vec![0.0f32; VALUE_LEN];
+    let mut batch_out = vec![0.0f32; 2 * VALUE_LEN];
+    let batch_delta = vec![1.0f32; 2 * VALUE_LEN];
+    for round in 0..60 {
+        let phase = round / 15;
+        let hot = 1 + (phase * 2) % (N_KEYS - 1);
+        w.pull(hot, &mut out);
+        w.push(hot, &[1.0; VALUE_LEN]);
+        w.pull(hot + 1, &mut out);
+        w.push(hot + 1, &[1.0; VALUE_LEN]);
+        // Relocate the *next* phase's hot key: when its promotion comes,
+        // the ownership transfer is often still in flight.
+        if round % 15 == 10 {
+            w.localize(&[1 + ((phase + 1) * 2) % (N_KEYS - 1)]);
+        }
+        // Batched accesses mixing a hot key with the long tail.
+        let keys = [hot, 1 + (global * 7 + round) % (N_KEYS - 1)];
+        w.pull_many(&keys, &mut batch_out);
+        w.push_many(&keys, &batch_delta);
+        w.charge_compute(50);
+    }
+}
+
+fn drive_dispatch(w: &mut impl PsWorker, global: u64, adaptive: bool) {
+    if adaptive {
+        drive_adaptive(w, global);
+    } else {
+        drive(w, global);
+    }
+}
+
 /// One shared channel fabric, one `SingleNode` server per node — the
 /// multi-process topology inside one test process.
-fn run_per_node(topology: Topology) -> Vec<Vec<u32>> {
+fn run_per_node_with(
+    topology: Topology,
+    cfg_for: fn(Topology) -> NupsConfig,
+    adaptive: bool,
+) -> Vec<Vec<u32>> {
     let metrics = Arc::new(ClusterMetrics::new(topology.n_nodes as usize));
     let network = Network::new(topology, Arc::clone(&metrics));
     let fabric: Arc<dyn Fabric> = Arc::new(SimFabric::new(network));
@@ -56,7 +112,7 @@ fn run_per_node(topology: Topology) -> Vec<Vec<u32>> {
         let metrics = Arc::clone(&metrics);
         handles.push(std::thread::spawn(move || {
             let ps = ParameterServer::deploy(
-                cfg(topology).with_backend(Backend::WallClock),
+                cfg_for(topology).with_backend(Backend::WallClock),
                 fabric,
                 metrics,
                 Deployment::SingleNode(node),
@@ -68,7 +124,7 @@ fn run_per_node(topology: Topology) -> Vec<Vec<u32>> {
             assert!(workers.iter().all(|w| w.id().node == node));
             run_epoch(&mut workers, |_, w| {
                 let global = topology.worker_index(w.id()) as u64;
-                drive(w, global);
+                drive_dispatch(w, global, adaptive);
             });
             drop(workers);
             let outcome = ps.finalize_distributed(Duration::from_secs(30));
@@ -95,16 +151,28 @@ fn run_per_node(topology: Topology) -> Vec<Vec<u32>> {
         .collect()
 }
 
-fn run_in_process(topology: Topology) -> Vec<Vec<u32>> {
-    let ps = ParameterServer::new(cfg(topology), init);
+fn run_per_node(topology: Topology) -> Vec<Vec<u32>> {
+    run_per_node_with(topology, cfg, false)
+}
+
+fn run_in_process_with(
+    topology: Topology,
+    cfg_for: fn(Topology) -> NupsConfig,
+    adaptive: bool,
+) -> Vec<Vec<u32>> {
+    let ps = ParameterServer::new(cfg_for(topology), init);
     let mut workers = ps.workers();
-    run_epoch(&mut workers, |i, w| drive(w, i as u64));
+    run_epoch(&mut workers, |i, w| drive_dispatch(w, i as u64, adaptive));
     drop(workers);
     ps.flush_replicas();
     let model =
         ps.read_all().into_iter().map(|v| v.into_iter().map(f32::to_bits).collect()).collect();
     ps.shutdown();
     model
+}
+
+fn run_in_process(topology: Topology) -> Vec<Vec<u32>> {
+    run_in_process_with(topology, cfg, false)
 }
 
 #[test]
@@ -115,6 +183,21 @@ fn per_node_deployment_matches_in_process_bit_for_bit() {
         assert_eq!(got.len(), expected.len());
         let diverged = expected.iter().zip(&got).filter(|(a, b)| a != b).count();
         assert_eq!(diverged, 0, "per-node deployment diverged on {topology:?}");
+    }
+}
+
+#[test]
+fn adaptive_per_node_deployment_matches_in_process_bit_for_bit() {
+    // The leader-driven epoch protocol and the in-process rendezvous path
+    // make *different* adaptation decisions (wall-clock merge timing vs
+    // deterministic gating), but both conserve every delta — so the final
+    // models must still agree bit for bit.
+    for topology in [Topology::new(2, 2), Topology::new(3, 2)] {
+        let expected = run_in_process_with(topology, adaptive_cfg, true);
+        let got = run_per_node_with(topology, adaptive_cfg, true);
+        assert_eq!(got.len(), expected.len());
+        let diverged = expected.iter().zip(&got).filter(|(a, b)| a != b).count();
+        assert_eq!(diverged, 0, "adaptive per-node deployment diverged on {topology:?}");
     }
 }
 

@@ -21,6 +21,7 @@
 //!    bytes, so the cluster is fully connected before any protocol
 //!    traffic is issued.
 
+use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
@@ -60,6 +61,77 @@ impl ClusterOptions {
             coordinator,
             bind_ip: IpAddr::V4(Ipv4Addr::LOCALHOST),
             timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Why a cluster handshake failed. Every failure mode is distinguishable
+/// so a launcher can report "two processes were started with --node-id 3"
+/// instead of a generic socket error.
+#[derive(Debug)]
+pub enum BootstrapError {
+    /// Two processes introduced themselves with the same node id — a
+    /// misconfigured launch, not a network fault.
+    DuplicateNode(NodeId),
+    /// A hello carried a node id outside the agreed topology.
+    NodeOutOfRange { node: NodeId, n_nodes: u16 },
+    /// The handshake deadline ([`ClusterOptions::timeout`]) passed.
+    TimedOut { phase: &'static str },
+    /// A peer spoke the frame protocol but sent a nonsensical handshake
+    /// message (version skew or a foreign client on the rendezvous port).
+    Protocol(String),
+    /// Socket-level failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for BootstrapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BootstrapError::DuplicateNode(node) => {
+                write!(f, "two processes joined as node {node} — check the launch configuration")
+            }
+            BootstrapError::NodeOutOfRange { node, n_nodes } => {
+                write!(
+                    f,
+                    "a peer introduced itself as node {node}, outside the 0..{n_nodes} topology"
+                )
+            }
+            BootstrapError::TimedOut { phase } => {
+                write!(f, "bootstrap timed out: {phase}")
+            }
+            BootstrapError::Protocol(what) => write!(f, "bootstrap protocol violation: {what}"),
+            BootstrapError::Io(e) => write!(f, "bootstrap I/O failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BootstrapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BootstrapError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for BootstrapError {
+    fn from(e: io::Error) -> BootstrapError {
+        if e.kind() == io::ErrorKind::TimedOut {
+            BootstrapError::TimedOut { phase: "waiting on a handshake socket" }
+        } else {
+            BootstrapError::Io(e)
+        }
+    }
+}
+
+impl From<BootstrapError> for io::Error {
+    fn from(e: BootstrapError) -> io::Error {
+        match e {
+            BootstrapError::Io(e) => e,
+            BootstrapError::TimedOut { .. } => {
+                io::Error::new(io::ErrorKind::TimedOut, e.to_string())
+            }
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
         }
     }
 }
@@ -186,13 +258,49 @@ fn read_ctl(r: &mut impl Read) -> io::Result<(NodeId, Ctl)> {
     Ok((frame.src.node, Ctl::decode(&frame.payload)?))
 }
 
-fn timed_out(what: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::TimedOut, format!("bootstrap timed out: {what}"))
+/// Exponentially growing retry pause: starts at 1 ms, doubles to a 50 ms
+/// cap, and never sleeps past the deadline. Keeps loopback handshakes
+/// snappy (first retries are immediate-ish) without hot-spinning when a
+/// peer is genuinely slow to start.
+struct Backoff {
+    pause: Duration,
+}
+
+impl Backoff {
+    const FLOOR: Duration = Duration::from_millis(1);
+    const CAP: Duration = Duration::from_millis(50);
+
+    fn new() -> Backoff {
+        Backoff { pause: Backoff::FLOOR }
+    }
+
+    /// Sleep for the current pause (clamped to the deadline), then double
+    /// it. `false` when the deadline has already passed.
+    fn wait(&mut self, deadline: Instant) -> bool {
+        let now = Instant::now();
+        if now >= deadline {
+            return false;
+        }
+        std::thread::sleep(self.pause.min(deadline - now));
+        self.pause = (self.pause * 2).min(Backoff::CAP);
+        true
+    }
+}
+
+/// Read timeout covering the remaining handshake budget (never zero —
+/// a zero read timeout means "no timeout" on most platforms).
+fn remaining(deadline: Instant, phase: &'static str) -> Result<Duration, BootstrapError> {
+    let now = Instant::now();
+    if now >= deadline {
+        return Err(BootstrapError::TimedOut { phase });
+    }
+    Ok((deadline - now).max(Duration::from_millis(1)))
 }
 
 /// Accept with a deadline (the listener is flipped to non-blocking).
-fn accept_deadline(listener: &TcpListener, deadline: Instant) -> io::Result<TcpStream> {
+fn accept_deadline(listener: &TcpListener, deadline: Instant) -> Result<TcpStream, BootstrapError> {
     listener.set_nonblocking(true)?;
+    let mut backoff = Backoff::new();
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -200,41 +308,51 @@ fn accept_deadline(listener: &TcpListener, deadline: Instant) -> io::Result<TcpS
                 return Ok(stream);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                if Instant::now() >= deadline {
-                    return Err(timed_out("waiting for an inbound connection"));
+                if !backoff.wait(deadline) {
+                    return Err(BootstrapError::TimedOut {
+                        phase: "waiting for an inbound connection",
+                    });
                 }
-                std::thread::sleep(Duration::from_millis(5));
             }
-            Err(e) => return Err(e),
+            Err(e) => return Err(e.into()),
         }
     }
 }
 
-/// Dial with retries: the peer may not have bound its listener yet.
-fn connect_retry(addr: SocketAddr, deadline: Instant) -> io::Result<TcpStream> {
+/// Dial with retries: the peer may not have bound its listener yet. Each
+/// attempt's connect timeout is the remaining handshake budget (capped at
+/// 2 s so a retry loop stays responsive), and the pauses between attempts
+/// back off exponentially.
+fn connect_retry(addr: SocketAddr, deadline: Instant) -> Result<TcpStream, BootstrapError> {
+    let mut backoff = Backoff::new();
     loop {
-        match TcpStream::connect_timeout(&addr, Duration::from_secs(2)) {
+        let attempt = remaining(deadline, "dialing a peer")
+            .map_err(|_| BootstrapError::TimedOut { phase: "dialing a peer" })?
+            .min(Duration::from_secs(2));
+        match TcpStream::connect_timeout(&addr, attempt) {
             Ok(s) => return Ok(s),
             Err(e) => {
-                if Instant::now() >= deadline {
-                    return Err(io::Error::new(
+                if !backoff.wait(deadline) {
+                    return Err(BootstrapError::Io(io::Error::new(
                         e.kind(),
-                        format!("bootstrap could not reach {addr}: {e}"),
-                    ));
+                        format!("bootstrap could not reach {addr} before the deadline: {e}"),
+                    )));
                 }
-                std::thread::sleep(Duration::from_millis(20));
             }
         }
     }
 }
 
 /// Run the full handshake and return this node's connected fabric.
-/// Blocks until every node of `opts.topology` has joined (or the timeout
-/// passes). `metrics` is the instance the fabric accounts its sends to.
+/// Blocks until every node of `opts.topology` has joined (or
+/// [`ClusterOptions::timeout`] passes — every wait in the handshake is
+/// derived from that one budget). A failure tears down everything this
+/// node opened: dropping the listeners and streams closes them, so a
+/// failed join never leaves half a mesh behind.
 pub fn connect_cluster(
     opts: &ClusterOptions,
     metrics: Arc<ClusterMetrics>,
-) -> io::Result<TcpFabric> {
+) -> Result<TcpFabric, BootstrapError> {
     let me = opts.node;
     let topo = opts.topology;
     let n = topo.n_nodes;
@@ -243,7 +361,7 @@ pub fn connect_cluster(
 
     if n == 1 {
         // A cluster of one has no peers to shake hands with.
-        return TcpFabric::assemble(me, topo, metrics, Vec::new(), Vec::new());
+        return Ok(TcpFabric::assemble(me, topo, metrics, Vec::new(), Vec::new())?);
     }
 
     let data_listener = TcpListener::bind(SocketAddr::new(opts.bind_ip, 0))?;
@@ -257,26 +375,31 @@ pub fn connect_cluster(
         let mut waiting = Vec::with_capacity(n as usize - 1);
         while waiting.len() < n as usize - 1 {
             let mut stream = accept_deadline(&rendezvous, deadline)?;
-            stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+            stream.set_read_timeout(Some(remaining(deadline, "reading a rendezvous hello")?))?;
             match read_ctl(&mut stream)? {
                 (_, Ctl::Hello { node, listen: Some(listen) }) => {
-                    if node.0 >= n || addrs[node.index()].replace(listen).is_some() {
-                        return Err(bad_ctl());
+                    if node.0 >= n {
+                        return Err(BootstrapError::NodeOutOfRange { node, n_nodes: n });
+                    }
+                    if addrs[node.index()].replace(listen).is_some() {
+                        return Err(BootstrapError::DuplicateNode(node));
                     }
                     waiting.push(stream);
                 }
-                _ => return Err(bad_ctl()),
+                _ => return Err(BootstrapError::Protocol("expected a rendezvous hello".into())),
             }
         }
-        let addrs: Vec<SocketAddr> =
-            addrs.into_iter().map(|a| a.expect("all slots filled")).collect();
+        let addrs: Vec<SocketAddr> = addrs
+            .into_iter()
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| BootstrapError::Protocol("membership table left incomplete".into()))?;
         for mut stream in waiting {
             write_ctl(&mut stream, me, me, &Ctl::Membership { addrs: addrs.clone() })?;
         }
         addrs
     } else {
         let mut stream = connect_retry(opts.coordinator, deadline)?;
-        stream.set_read_timeout(Some(opts.timeout))?;
+        stream.set_read_timeout(Some(remaining(deadline, "awaiting the membership table")?))?;
         write_ctl(
             &mut stream,
             me,
@@ -285,7 +408,13 @@ pub fn connect_cluster(
         )?;
         match read_ctl(&mut stream)? {
             (_, Ctl::Membership { addrs }) if addrs.len() == n as usize => addrs,
-            _ => return Err(bad_ctl()),
+            (_, Ctl::Membership { addrs }) => {
+                return Err(BootstrapError::Protocol(format!(
+                    "membership table lists {} nodes, expected {n}",
+                    addrs.len()
+                )));
+            }
+            _ => return Err(BootstrapError::Protocol("expected the membership table".into())),
         }
     };
 
@@ -302,17 +431,25 @@ pub fn connect_cluster(
     let mut seen = vec![false; n as usize];
     while inbound.len() < n as usize - 1 {
         let mut stream = accept_deadline(&data_listener, deadline)?;
-        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_read_timeout(Some(remaining(deadline, "reading a mesh hello")?))?;
         match read_ctl(&mut stream)? {
-            (_, Ctl::Hello { node, .. }) if node.0 < n && node != me => {
+            (_, Ctl::Hello { node, .. }) => {
+                if node.0 >= n {
+                    return Err(BootstrapError::NodeOutOfRange { node, n_nodes: n });
+                }
+                if node == me {
+                    return Err(BootstrapError::Protocol(format!(
+                        "a mesh peer introduced itself with this node's own id {me}"
+                    )));
+                }
                 if std::mem::replace(&mut seen[node.index()], true) {
-                    return Err(bad_ctl());
+                    return Err(BootstrapError::DuplicateNode(node));
                 }
                 stream.set_read_timeout(None)?;
                 stream.set_nodelay(true)?;
                 inbound.push(stream);
             }
-            _ => return Err(bad_ctl()),
+            _ => return Err(BootstrapError::Protocol("expected a mesh hello".into())),
         }
     }
 
@@ -323,7 +460,10 @@ pub fn connect_cluster(
         fabric.post(ctl_frame(me, peer, &Ctl::Barrier));
     }
     if !fabric.wait_barrier(n as u32 - 1, deadline) {
-        return Err(timed_out("waiting for the connection barrier"));
+        // Tear the half-connected fabric down before reporting: its writer
+        // and reader threads must not outlive the failed handshake.
+        fabric.close();
+        return Err(BootstrapError::TimedOut { phase: "waiting for the connection barrier" });
     }
     Ok(fabric)
 }

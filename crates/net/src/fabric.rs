@@ -251,6 +251,35 @@ impl FabricInner {
     }
 }
 
+/// Spawn the writer thread draining `queue` into `stream` (one per
+/// outbound link). Failure is an `io::Error` the connect path reports.
+fn spawn_writer(
+    node: NodeId,
+    peer: NodeId,
+    mut stream: TcpStream,
+    queue: Arc<SendQueue>,
+) -> std::io::Result<JoinHandle<()>> {
+    std::thread::Builder::new().name(format!("nups-net-tx-{node}-to-{peer}")).spawn(move || {
+        while let Some(frame) = queue.pop() {
+            if write_frame(&mut stream, &frame).is_err() {
+                // Peer gone: stop accepting frames so senders do not
+                // block on a queue nobody drains.
+                queue.close();
+                break;
+            }
+        }
+    })
+}
+
+/// Close the queues and sockets of the links assembled before a
+/// construction failure, so their writer threads exit.
+fn teardown_links(peers: &[Option<PeerLink>]) {
+    for p in peers.iter().flatten() {
+        p.queue.close();
+        let _ = p.stream.shutdown(Shutdown::Both);
+    }
+}
+
 /// One node's TCP fabric (see module docs). Construct via
 /// [`crate::bootstrap::connect_cluster`].
 pub struct TcpFabric {
@@ -274,21 +303,15 @@ impl TcpFabric {
         for (peer, stream) in outbound {
             assert_ne!(peer, node, "a node does not dial itself");
             let queue = Arc::new(SendQueue::new());
-            let writer_queue = Arc::clone(&queue);
-            let mut writer_stream = stream.try_clone()?;
-            let writer = std::thread::Builder::new()
-                .name(format!("nups-net-tx-{node}-to-{peer}"))
-                .spawn(move || {
-                    while let Some(frame) = writer_queue.pop() {
-                        if write_frame(&mut writer_stream, &frame).is_err() {
-                            // Peer gone: stop accepting frames so senders
-                            // do not block on a queue nobody drains.
-                            writer_queue.close();
-                            break;
-                        }
-                    }
-                })
-                .expect("spawn writer thread");
+            // A clone or spawn failure (fd or thread exhaustion) surfaces
+            // as the connect path's error; tear down the links built so
+            // far so their writer threads exit instead of leaking.
+            let writer_stream = stream.try_clone().inspect_err(|_| teardown_links(&peers))?;
+            let writer =
+                spawn_writer(node, peer, writer_stream, Arc::clone(&queue)).inspect_err(|_| {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    teardown_links(&peers);
+                })?;
             peers[peer.index()] =
                 Some(PeerLink { queue, stream, writer: Mutex::new(Some(writer)) });
         }
@@ -307,11 +330,16 @@ impl TcpFabric {
 
         for stream in inbound {
             let reader_inner = Arc::clone(&inner);
-            let reader_stream = stream.try_clone()?;
+            let reader_stream = match stream.try_clone() {
+                Ok(s) => s,
+                Err(e) => {
+                    inner.close();
+                    return Err(e);
+                }
+            };
             inner.reader_streams.lock().push(stream);
-            let handle = std::thread::Builder::new()
-                .name(format!("nups-net-rx-{node}"))
-                .spawn(move || {
+            let spawned =
+                std::thread::Builder::new().name(format!("nups-net-rx-{node}")).spawn(move || {
                     let mut r = BufReader::new(reader_stream);
                     loop {
                         match read_frame(&mut r) {
@@ -340,9 +368,16 @@ impl TcpFabric {
                             }
                         }
                     }
-                })
-                .expect("spawn reader thread");
-            inner.readers.lock().push(handle);
+                });
+            match spawned {
+                Ok(handle) => inner.readers.lock().push(handle),
+                Err(e) => {
+                    // `close` shuts every stream and queue, so the writers
+                    // and readers spawned so far all exit before we report.
+                    inner.close();
+                    return Err(e);
+                }
+            }
         }
 
         Ok(TcpFabric { inner })

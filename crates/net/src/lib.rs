@@ -29,6 +29,6 @@ pub mod bootstrap;
 pub mod fabric;
 pub mod frame;
 
-pub use bootstrap::{connect_cluster, ClusterOptions};
+pub use bootstrap::{connect_cluster, BootstrapError, ClusterOptions};
 pub use fabric::{TcpFabric, TcpPort};
 pub use frame::{FrameError, FrameHeader, ReadError, HEADER_BYTES, MAX_PAYLOAD, PROTOCOL_VERSION};

@@ -10,11 +10,12 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use nups_core::adaptive::AdaptiveConfig;
 use nups_core::runtime::{Backend, Fabric, RecvOutcome};
 use nups_core::system::FinalizeOutcome;
 use nups_core::{Deployment, NupsConfig, ParameterServer, PsWorker};
 use nups_net::frame::{encode_frame, read_frame};
-use nups_net::{connect_cluster, ClusterOptions, TcpFabric};
+use nups_net::{connect_cluster, BootstrapError, ClusterOptions, TcpFabric};
 use nups_sim::metrics::ClusterMetrics;
 use nups_sim::net::Frame;
 use nups_sim::time::{SimDuration, SimTime};
@@ -143,6 +144,206 @@ fn multi_node_cluster_over_real_sockets_matches_the_simulator() {
     assert_eq!(got.len(), expected.len());
     let diverged = expected.iter().zip(&got).filter(|(a, b)| a != b).count();
     assert_eq!(diverged, 0, "TCP cluster model must be bit-identical to the simulator's");
+}
+
+/// The adaptive drive: the hot pair rotates mid-run, so promotions chase
+/// keys that localize traffic is concurrently relocating, and batched
+/// pushes land on keys mid-migration — all across real sockets.
+fn drive_adaptive(w: &mut impl PsWorker, global: u64) {
+    let mut out = vec![0.0f32; VALUE_LEN];
+    let mut batch_out = vec![0.0f32; 2 * VALUE_LEN];
+    let batch_delta = vec![1.0f32; 2 * VALUE_LEN];
+    for round in 0..60 {
+        let phase = round / 15;
+        let hot = 2 + (phase * 2) % (N_KEYS - 2);
+        w.pull(hot, &mut out);
+        w.push(hot, &[1.0; VALUE_LEN]);
+        // Relocate the next phase's hot key so its promotion has to chase
+        // an in-flight ownership transfer.
+        if round % 15 == 10 {
+            w.localize(&[2 + ((phase + 1) * 2) % (N_KEYS - 2)]);
+        }
+        let keys = [hot, 2 + (global * 13 + round) % (N_KEYS - 2)];
+        w.pull_many(&keys, &mut batch_out);
+        w.push_many(&keys, &batch_delta);
+        w.charge_compute(100);
+    }
+}
+
+fn adaptive_cfg(topology: Topology) -> NupsConfig {
+    workload_cfg(topology).with_adaptive(AdaptiveConfig {
+        adapt_every: 1,
+        promote_factor: 3.0,
+        demote_factor: 1.0,
+        max_replicated: 8,
+        max_migrations_per_round: 4,
+        sketch_bits: 10,
+        decay: true,
+    })
+}
+
+#[test]
+fn adaptive_cluster_promotions_race_relocations_over_real_sockets() {
+    // Ground truth: the same adaptive workload in one process. The two
+    // runs make different promotion/demotion decisions (wall-clock timing
+    // vs the in-process gate), but every delta is conserved through the
+    // migrations, so the final models must agree bit for bit.
+    let topology = Topology::new(3, 2);
+    let expected: Vec<Vec<u32>> = {
+        let ps = ParameterServer::new(adaptive_cfg(topology), init_value);
+        let mut workers = ps.workers();
+        nups_core::system::run_epoch(&mut workers, |i, w| drive_adaptive(w, i as u64));
+        drop(workers);
+        ps.flush_replicas();
+        let model =
+            ps.read_all().into_iter().map(|v| v.into_iter().map(f32::to_bits).collect()).collect();
+        ps.shutdown();
+        model
+    };
+
+    let coordinator = rendezvous_addr();
+    let mut handles = Vec::new();
+    for node in topology.nodes() {
+        let opts = ClusterOptions::new(node, topology, coordinator);
+        handles.push(std::thread::spawn(move || {
+            let metrics = Arc::new(ClusterMetrics::new(topology.n_nodes as usize));
+            let fabric = Arc::new(connect_cluster(&opts, Arc::clone(&metrics)).expect("bootstrap"));
+            let cfg = adaptive_cfg(topology).with_backend(Backend::WallClock);
+            let ps = ParameterServer::deploy(
+                cfg,
+                fabric,
+                metrics,
+                Deployment::SingleNode(node),
+                init_value,
+            );
+            let mut workers = ps.workers();
+            let topo = topology;
+            nups_core::system::run_epoch(&mut workers, |_, w| {
+                let global = topo.worker_index(w.id()) as u64;
+                drive_adaptive(w, global);
+            });
+            drop(workers);
+            let outcome = ps.finalize_distributed(Duration::from_secs(30));
+            ps.shutdown();
+            (node, outcome)
+        }));
+    }
+    let mut model = None;
+    for h in handles {
+        let (node, outcome) = h.join().expect("node thread");
+        match outcome {
+            FinalizeOutcome::Model(m) => {
+                assert_eq!(node, NodeId(0));
+                model = Some(m);
+            }
+            FinalizeOutcome::Released => assert_ne!(node, NodeId(0)),
+            FinalizeOutcome::TimedOut => panic!("node {node} timed out finalizing"),
+        }
+    }
+    let got: Vec<Vec<u32>> = model
+        .expect("coordinator returned the model")
+        .into_iter()
+        .map(|v| v.into_iter().map(f32::to_bits).collect())
+        .collect();
+    let diverged = expected.iter().zip(&got).filter(|(a, b)| a != b).count();
+    assert_eq!(diverged, 0, "adaptive TCP cluster must conserve every delta");
+}
+
+#[test]
+fn duplicate_node_id_is_a_typed_bootstrap_error() {
+    // Three processes are expected, but two of them were (mis)launched
+    // with --node-id 1. The coordinator must identify the duplicate
+    // instead of hanging or panicking; the impostors fail with an I/O or
+    // timeout error once the coordinator gives up.
+    let topology = Topology::new(3, 1);
+    let coordinator = rendezvous_addr();
+    let coord = std::thread::spawn(move || {
+        let mut opts = ClusterOptions::new(NodeId(0), topology, coordinator);
+        opts.timeout = Duration::from_secs(10);
+        connect_cluster(&opts, Arc::new(ClusterMetrics::new(3)))
+    });
+    let peers: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::spawn(move || {
+                // Short budget: once the coordinator bails out, the
+                // membership these impostors wait for will never come.
+                let mut opts = ClusterOptions::new(NodeId(1), topology, coordinator);
+                opts.timeout = Duration::from_secs(5);
+                connect_cluster(&opts, Arc::new(ClusterMetrics::new(3)))
+            })
+        })
+        .collect();
+    match coord.join().expect("coordinator thread") {
+        Err(BootstrapError::DuplicateNode(node)) => assert_eq!(node, NodeId(1)),
+        Err(other) => panic!("expected DuplicateNode(1), got {other:?}"),
+        Ok(_) => panic!("expected DuplicateNode(1), got a fabric"),
+    }
+    for p in peers {
+        assert!(p.join().expect("peer thread").is_err(), "impostors must not get a fabric");
+    }
+}
+
+#[test]
+fn out_of_range_hello_is_a_typed_bootstrap_error() {
+    // A foreign client introduces itself as node 7 of a 2-node cluster:
+    // raw bytes in the bootstrap control encoding (tag 1 = hello, node id,
+    // then an optional listener address), framed like any control frame.
+    let topology = Topology::new(2, 1);
+    let coordinator = rendezvous_addr();
+    let coord = std::thread::spawn(move || {
+        let mut opts = ClusterOptions::new(NodeId(0), topology, coordinator);
+        opts.timeout = Duration::from_secs(10);
+        connect_cluster(&opts, Arc::new(ClusterMetrics::new(2)))
+    });
+    let mut payload = vec![1u8]; // tag: hello
+    payload.extend_from_slice(&7u16.to_le_bytes()); // node 7
+    let listen = "127.0.0.1:9";
+    payload.push(1); // listener address present
+    payload.extend_from_slice(&(listen.len() as u16).to_le_bytes());
+    payload.extend_from_slice(listen.as_bytes());
+    let frame = Frame {
+        src: Addr { node: NodeId(7), port: u16::MAX },
+        dst: Addr { node: NodeId(0), port: u16::MAX },
+        sent_at: SimTime::ZERO,
+        payload: Bytes::from(payload),
+    };
+    // The coordinator may not have bound the rendezvous listener yet.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut stream = loop {
+        match TcpStream::connect(coordinator) {
+            Ok(s) => break s,
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => panic!("could not reach the rendezvous listener: {e}"),
+        }
+    };
+    stream.write_all(&encode_frame(&frame)).expect("send rogue hello");
+    match coord.join().expect("coordinator thread") {
+        Err(BootstrapError::NodeOutOfRange { node, n_nodes }) => {
+            assert_eq!(node, NodeId(7));
+            assert_eq!(n_nodes, 2);
+        }
+        Err(other) => panic!("expected NodeOutOfRange, got {other:?}"),
+        Ok(_) => panic!("expected NodeOutOfRange, got a fabric"),
+    }
+}
+
+#[test]
+fn bootstrap_times_out_against_an_absent_cluster() {
+    // A peer dialing a rendezvous address nobody binds must give up once
+    // its own timeout budget is spent — not after any built-in constant.
+    let coordinator = rendezvous_addr();
+    let mut opts = ClusterOptions::new(NodeId(1), Topology::new(2, 1), coordinator);
+    opts.timeout = Duration::from_millis(300);
+    let t0 = Instant::now();
+    let err =
+        connect_cluster(&opts, Arc::new(ClusterMetrics::new(2))).err().expect("no cluster to join");
+    assert!(
+        matches!(err, BootstrapError::TimedOut { .. } | BootstrapError::Io(_)),
+        "unexpected error: {err:?}"
+    );
+    assert!(t0.elapsed() < Duration::from_secs(5), "must honor the configured timeout");
 }
 
 #[test]

@@ -275,6 +275,41 @@ impl FreqSketch {
         }
         self.total.store(self.total.load(Ordering::Relaxed) / 2, Ordering::Relaxed);
     }
+
+    /// Atomically take the sketch's contents, leaving it empty, as sparse
+    /// per-row `(cell index, count)` pairs plus the total. Each cell is
+    /// swapped to zero individually, so counts recorded concurrently are
+    /// either in this drain or the next — never lost, never doubled. Used
+    /// by per-node deployments to ship local access statistics to the
+    /// adaptation leader.
+    pub fn drain_sparse(&self) -> ([Vec<(u32, u64)>; 2], u64) {
+        let drain_row = |row: &Vec<AtomicU64>| {
+            row.iter()
+                .enumerate()
+                .filter_map(|(i, c)| {
+                    let v = c.swap(0, Ordering::Relaxed);
+                    (v != 0).then_some((i as u32, v))
+                })
+                .collect::<Vec<_>>()
+        };
+        let rows = [drain_row(&self.rows[0]), drain_row(&self.rows[1])];
+        let total = self.total.swap(0, Ordering::Relaxed);
+        (rows, total)
+    }
+
+    /// Fold a drained sketch (same `bits`) into this one additively.
+    /// Out-of-range cells — a peer built with a different width — are
+    /// ignored rather than trusted.
+    pub fn merge(&self, rows: [&[(u32, u64)]; 2], total: u64) {
+        for (row, entries) in self.rows.iter().zip(rows) {
+            for &(idx, count) in entries {
+                if let Some(cell) = row.get(idx as usize) {
+                    cell.fetch_add(count, Ordering::Relaxed);
+                }
+            }
+        }
+        self.total.fetch_add(total, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -339,6 +374,41 @@ mod tests {
         assert_eq!(s.total(), 50);
         s.decay();
         assert_eq!(s.estimate(7), 25);
+    }
+
+    #[test]
+    fn sketch_drain_then_merge_is_lossless() {
+        let a = FreqSketch::new(10);
+        let b = FreqSketch::new(10);
+        for k in 0..500u64 {
+            a.record(k % 37, 1);
+        }
+        b.record(7, 3);
+        let (rows, total) = a.drain_sparse();
+        assert_eq!(total, 500);
+        assert_eq!(a.total(), 0);
+        assert_eq!(a.estimate(7), 0);
+        b.merge([&rows[0], &rows[1]], total);
+        // b now holds its own counts plus everything a held.
+        let reference = FreqSketch::new(10);
+        for k in 0..500u64 {
+            reference.record(k % 37, 1);
+        }
+        reference.record(7, 3);
+        assert_eq!(b.total(), reference.total());
+        for k in 0..37u64 {
+            assert_eq!(b.estimate(k), reference.estimate(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn sketch_merge_ignores_out_of_range_cells() {
+        let s = FreqSketch::new(4); // 16 cells per row
+        s.merge([&[(1000, 5)], &[(2000, 9)]], 14);
+        assert_eq!(s.total(), 14);
+        for k in 0..64u64 {
+            assert_eq!(s.estimate(k), 0);
+        }
     }
 
     #[test]
