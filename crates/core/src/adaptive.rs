@@ -333,8 +333,19 @@ pub(crate) struct DistState {
     /// Sync-broadcast deltas for keys whose promotion is pending here: the
     /// sender already installed the replica, we have not. Applied right
     /// after the install so this node's base copy converges with the
-    /// sender's (the coordinator's copy is what finalize reads).
+    /// sender's (the coordinator's copy is what finalize reads). Only
+    /// deltas from the pending promotion's own era are stashed — a
+    /// stale-era delta (broadcast before the key's previous demotion) is
+    /// already conserved through the home's store chain, and stashing it
+    /// too would double-count it in the re-promoted replica.
     pub(crate) pending_deltas: FxHashMap<Key, Vec<Vec<f32>>>,
+    /// Sync-broadcast deltas whose plan has not arrived here yet: the
+    /// sender applied a later [`Msg::AdaptPlan`] (its stamp exceeds our
+    /// `applied_epoch`) and its broadcast overtook the leader's plan on a
+    /// different link. Re-dispatched, in order, as each plan applies —
+    /// dropping them instead would lose the delta whenever this node is
+    /// the coordinator (its replica copy is what finalize reads).
+    pub(crate) early_deltas: Vec<(u64, Key, Vec<f32>)>,
     /// Self-addressed residue pushes (demotion accumulators, stray keyed
     /// deltas folded at the home) not yet acknowledged.
     pub(crate) acks_outstanding: usize,
@@ -357,6 +368,7 @@ impl DistState {
             && self.deferred_demotes.is_empty()
             && self.buffered_promotes.is_empty()
             && self.pending_deltas.is_empty()
+            && self.early_deltas.is_empty()
             && self.acks_outstanding == 0
     }
 }

@@ -89,7 +89,17 @@ pub enum Msg {
     /// path instead of hitting a reused slot. Applying is commutative and
     /// (for integer-valued deltas) exact, so replicas converge to the
     /// same bits regardless of arrival order.
-    ReplicaDeltas { from: NodeId, updates: Vec<KeyUpdate> },
+    ///
+    /// `epoch` is the replication *era* the batch was drained under: the
+    /// [`Msg::AdaptPlan`] epoch that installed the sender's tenancy of
+    /// these keys (zero for startup replicas or when adaptation is off),
+    /// read under the same slot lock as the drain, so the tag is exact. A
+    /// sender whose dirty slots span eras sends one message per era.
+    /// Receivers match the era against their own slot before applying, so
+    /// a stale delta that predates a demote/re-promote cycle is never
+    /// applied to (or stashed for) the new era's replica — it is conserved
+    /// once at the key's home and dropped everywhere else.
+    ReplicaDeltas { from: NodeId, epoch: u64, updates: Vec<KeyUpdate> },
     /// Node `from` finished its workload and issued its final
     /// [`Msg::ReplicaDeltas`] broadcast. Sent to the *coordinator* on the
     /// same ordered channel as the deltas, so receiving it proves every
@@ -107,6 +117,16 @@ pub enum Msg {
     /// off); a peer answers only once its own adaptive state has caught
     /// up, so no migration is still tearing keys out of the snapshot.
     Release { epoch: u64 },
+    /// Finalize fence, peer → every other peer's *server* port (adaptive
+    /// per-node deployments). Sent right after node `from`'s final
+    /// [`Msg::ReplicaDeltas`] broadcast on the same per-link FIFO
+    /// channels, so receiving it proves every sync delta `from` ever
+    /// broadcast has been folded here. Each node waits for `n - 1` fences
+    /// (and for its own folds to be acknowledged) before declaring itself
+    /// drained to the coordinator — the happens-before edge that keeps a
+    /// late broadcast for a demoted key from landing after the home
+    /// snapshotted its model part.
+    FinFence { from: NodeId },
 
     /// Per-node deployments: a peer ships the access-frequency sketch it
     /// accumulated since its last report to the adaptation leader (node
@@ -173,6 +193,7 @@ mod tag {
     pub const SKETCH_REPORT: u8 = 25;
     pub const ADAPT_PLAN: u8 = 26;
     pub const PLAN_ACK: u8 = 27;
+    pub const FIN_FENCE: u8 = 28;
 }
 
 const ADDR_LEN: usize = 4;
@@ -320,8 +341,9 @@ impl WireEncode for Msg {
             Msg::LocalizeBatchReq { keys, .. } => codec::u64_slice_len(keys) + 2,
             Msg::Promote { value, .. } => 8 + 8 + 4 + f32_slice_len(value),
             Msg::Demote { .. } => 8 + 2,
-            Msg::ReplicaDeltas { updates, .. } => 2 + updates_len(updates),
+            Msg::ReplicaDeltas { updates, .. } => 2 + 8 + updates_len(updates),
             Msg::SyncFin { .. } => 2,
+            Msg::FinFence { .. } => 2,
             Msg::ModelPart { entries, .. } => 2 + updates_len(entries),
             Msg::Release { .. } => 8,
             Msg::SketchReport { row0, row1, .. } => {
@@ -439,13 +461,18 @@ impl WireEncode for Msg {
                 buf.put_u64_le(*key);
                 buf.put_u16_le(owner.0);
             }
-            Msg::ReplicaDeltas { from, updates } => {
+            Msg::ReplicaDeltas { from, epoch, updates } => {
                 buf.put_u8(tag::REPLICA_DELTAS);
                 buf.put_u16_le(from.0);
+                buf.put_u64_le(*epoch);
                 put_updates(buf, updates);
             }
             Msg::SyncFin { from } => {
                 buf.put_u8(tag::SYNC_FIN);
+                buf.put_u16_le(from.0);
+            }
+            Msg::FinFence { from } => {
+                buf.put_u8(tag::FIN_FENCE);
                 buf.put_u16_le(from.0);
             }
             Msg::ModelPart { from, entries } => {
@@ -538,10 +565,13 @@ impl WireEncode for Msg {
                 value: get_f32_vec(buf)?,
             },
             tag::DEMOTE => Msg::Demote { key: get_u64(buf)?, owner: NodeId(get_u16(buf)?) },
-            tag::REPLICA_DELTAS => {
-                Msg::ReplicaDeltas { from: NodeId(get_u16(buf)?), updates: get_updates(buf)? }
-            }
+            tag::REPLICA_DELTAS => Msg::ReplicaDeltas {
+                from: NodeId(get_u16(buf)?),
+                epoch: get_u64(buf)?,
+                updates: get_updates(buf)?,
+            },
             tag::SYNC_FIN => Msg::SyncFin { from: NodeId(get_u16(buf)?) },
+            tag::FIN_FENCE => Msg::FinFence { from: NodeId(get_u16(buf)?) },
             tag::MODEL_PART => {
                 Msg::ModelPart { from: NodeId(get_u16(buf)?), entries: get_updates(buf)? }
             }
@@ -619,10 +649,13 @@ mod tests {
         roundtrip(Msg::Demote { key: 11, owner: NodeId(4) });
         roundtrip(Msg::ReplicaDeltas {
             from: NodeId(2),
+            epoch: 5,
             updates: vec![KeyUpdate { key: 0, delta: vec![2.0, -1.0] }],
         });
-        roundtrip(Msg::ReplicaDeltas { from: NodeId(0), updates: vec![] });
+        roundtrip(Msg::ReplicaDeltas { from: NodeId(0), epoch: 0, updates: vec![] });
         roundtrip(Msg::SyncFin { from: NodeId(7) });
+        roundtrip(Msg::FinFence { from: NodeId(0) });
+        roundtrip(Msg::FinFence { from: NodeId(3) });
         roundtrip(Msg::ModelPart {
             from: NodeId(1),
             entries: vec![
@@ -759,12 +792,16 @@ mod tests {
                     reply_to,
                     hops,
                 }),
-            (any::<u16>(), proptest::collection::vec((any::<u64>(), val.clone()), 0..8)).prop_map(
-                |(from, kv)| Msg::ReplicaDeltas {
+            (
+                any::<u16>(),
+                any::<u64>(),
+                proptest::collection::vec((any::<u64>(), val.clone()), 0..8)
+            )
+                .prop_map(|(from, epoch, kv)| Msg::ReplicaDeltas {
                     from: NodeId(from),
+                    epoch,
                     updates: kv.into_iter().map(|(key, delta)| KeyUpdate { key, delta }).collect(),
-                }
-            ),
+                }),
             (any::<u16>(), proptest::collection::vec((any::<u64>(), val), 0..8)).prop_map(
                 |(from, kv)| Msg::ModelPart {
                     from: NodeId(from),

@@ -92,6 +92,11 @@ pub struct Shared {
     /// [`crate::messages::Msg::SyncFin`]. The coordinator's model-assembly
     /// barrier waits for `n_nodes - 1` of these.
     pub sync_fins: AtomicU64,
+    /// Per-node deployments with adaptation: peers whose
+    /// [`crate::messages::Msg::FinFence`] arrived here. Every node waits
+    /// for `n_nodes - 1` before declaring its finalize state drained — a
+    /// fence proves all of that peer's sync broadcasts were folded.
+    pub fin_fences: AtomicU64,
 }
 
 impl Shared {
@@ -111,6 +116,17 @@ impl Shared {
     /// Peers that have announced workload completion so far.
     pub fn sync_fins(&self) -> u64 {
         self.sync_fins.load(Ordering::SeqCst)
+    }
+
+    /// Record a peer's finalize fence and wake the drain waiter.
+    pub fn note_fin_fence(&self) {
+        self.fin_fences.fetch_add(1, Ordering::SeqCst);
+        self.runtime.notify_progress();
+    }
+
+    /// Peers whose finalize fence has arrived so far.
+    pub fn fin_fences(&self) -> u64 {
+        self.fin_fences.load(Ordering::SeqCst)
     }
 
     /// Feed one key access into the adaptive manager's frequency sketch

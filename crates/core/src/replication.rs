@@ -32,6 +32,13 @@ struct Slot {
     /// keyed access re-checks the token under the slot lock and fails out
     /// (caller re-routes) when the slot changed tenants underneath it.
     key: Option<Key>,
+    /// The slot's replication *era*: the epoch of the adaptation plan
+    /// that installed this tenancy (0 for keys replicated since startup,
+    /// and always 0 when adaptation is off). A key demoted and later
+    /// re-promoted gets a fresh era, so a sync delta from the previous
+    /// tenancy — stamped with the era it was drained under — can never be
+    /// mistaken for one of the current era.
+    era: u64,
     value: Vec<f32>,
     /// Deltas accumulated locally since the last synchronization.
     accum: Vec<f32>,
@@ -39,13 +46,13 @@ struct Slot {
 }
 
 impl Slot {
-    fn new(key: Option<Key>, value: Vec<f32>) -> Slot {
+    fn new(key: Option<Key>, value: Vec<f32>, era: u64) -> Slot {
         let accum = vec![0.0; value.len()];
-        Slot { key, value, accum, dirty: false }
+        Slot { key, era, value, accum, dirty: false }
     }
 
     fn hole() -> Slot {
-        Slot::new(None, Vec::new())
+        Slot::new(None, Vec::new(), 0)
     }
 }
 
@@ -70,7 +77,10 @@ impl ReplicaSet {
     pub fn new(initial: &[(Key, Vec<f32>)], clip_policy: ClipPolicy) -> ReplicaSet {
         ReplicaSet {
             slots: RwLock::new(
-                initial.iter().map(|(k, v)| Mutex::new(Slot::new(Some(*k), v.clone()))).collect(),
+                initial
+                    .iter()
+                    .map(|(k, v)| Mutex::new(Slot::new(Some(*k), v.clone(), 0)))
+                    .collect(),
             ),
             clip_policy,
             clip_state: Mutex::new(ClipState::new()),
@@ -130,17 +140,18 @@ impl ReplicaSet {
     /// (In-process promotion fills slots densely; per-node deployments can
     /// complete promotions out of plan order, so a later slot may install
     /// first.) Resets the update buffer: the installed value is the
-    /// authoritative post-migration state.
-    pub fn install_slot(&self, slot: u32, key: Key, value: Vec<f32>) {
+    /// authoritative post-migration state. `era` is the epoch of the plan
+    /// installing this tenancy (0 outside the distributed-adaptive path).
+    pub fn install_slot(&self, slot: u32, key: Key, value: Vec<f32>, era: u64) {
         let mut slots = self.slots.write();
         let i = slot as usize;
         while i > slots.len() {
             slots.push(Mutex::new(Slot::hole()));
         }
         if i == slots.len() {
-            slots.push(Mutex::new(Slot::new(Some(key), value)));
+            slots.push(Mutex::new(Slot::new(Some(key), value, era)));
         } else {
-            *slots[i].lock() = Slot::new(Some(key), value);
+            *slots[i].lock() = Slot::new(Some(key), value, era);
         }
     }
 
@@ -194,10 +205,13 @@ impl ReplicaSet {
         out
     }
 
-    /// Like [`ReplicaSet::drain`], but keyed by the slots' tenant keys —
-    /// the shape the distributed [`Msg::ReplicaDeltas`] broadcast carries,
-    /// so receivers can re-route around concurrent migrations.
-    fn drain_keyed(&self) -> Vec<(Key, Vec<f32>)> {
+    /// Like [`ReplicaSet::drain`], but keyed by the slots' tenant keys and
+    /// tagged with each slot's era — the shape the distributed
+    /// [`Msg::ReplicaDeltas`] broadcast carries, so receivers can re-route
+    /// around concurrent migrations. Era and accumulator are read under
+    /// the same slot lock, so a drained delta's era tag is exact: the
+    /// accumulator is emptied whenever a tenancy (and thus an era) ends.
+    fn drain_keyed(&self) -> Vec<(u64, Key, Vec<f32>)> {
         let mut out = Vec::new();
         let slots = self.slots.read();
         for slot in slots.iter() {
@@ -206,8 +220,9 @@ impl ReplicaSet {
                 if let Some(key) = s.key {
                     let len = s.accum.len();
                     let taken = std::mem::replace(&mut s.accum, vec![0.0; len]);
+                    let era = s.era;
                     s.dirty = false;
-                    out.push((key, taken));
+                    out.push((era, key, taken));
                 }
             }
         }
@@ -216,14 +231,18 @@ impl ReplicaSet {
 
     /// Absorb the sum of *other* nodes' deltas for `slot`. In per-node
     /// deployments the server calls this when a peer's
-    /// [`Msg::ReplicaDeltas`] broadcast arrives. `false` on a tenancy
-    /// mismatch (nothing applied; the caller folds the delta back through
-    /// the relocation path instead).
+    /// [`Msg::ReplicaDeltas`] broadcast arrives. `false` on a tenancy or
+    /// era mismatch (nothing applied; the caller conserves the delta
+    /// through the relocation path or drops it, see
+    /// `Server::dispatch_replica_delta`). The era check runs under the
+    /// slot lock, so a delta from a previous replication era of the same
+    /// key can never land in the current era's copy, no matter how the
+    /// arrival interleaves with a demote/re-promote cycle.
     #[must_use]
-    pub fn apply_foreign(&self, slot: u32, key: Key, delta: &[f32]) -> bool {
+    pub fn apply_foreign(&self, slot: u32, key: Key, era: u64, delta: &[f32]) -> bool {
         let slots = self.slots.read();
         let mut s = slots[slot as usize].lock();
-        if s.key != Some(key) {
+        if s.key != Some(key) || s.era != era {
             return false;
         }
         add_assign(&mut s.value, delta);
@@ -302,28 +321,40 @@ impl ReplicaSync {
     /// Broadcast this node's drained deltas to every peer (distributed
     /// mode). Byte/message accounting happens in the fabric like any other
     /// send; the sync counters mirror what the in-process merge records.
+    ///
+    /// Deltas are grouped by the replication era their slot carried at
+    /// drain time (one [`Msg::ReplicaDeltas`] per era; normally a single
+    /// group), so receivers can tell exactly which tenancy each delta
+    /// belongs to however many migrations race the broadcast in flight.
     fn sync_once_distributed(&self, d: &DistributedSync, metrics: &ClusterMetrics) -> SimDuration {
         let drained = self.sets[0].drain_keyed();
         if drained.is_empty() {
             return SimDuration::ZERO;
         }
-        let updates: Vec<KeyUpdate> =
-            drained.into_iter().map(|(key, delta)| KeyUpdate { key, delta }).collect();
-        let payload = Msg::ReplicaDeltas { from: d.node, updates }.to_bytes();
+        let mut by_era: Vec<(u64, Vec<KeyUpdate>)> = Vec::new();
+        for (era, key, delta) in drained {
+            match by_era.iter_mut().find(|(e, _)| *e == era) {
+                Some((_, batch)) => batch.push(KeyUpdate { key, delta }),
+                None => by_era.push((era, vec![KeyUpdate { key, delta }])),
+            }
+        }
         let src = Addr { node: d.node, port: self.topology.sync_port() };
-        let mut peers = 0u64;
-        for peer in self.topology.nodes().filter(|p| *p != d.node) {
-            d.fabric.post(Frame {
-                src,
-                dst: Addr::server(peer),
-                sent_at: SimTime::ZERO,
-                payload: payload.clone(),
-            });
-            peers += 1;
+        let mut bytes = 0u64;
+        for (epoch, updates) in by_era {
+            let payload = Msg::ReplicaDeltas { from: d.node, epoch, updates }.to_bytes();
+            for peer in self.topology.nodes().filter(|p| *p != d.node) {
+                d.fabric.post(Frame {
+                    src,
+                    dst: Addr::server(peer),
+                    sent_at: SimTime::ZERO,
+                    payload: payload.clone(),
+                });
+                bytes += payload.len() as u64;
+            }
         }
         let m = metrics.node(d.node);
         m.inc(|m| &m.sync_rounds);
-        m.add(|m| &m.sync_bytes, peers * payload.len() as u64);
+        m.add(|m| &m.sync_bytes, bytes);
         // Real execution: the duration of the exchange is whatever the
         // wall clock observes, not a modelled figure.
         SimDuration::ZERO
@@ -407,12 +438,17 @@ impl ReplicaSync {
     /// process's node, which is the whole cluster exactly when `n_nodes ==
     /// 1` (larger clusters promote via the leader-plan protocol instead).
     pub fn install_slot(&self, slot: u32, key: Key, value: &[f32]) {
-        debug_assert!(
+        // Hard assert: in release builds a rendezvous-path install in a
+        // multi-node per-node deployment would silently desync slot state
+        // across processes, and the call is cold.
+        assert!(
             self.distributed.is_none() || self.topology.n_nodes == 1,
             "multi-node per-node deployments migrate via AdaptPlan, not the rendezvous path"
         );
         for set in &self.sets {
-            set.install_slot(slot, key, value.to_vec());
+            // The rendezvous path never races a sync broadcast (workers
+            // and migrations are gated together), so eras stay at 0.
+            set.install_slot(slot, key, value.to_vec(), 0);
         }
     }
 
@@ -424,7 +460,7 @@ impl ReplicaSync {
     /// — the accumulation makes the collapse exact even if a late-chasing
     /// server operation snuck a delta in between.
     pub fn collapse_slot(&self, slot: u32) -> Vec<f32> {
-        debug_assert!(
+        assert!(
             self.distributed.is_none() || self.topology.n_nodes == 1,
             "multi-node per-node deployments migrate via AdaptPlan, not the rendezvous path"
         );
@@ -476,7 +512,7 @@ mod tests {
         assert!(set.pull(0, 7, &mut out));
         assert!(!set.pull(0, 8, &mut out), "wrong key must not read the slot");
         assert!(!set.push(0, 8, &[5.0]));
-        assert!(!set.apply_foreign(0, 8, &[5.0]));
+        assert!(!set.apply_foreign(0, 8, 0, &[5.0]));
         assert_eq!(set.get(0), vec![1.0], "failed accesses must not mutate");
         // After a seal the old tenant's accesses fail too.
         assert_eq!(set.seal_slot(0, 7), Some((vec![1.0], vec![0.0])));
@@ -493,15 +529,15 @@ mod tests {
         assert_eq!(accum, vec![1.0, 0.5]);
         // Sealed slots drain nothing and accept a new tenant cleanly.
         assert!(set.drain_keyed().is_empty());
-        set.install_slot(0, 9, vec![7.0, 7.0]);
+        set.install_slot(0, 9, vec![7.0, 7.0], 0);
         assert!(set.push(0, 9, &[1.0, 1.0]));
-        assert_eq!(set.drain_keyed(), vec![(9, vec![1.0, 1.0])]);
+        assert_eq!(set.drain_keyed(), vec![(0, 9, vec![1.0, 1.0])]);
     }
 
     #[test]
     fn install_slot_grows_with_holes() {
         let set = ReplicaSet::new(&[(0, vec![1.0])], ClipPolicy::None);
-        set.install_slot(3, 42, vec![5.0]);
+        set.install_slot(3, 42, vec![5.0], 0);
         assert_eq!(set.n_slots(), 4);
         assert_eq!(set.get(3), vec![5.0]);
         let mut out = vec![0.0];
@@ -511,12 +547,30 @@ mod tests {
     }
 
     #[test]
-    fn drain_keyed_reports_tenant_keys() {
+    fn drain_keyed_reports_tenant_keys_and_eras() {
         let init: Vec<(Key, Vec<f32>)> = vec![(10, vec![0.0]), (20, vec![0.0])];
         let set = ReplicaSet::new(&init, ClipPolicy::None);
         assert!(set.push(1, 20, &[2.0]));
-        assert_eq!(set.drain_keyed(), vec![(20, vec![2.0])]);
+        assert_eq!(set.drain_keyed(), vec![(0, 20, vec![2.0])]);
         assert!(set.drain_keyed().is_empty(), "drain resets dirtiness");
+        // A re-installed tenancy drains under the installing plan's era.
+        set.install_slot(0, 10, vec![0.0], 7);
+        assert!(set.push(0, 10, &[3.0]));
+        assert_eq!(set.drain_keyed(), vec![(7, 10, vec![3.0])]);
+    }
+
+    #[test]
+    fn apply_foreign_rejects_stale_and_future_eras() {
+        let set = ReplicaSet::new(&[(5, vec![1.0])], ClipPolicy::None);
+        assert!(set.apply_foreign(0, 5, 0, &[1.0]), "matching era applies");
+        assert_eq!(set.get(0), vec![2.0]);
+        // Re-promotion by plan 3: the same key, a fresh era.
+        set.install_slot(0, 5, vec![9.0], 3);
+        assert!(!set.apply_foreign(0, 5, 0, &[1.0]), "stale-era delta must be rejected");
+        assert!(!set.apply_foreign(0, 5, 4, &[1.0]), "future-era delta must be rejected");
+        assert_eq!(set.get(0), vec![9.0], "rejected deltas must not mutate");
+        assert!(set.apply_foreign(0, 5, 3, &[1.0]));
+        assert_eq!(set.get(0), vec![10.0]);
     }
 
     #[test]
@@ -624,12 +678,12 @@ mod tests {
     fn install_slot_grows_by_one() {
         let set = ReplicaSet::new(&[(0, vec![1.0])], ClipPolicy::None);
         assert_eq!(set.n_slots(), 1);
-        set.install_slot(1, 1, vec![2.0]);
+        set.install_slot(1, 1, vec![2.0], 0);
         assert_eq!(set.n_slots(), 2);
         assert_eq!(set.get(1), vec![2.0]);
         // Reinstall over an existing slot resets value and buffer.
         push(&set, 1, &[5.0]);
-        set.install_slot(1, 1, vec![9.0]);
+        set.install_slot(1, 1, vec![9.0], 0);
         assert_eq!(set.get(1), vec![9.0]);
         assert!(set.drain().is_empty(), "install clears the dirty buffer");
     }

@@ -89,8 +89,11 @@ impl Server {
                     self.handle_localize(key, requester, at);
                 }
             }
-            Msg::ReplicaDeltas { from, updates } => self.handle_replica_deltas(from, updates, at),
+            Msg::ReplicaDeltas { from, epoch, updates } => {
+                self.handle_replica_deltas(from, epoch, updates, at)
+            }
             Msg::SyncFin { .. } => self.shared.note_sync_fin(),
+            Msg::FinFence { .. } => self.shared.note_fin_fence(),
             Msg::SketchReport { from, total, row0, row1 } => {
                 self.handle_sketch_report(from, total, &row0, &row1)
             }
@@ -311,38 +314,92 @@ impl Server {
     /// commutative, so no coordination with concurrent local pushes is
     /// needed beyond the slot lock.
     ///
-    /// A delta whose key migrated out from under the broadcast must be
-    /// conserved exactly once cluster-wide. Every node received this same
-    /// broadcast, and non-home replica copies are discarded at demotion,
-    /// so the rule is: the **home** folds the delta into the authoritative
-    /// copy (store or freshly promoted replica); a non-home node stashes
-    /// it when its own install of the key is still pending, and drops it
-    /// otherwise.
-    fn handle_replica_deltas(&mut self, from: NodeId, updates: Vec<KeyUpdate>, at: SimTime) {
+    /// `epoch` is the sender's applied plan epoch at drain time, which
+    /// identifies the replication *era* the deltas belong to (the plan
+    /// that last promoted each key). See
+    /// [`Server::dispatch_replica_delta`] for the conservation rules.
+    fn handle_replica_deltas(
+        &mut self,
+        from: NodeId,
+        epoch: u64,
+        updates: Vec<KeyUpdate>,
+        at: SimTime,
+    ) {
         debug_assert_ne!(from, self.me(), "a node must not receive its own sync broadcast");
-        let shared = Arc::clone(&self.shared);
         for u in updates {
-            let applied = match shared.technique.replica_slot(u.key) {
-                Some(slot) => self.state.replicas.apply_foreign(slot, u.key, &u.delta),
-                None => false,
-            };
-            if applied {
-                continue;
-            }
-            if shared.keyspace.home(u.key) == self.me() {
-                if let Some(dist) = shared.dist_adaptive.as_ref() {
-                    dist.state().acks_outstanding += 1;
-                }
-                self.handle_push(u.key, u.delta, Addr::server(self.me()), 0, at);
-            } else if let Some(dist) = shared.dist_adaptive.as_ref() {
-                let mut st = dist.state();
-                if st.pending_promote.contains_key(&u.key) {
-                    st.pending_deltas.entry(u.key).or_default().push(u.delta);
-                }
-            }
+            self.dispatch_replica_delta(epoch, u.key, u.delta, at);
         }
         // Replica state advanced: wake evaluation reads parked on progress.
         self.shared.runtime.notify_progress();
+    }
+
+    /// Route one sync-broadcast delta so it lands in the final model
+    /// exactly once, whatever migrations raced it in flight. `stamp` is
+    /// the replication era the delta was drained under — the epoch of the
+    /// plan that installed the sender's tenancy — read under the sender's
+    /// slot lock, so it is exact:
+    ///
+    /// * **Same era, slot installed** — the common case — fold into the
+    ///   local replica copy. [`ReplicaSet::apply_foreign`] re-checks the
+    ///   era under the slot lock, so a racing migration turns the apply
+    ///   into a clean miss rather than a cross-era write.
+    /// * **Same era, install pending** (our promotion has not landed yet):
+    ///   stash in `pending_deltas`; applied right after the install so our
+    ///   base copy converges with the sender's.
+    /// * **Future era** (the installing plan has not applied here yet):
+    ///   hold in `early_deltas` and re-dispatch when the plan applies.
+    ///   Dropping would lose the delta whenever we are the coordinator.
+    /// * **Stale era** (the key's tenancy ended — and possibly restarted —
+    ///   after the broadcast left the sender): the delta must not touch
+    ///   the new era's replica; the demotion already sealed every copy it
+    ///   was meant for. Every node received this same broadcast, so
+    ///   exactly one of them — the **home** — folds it through the regular
+    ///   push path: into its store, a mid-acquisition promotion value, or
+    ///   (if the key is replicated again) its replica *accumulator*,
+    ///   whence the next sync re-broadcasts it to everyone under the new
+    ///   era. Every other node drops it.
+    ///
+    /// Home folds are self-addressed pushes counted in
+    /// `acks_outstanding`, so finalize's drain barrier waits for them even
+    /// when the fold chases a relocated key onto another node.
+    fn dispatch_replica_delta(&mut self, stamp: u64, key: Key, delta: Vec<f32>, at: SimTime) {
+        let shared = Arc::clone(&self.shared);
+        if let Some(slot) = shared.technique.replica_slot(key) {
+            if self.state.replicas.apply_foreign(slot, key, stamp, &delta) {
+                return;
+            }
+            // Era or tenancy mismatch: resolved below like any other miss.
+        }
+        let Some(dist) = shared.dist_adaptive.as_ref() else {
+            // Static technique map: one era, slots never move, so the
+            // keyed apply can only miss if the broadcast itself is stale
+            // nonsense — conserve it at the home like any stray push.
+            if shared.keyspace.home(key) == self.me() {
+                self.handle_push(key, delta, Addr::server(self.me()), 0, at);
+            }
+            return;
+        };
+        {
+            let mut st = dist.state();
+            if let Some(&(promote_epoch, _)) = st.pending_promote.get(&key) {
+                if stamp >= promote_epoch {
+                    debug_assert_eq!(
+                        stamp, promote_epoch,
+                        "a sender cannot be an era ahead of an unacked plan"
+                    );
+                    st.pending_deltas.entry(key).or_default().push(delta);
+                    return;
+                }
+                // Stale era: fall through to home-or-drop.
+            } else if stamp > st.applied_epoch {
+                st.early_deltas.push((stamp, key, delta));
+                return;
+            }
+        }
+        if shared.keyspace.home(key) == self.me() {
+            dist.state().acks_outstanding += 1;
+            self.handle_push(key, delta, Addr::server(self.me()), 0, at);
+        }
     }
 
     /// First message of the relocation protocol, handled at the home node:
@@ -510,6 +567,23 @@ impl Server {
         for (_, key, slot, value) in ready {
             self.admit_promote(key, slot, value, at);
         }
+        // Likewise a peer's sync broadcast stamped with this (or an
+        // earlier) epoch can overtake the plan; re-route the held deltas
+        // now that the era they belong to is known here. The leader never
+        // issues a plan before every node acked the previous one, so no
+        // held delta can be stamped beyond the plan just applied — the
+        // buffer always drains completely.
+        let held = {
+            let mut st = dist.state();
+            debug_assert!(
+                st.early_deltas.iter().all(|d| d.0 <= epoch),
+                "sync delta stamped past the newest issued plan"
+            );
+            std::mem::take(&mut st.early_deltas)
+        };
+        for (stamp, key, delta) in held {
+            self.dispatch_replica_delta(stamp, key, delta, at);
+        }
         self.maybe_plan_ack(at);
         self.shared.runtime.notify_progress();
     }
@@ -615,7 +689,9 @@ impl Server {
         };
         // Backing storage before the published assignment: a keyed access
         // that sees the new route is then guaranteed an installed slot.
-        self.state.replicas.install_slot(slot, key, value.clone());
+        // The plan epoch becomes the slot's era: sync broadcasts of this
+        // tenancy are stamped with it cluster-wide.
+        self.state.replicas.install_slot(slot, key, value.clone(), epoch);
         self.shared.technique.promote_to_slot(key, slot);
         self.shared.technique.unfence_key(key);
         let (deferred, stashed) = {
@@ -661,15 +737,15 @@ impl Server {
     fn admit_promote(&mut self, key: Key, slot: u32, value: Vec<f32>, at: SimTime) {
         let shared = Arc::clone(&self.shared);
         let dist = shared.dist_adaptive.as_ref().expect("admitted promote without dist state");
-        let (was_pending, deferred, stashed) = {
+        let (plan_entry, deferred, stashed) = {
             let mut st = dist.state();
             (
-                st.pending_promote.remove(&key).is_some(),
+                st.pending_promote.remove(&key),
                 st.deferred_demotes.remove(&key),
                 st.pending_deltas.remove(&key).unwrap_or_default(),
             )
         };
-        debug_assert!(was_pending, "promote install for key {key} without a plan entry");
+        let (plan_epoch, _) = plan_entry.expect("promote install for key without a plan entry");
         if deferred {
             // A later plan demoted this key before its promotion ever
             // landed here. The route never flipped locally, so no local
@@ -694,9 +770,9 @@ impl Server {
             self.shared.runtime.notify_progress();
             return;
         }
-        self.state.replicas.install_slot(slot, key, value);
+        self.state.replicas.install_slot(slot, key, value, plan_epoch);
         for delta in stashed {
-            let ok = self.state.replicas.apply_foreign(slot, key, &delta);
+            let ok = self.state.replicas.apply_foreign(slot, key, plan_epoch, &delta);
             debug_assert!(ok, "stashed sync delta must apply right after its install");
         }
         self.shared.technique.promote_to_slot(key, slot);

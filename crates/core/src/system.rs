@@ -210,6 +210,7 @@ impl ParameterServer {
             nodes,
             dists: parking_lot::Mutex::new(Vec::new()),
             sync_fins: std::sync::atomic::AtomicU64::new(0),
+            fin_fences: std::sync::atomic::AtomicU64::new(0),
         });
 
         let servers = topo
@@ -423,25 +424,38 @@ impl ParameterServer {
     /// The protocol (all on the fabric, no side channels):
     ///
     /// 1. Wait until no relocation is in flight toward this node, then
-    ///    drain and broadcast the final replica deltas, then send
-    ///    [`Msg::SyncFin`] to the coordinator. Per-link FIFO ordering
-    ///    makes the fin prove the deltas arrived first.
-    /// 2. The coordinator counts `n - 1` fins (each sent after that node's
+    ///    drain and broadcast the final replica deltas. With adaptation
+    ///    enabled, follow them with a [`Msg::FinFence`] to every peer's
+    ///    server port: per-link FIFO makes the fence prove that every sync
+    ///    delta this node ever broadcast has been *folded* at the
+    ///    receiver. Peers send [`Msg::SyncFin`] to the coordinator on the
+    ///    same ordered channel, so the fin proves their deltas arrived
+    ///    there first.
+    /// 2. With adaptation enabled, each peer then waits until all `n - 1`
+    ///    fences reached it *and* its own migration state is settled — no
+    ///    stashed or held delta, no unacknowledged fold or residue it
+    ///    forwarded to another node's store — and announces the drain with
+    ///    a second [`Msg::SyncFin`]. This is the happens-before edge that
+    ///    keeps a late pre-demotion broadcast (or a fold the home chased
+    ///    onto another owner) from racing the model snapshots: every
+    ///    cross-node store mutation is acknowledged before the fin leaves.
+    /// 3. The coordinator counts the fins (each sent after that node's
     ///    workers joined, and every push is applied before its worker
     ///    unblocks, so the cluster's stores are final). With adaptation
-    ///    enabled it additionally waits until its own migration state is
-    ///    quiescent and every node acknowledged the last issued plan — no
-    ///    migration traffic is in flight anywhere — then broadcasts
-    ///    [`Msg::Release`] carrying that plan epoch.
-    /// 3. Each peer answers the release with a [`Msg::ModelPart`] snapshot
+    ///    enabled it additionally waits for every peer's fence and drained
+    ///    fin, for its own state to settle, and for every node to have
+    ///    acknowledged the last issued plan — no migration traffic is in
+    ///    flight anywhere — then broadcasts [`Msg::Release`] carrying that
+    ///    plan epoch.
+    /// 4. Each peer answers the release with a [`Msg::ModelPart`] snapshot
     ///    of the relocated keys its store owns, then returns
     ///    [`FinalizeOutcome::Released`]. With adaptation enabled the peer
     ///    first waits for its own state to catch up to the released epoch,
     ///    flushes its replicas once more (migration fallbacks can strand
     ///    deltas in the accumulators after the first flush), and sends a
-    ///    second [`Msg::SyncFin`] — same-link FIFO proves those deltas
+    ///    third [`Msg::SyncFin`] — same-link FIFO proves those deltas
     ///    reached the coordinator before its part does.
-    /// 4. The coordinator merges its own replicas and store with the
+    /// 5. The coordinator merges its own replicas and store with the
     ///    parts, checks every key is covered, and returns
     ///    [`FinalizeOutcome::Model`].
     pub fn finalize_distributed(&self, timeout: std::time::Duration) -> FinalizeOutcome {
@@ -454,6 +468,7 @@ impl ParameterServer {
         let ctl_addr = Addr { node: me, port: topo.sync_port() };
         let ctl = self.shared.fabric.bind(ctl_addr);
         let adaptive = self.shared.dist_adaptive.as_ref();
+        let n_peers = topo.n_nodes as u64 - 1;
 
         // Every stage spends from the same deadline: the caller's budget
         // bounds the whole protocol, not each step separately.
@@ -467,9 +482,28 @@ impl ParameterServer {
             return FinalizeOutcome::TimedOut;
         }
         self.flush_replicas();
+        if adaptive.is_some() {
+            // Fence the final broadcast on every outgoing link: a receiver
+            // that saw the fence has folded everything we ever sent it.
+            for peer in topo.nodes().filter(|p| *p != me) {
+                self.post_ctl(ctl_addr, Addr::server(peer), &Msg::FinFence { from: me });
+            }
+        }
         let coordinator = NodeId(0);
         if me != coordinator {
             self.post_ctl(ctl_addr, Addr::server(coordinator), &Msg::SyncFin { from: me });
+            if let Some(dist) = adaptive {
+                // 2. Drain: every peer's broadcasts folded here, and every
+                // fold or residue we forwarded to another node's store
+                // acknowledged back. Only then may the coordinator release
+                // the snapshots.
+                if !self.shared.runtime.wait_until(remaining(deadline), &mut || {
+                    self.shared.fin_fences() >= n_peers && dist.state().settled()
+                }) {
+                    return FinalizeOutcome::TimedOut;
+                }
+                self.post_ctl(ctl_addr, Addr::server(coordinator), &Msg::SyncFin { from: me });
+            }
             // Wait for the cluster-wide quiescence announcement, then
             // contribute our share of the model.
             let released_epoch = loop {
@@ -488,7 +522,7 @@ impl ParameterServer {
             if let Some(dist) = adaptive {
                 // Catch up to the released plan, then push any deltas a
                 // migration fallback stranded in the replica accumulators
-                // since the first flush; the second fin fences them ahead
+                // since the first flush; the third fin fences them ahead
                 // of our model part on the coordinator's server link.
                 if !self
                     .shared
@@ -505,27 +539,32 @@ impl ParameterServer {
             return FinalizeOutcome::Released;
         }
 
-        // Coordinator: barrier on every peer's fin …
-        let n_peers = topo.n_nodes as u64 - 1;
-        if !self
-            .shared
-            .runtime
-            .wait_until(remaining(deadline), &mut || self.shared.sync_fins() >= n_peers)
-        {
-            return FinalizeOutcome::TimedOut;
-        }
-        // … with adaptation, also on cluster-wide migration quiescence …
+        // 3. Coordinator: barrier on every peer's fin(s) — with
+        // adaptation, on the drained fins, every peer's fence toward us,
+        // our own settled state, and cluster-wide plan quiescence.
         let released_epoch = match adaptive {
             Some(dist) => {
                 let epoch = dist.last_issued();
                 if !self.shared.runtime.wait_until(remaining(deadline), &mut || {
-                    dist.quiesced(epoch) && dist.all_acked(epoch)
+                    self.shared.sync_fins() >= 2 * n_peers
+                        && self.shared.fin_fences() >= n_peers
+                        && dist.quiesced(epoch)
+                        && dist.all_acked(epoch)
                 }) {
                     return FinalizeOutcome::TimedOut;
                 }
                 epoch
             }
-            None => 0,
+            None => {
+                if !self
+                    .shared
+                    .runtime
+                    .wait_until(remaining(deadline), &mut || self.shared.sync_fins() >= n_peers)
+                {
+                    return FinalizeOutcome::TimedOut;
+                }
+                0
+            }
         };
         // … release the quiesced cluster and collect the model parts.
         for peer in topo.nodes().filter(|p| *p != me) {
@@ -534,8 +573,8 @@ impl ParameterServer {
         }
         if adaptive.is_some() {
             // Absorb every peer's post-release flush before snapshotting:
-            // the second fins prove the deltas are applied locally.
-            let want = 2 * n_peers;
+            // the third fins prove the deltas are applied locally.
+            let want = 3 * n_peers;
             if !self
                 .shared
                 .runtime

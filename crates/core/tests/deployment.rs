@@ -201,6 +201,42 @@ fn adaptive_per_node_deployment_matches_in_process_bit_for_bit() {
     }
 }
 
+/// Even more migration churn than [`adaptive_cfg`]: demotions fire almost
+/// as eagerly as promotions and the replica capacity is tight, so keys
+/// cycle replicated → relocated → replicated while sync broadcasts for
+/// their *previous* tenancy are still in flight.
+fn churn_cfg(topology: Topology) -> NupsConfig {
+    cfg(topology).with_adaptive(AdaptiveConfig {
+        adapt_every: 1,
+        promote_factor: 2.0,
+        demote_factor: 1.5,
+        max_replicated: 4,
+        max_migrations_per_round: 8,
+        sketch_bits: 10,
+        decay: true,
+    })
+}
+
+#[test]
+fn adaptive_per_node_survives_migration_churn() {
+    // Regression for two delta-conservation races: (1) a sync broadcast
+    // drained under one replication era arriving after its key was
+    // demoted — and possibly re-promoted — at the receiver (the era tag
+    // must keep it out of the new tenancy's replica and conserve it once
+    // at the home), and (2) a late pre-demotion broadcast racing a home's
+    // finalize snapshot (the fence/drained-fin phase must order every
+    // fold before the release). Both are timing-dependent, so run the
+    // churn-heavy workload several times.
+    let topology = Topology::new(3, 2);
+    let expected = run_in_process_with(topology, churn_cfg, true);
+    for round in 0..4 {
+        let got = run_per_node_with(topology, churn_cfg, true);
+        assert_eq!(got.len(), expected.len());
+        let diverged = expected.iter().zip(&got).filter(|(a, b)| a != b).count();
+        assert_eq!(diverged, 0, "round {round}: migration churn diverged on {topology:?}");
+    }
+}
+
 #[test]
 fn per_node_deployment_requires_wall_clock() {
     let topology = Topology::new(2, 1);
