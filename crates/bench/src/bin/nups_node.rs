@@ -191,7 +191,8 @@ fn run_node(args: &Args) -> i32 {
     let ps = ParameterServer::deploy(cfg, fabric, metrics, Deployment::SingleNode(me), init_value);
 
     let start = Instant::now();
-    let epoch_times = drift_bench::run_phases(&ps, &workload);
+    let run = drift_bench::run_phases_timed(&ps, &workload);
+    let epoch_times = &run.epoch_times;
     let elapsed = start.elapsed();
     eprintln!("[nups-node {me}] workload done in {elapsed:?}; finalizing");
 
@@ -217,6 +218,22 @@ fn run_node(args: &Args) -> i32 {
                     .set("mean_epoch_us", mean_epoch_us)
                     .set("accesses", accesses)
                     .set("keys_per_sec", accesses as f64 / elapsed.as_secs_f64().max(1e-9))
+                    // Wall latency of this node's pull_many/push_many calls.
+                    .set("p50_op_us", run.op_percentile_us(50.0))
+                    .set("p99_op_us", run.op_percentile_us(99.0))
+                    // Wire-path counters (this process's writers/readers):
+                    // how well the send path coalesced and how often the
+                    // buffer pool served I/O scratch without allocating.
+                    .set("fabric_writes_node0", m.fabric_writes)
+                    .set("fabric_frames_node0", m.fabric_frames)
+                    .set("writer_wakeups_node0", m.writer_wakeups)
+                    .set("pool_hits_node0", m.pool_hits)
+                    .set("pool_misses_node0", m.pool_misses)
+                    .set("frames_per_write_1", m.frames_per_write_1)
+                    .set("frames_per_write_2_3", m.frames_per_write_2_3)
+                    .set("frames_per_write_4_7", m.frames_per_write_4_7)
+                    .set("frames_per_write_8_15", m.frames_per_write_8_15)
+                    .set("frames_per_write_16_plus", m.frames_per_write_16_plus)
                     // Coordinator-process traffic (per-node view; the other
                     // nodes' counters live in their own processes).
                     .set("msgs_node0", m.msgs_sent)

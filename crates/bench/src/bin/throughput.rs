@@ -12,7 +12,7 @@
 //! Usage: cargo run --release -p nups-bench --bin throughput -- \
 //!   [--scale tiny|small|medium] [--nodes 4] [--workers 2] \
 //!   [--backend sim|wall|both] [--fabric tcp] [--adaptive] \
-//!   [--json PATH] [--check]
+//!   [--json PATH] [--gate-json PATH] [--check]
 //!
 //! `--adaptive` turns on the adaptive technique manager in every mode:
 //! in-process runs adapt at the merge gate, the multi-process run uses the
@@ -23,6 +23,11 @@
 //! `--json` writes a report in the standard bench shape. The wall-backend
 //! and tcp numbers are real measurements and vary run to run, so this
 //! report is uploaded as a CI artifact but not gated against a baseline.
+//! `--gate-json` additionally writes a minimal socket-path report (keys/s
+//! and the coalescing ratio; p99 latency swings too wide between quiet and
+//! contended hosts for a symmetric band, so it stays report-only) whose
+//! numeric leaves exactly match `ci/bench-baseline-throughput-tcp.json`,
+//! for the regression gate.
 //!
 //! `--fabric tcp` spawns the `nups-node` binary in launcher mode (one OS
 //! process per node, rendezvous + full-mesh handshake on loopback) and
@@ -31,8 +36,8 @@
 use std::time::Instant;
 
 use nups_bench::drift_bench::{
-    adaptive_ps_config, init_value, model_bits, parse_model, ps_config, run_phases, total_accesses,
-    workload_for,
+    adaptive_ps_config, init_value, model_bits, parse_model, ps_config, run_phases_timed,
+    total_accesses, workload_for,
 };
 use nups_bench::json::Json;
 use nups_bench::report::print_table;
@@ -57,6 +62,10 @@ struct ModeRun {
     /// Cluster-wide counters for in-process modes; the coordinator
     /// process's view for tcp.
     metrics: MetricsSnapshot,
+    /// Wall-clock p50/p99 of individual pull/push calls (node 0's workers
+    /// for tcp; all workers in-process). Microseconds.
+    p50_op_us: u64,
+    p99_op_us: u64,
     /// Bit patterns of the final model, for the cross-mode check.
     model: Vec<Vec<u32>>,
 }
@@ -88,15 +97,17 @@ fn run_backend(
     }
     .with_backend(backend);
     let ps = ParameterServer::new(ps_cfg, init_value);
-    let epoch_times = run_phases(&ps, workload);
+    let timed = run_phases_timed(&ps, workload);
     ps.flush_replicas();
     let model = model_bits(ps.read_all());
     let run = ModeRun {
         mode: backend.name(),
-        elapsed: epoch_times.iter().copied().sum(),
-        epoch_times,
+        elapsed: timed.epoch_times.iter().copied().sum(),
         accesses: total_accesses(workload, topology),
         metrics: ps.metrics(),
+        p50_op_us: timed.op_percentile_us(50.0),
+        p99_op_us: timed.op_percentile_us(99.0),
+        epoch_times: timed.epoch_times,
         model,
     };
     ps.shutdown();
@@ -171,6 +182,16 @@ fn run_tcp(
         bytes_sent: json_u64(&report, "bytes_node0"),
         relocations: json_u64(&report, "relocations_node0"),
         sync_rounds: json_u64(&report, "sync_rounds_node0"),
+        fabric_writes: json_u64(&report, "fabric_writes_node0"),
+        fabric_frames: json_u64(&report, "fabric_frames_node0"),
+        writer_wakeups: json_u64(&report, "writer_wakeups_node0"),
+        pool_hits: json_u64(&report, "pool_hits_node0"),
+        pool_misses: json_u64(&report, "pool_misses_node0"),
+        frames_per_write_1: json_u64(&report, "frames_per_write_1"),
+        frames_per_write_2_3: json_u64(&report, "frames_per_write_2_3"),
+        frames_per_write_4_7: json_u64(&report, "frames_per_write_4_7"),
+        frames_per_write_8_15: json_u64(&report, "frames_per_write_8_15"),
+        frames_per_write_16_plus: json_u64(&report, "frames_per_write_16_plus"),
         ..MetricsSnapshot::default()
     };
     let _ = std::fs::remove_file(&model_path);
@@ -181,6 +202,8 @@ fn run_tcp(
         epoch_times: Vec::new(),
         accesses: total_accesses(workload, topology),
         metrics,
+        p50_op_us: json_u64(&report, "p50_op_us"),
+        p99_op_us: json_u64(&report, "p99_op_us"),
         model,
     }
 }
@@ -191,15 +214,41 @@ fn json_u64(report: &str, key: &str) -> u64 {
 }
 
 fn mode_json(r: &ModeRun) -> Json {
-    Json::obj()
+    let mut j = Json::obj()
         .set("elapsed_us", r.elapsed.as_nanos() / 1_000)
         .set("mean_epoch_us", r.mean_epoch().map(|d| d.as_nanos() / 1_000).unwrap_or(0))
         .set("accesses", r.accesses)
         .set("keys_per_sec", r.keys_per_sec())
+        .set("p50_op_us", r.p50_op_us)
+        .set("p99_op_us", r.p99_op_us)
         .set("msgs", r.metrics.msgs_sent)
         .set("bytes", r.metrics.bytes_sent)
         .set("relocations", r.metrics.relocations)
-        .set("sync_rounds", r.metrics.sync_rounds)
+        .set("sync_rounds", r.metrics.sync_rounds);
+    if r.mode == "tcp" {
+        // Wire-path counters (coordinator process): how well the send path
+        // coalesced, and whether pooled buffers served I/O scratch.
+        j = j.set(
+            "fabric",
+            Json::obj()
+                .set("writes", r.metrics.fabric_writes)
+                .set("frames", r.metrics.fabric_frames)
+                .set("mean_frames_per_write", mean_frames_per_write(&r.metrics))
+                .set("writer_wakeups", r.metrics.writer_wakeups)
+                .set("pool_hits", r.metrics.pool_hits)
+                .set("pool_misses", r.metrics.pool_misses)
+                .set("frames_per_write_1", r.metrics.frames_per_write_1)
+                .set("frames_per_write_2_3", r.metrics.frames_per_write_2_3)
+                .set("frames_per_write_4_7", r.metrics.frames_per_write_4_7)
+                .set("frames_per_write_8_15", r.metrics.frames_per_write_8_15)
+                .set("frames_per_write_16_plus", r.metrics.frames_per_write_16_plus),
+        );
+    }
+    j
+}
+
+fn mean_frames_per_write(m: &MetricsSnapshot) -> f64 {
+    m.fabric_frames as f64 / (m.fabric_writes as f64).max(1.0)
 }
 
 fn main() {
@@ -259,6 +308,7 @@ fn main() {
                 r.mean_epoch().map(|d| d.to_string()).unwrap_or_else(|| "-".to_string()),
                 format!("{}", r.accesses),
                 format!("{:.0}", r.keys_per_sec()),
+                format!("{}/{}", r.p50_op_us, r.p99_op_us),
                 // The tcp row only sees the coordinator process's
                 // counters; the other nodes' totals live in their own
                 // processes. Label it so the column is not misread as a
@@ -277,7 +327,7 @@ fn main() {
             workload.config().phases,
             workload.config().n_keys
         ),
-        &["mode", "run time", "mean epoch", "accesses", "keys/sec", "messages"],
+        &["mode", "run time", "mean epoch", "accesses", "keys/sec", "p50/p99 op µs", "messages"],
         &rows,
     );
 
@@ -290,6 +340,24 @@ fn main() {
             report = report.set(r.mode, mode_json(r));
         }
         std::fs::write(path, report.render()).expect("write json report");
+        eprintln!("[throughput] wrote {path}");
+    }
+
+    // A minimal report for the regression gate: exactly the numeric leaves
+    // the committed baseline carries (`ci/check_bench_regression.py`
+    // demands numeric-leaf sets match bidirectionally, so the full report
+    // above — with its run-to-run-varying extras — cannot be gated).
+    if let Some(path) = args.get("gate-json") {
+        let Some(tcp) = runs.iter().find(|r| r.mode == "tcp") else {
+            eprintln!("FAIL: --gate-json needs the tcp run (add --fabric tcp)");
+            std::process::exit(1);
+        };
+        let gate = Json::obj()
+            .set("bench", "throughput-tcp-gate")
+            .set("scale", scale.name())
+            .set("keys_per_sec", tcp.keys_per_sec())
+            .set("mean_frames_per_write", mean_frames_per_write(&tcp.metrics));
+        std::fs::write(path, gate.render()).expect("write gate report");
         eprintln!("[throughput] wrote {path}");
     }
 

@@ -11,6 +11,8 @@
 //! the final model does not depend on scheduling, interleaving, or which
 //! fabric carried the updates.
 
+use std::time::Instant;
+
 use nups_core::adaptive::AdaptiveConfig;
 use nups_core::system::run_epoch;
 use nups_core::technique::heuristic_replicated_keys;
@@ -18,6 +20,7 @@ use nups_core::{Key, NupsConfig, ParameterServer, PsWorker};
 use nups_sim::time::SimDuration;
 use nups_sim::topology::Topology;
 use nups_workloads::drift::{DriftConfig, DriftingHotspots};
+use parking_lot::Mutex;
 
 use crate::tasks::Scale;
 
@@ -84,33 +87,76 @@ pub fn total_accesses(workload: &DriftingHotspots, topology: Topology) -> u64 {
     accesses
 }
 
+/// What one process observed while driving the workload: per-phase times
+/// on the server's (possibly virtual) timeline, plus the wall-clock
+/// latency of every individual `pull_many`/`push_many` call its workers
+/// made (unordered across workers).
+pub struct PhaseRun {
+    pub epoch_times: Vec<SimDuration>,
+    pub op_micros: Vec<u64>,
+}
+
+impl PhaseRun {
+    /// Nearest-rank percentile of the per-op latencies, in microseconds
+    /// (`pct` in 0..=100). Zero when no ops were timed.
+    pub fn op_percentile_us(&self, pct: f64) -> u64 {
+        let mut sorted = self.op_micros.clone();
+        sorted.sort_unstable();
+        percentile(&sorted, pct)
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set; 0 on empty.
+pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Drive every phase of the workload on the workers this process hosts
 /// (all of them in-process, the local node's in a multi-process
 /// deployment). Batches are selected by each worker's *global* index, so
 /// the cluster-wide work is identical no matter how workers are spread
 /// over processes. Returns the per-phase times on the server's timeline.
 pub fn run_phases(ps: &ParameterServer, workload: &DriftingHotspots) -> Vec<SimDuration> {
+    run_phases_timed(ps, workload).epoch_times
+}
+
+/// [`run_phases`], also timing every `pull_many`/`push_many` call so the
+/// bench can report p50/p99 per-op wall latency. The two `Instant` reads
+/// per op are noise next to a parameter-server round trip, so the timed
+/// path is the only implementation and `run_phases` discards the samples.
+pub fn run_phases_timed(ps: &ParameterServer, workload: &DriftingHotspots) -> PhaseRun {
     let topo = ps.config().topology;
     let mut workers = ps.workers();
     let phases = workload.config().phases;
     let mut epoch_times = Vec::with_capacity(phases);
     let mut last = ps.virtual_time();
+    let op_micros: Mutex<Vec<u64>> = Mutex::new(Vec::new());
     for phase in 0..phases {
         run_epoch(&mut workers, |_, w| {
             let global = topo.worker_index(w.id());
+            let mut local = Vec::new();
             for keys in workload.worker_batches(phase, global) {
                 let mut out = vec![0.0f32; keys.len() * VALUE_LEN];
+                let t = Instant::now();
                 w.pull_many(&keys, &mut out);
+                local.push(t.elapsed().as_micros() as u64);
                 let deltas = vec![1.0f32; keys.len() * VALUE_LEN];
+                let t = Instant::now();
                 w.push_many(&keys, &deltas);
+                local.push(t.elapsed().as_micros() as u64);
                 w.charge_compute(500 * keys.len() as u64);
             }
+            op_micros.lock().extend(local);
         });
         let now = ps.virtual_time();
         epoch_times.push(now.saturating_since(last));
         last = now;
     }
-    epoch_times
+    PhaseRun { epoch_times, op_micros: op_micros.into_inner() }
 }
 
 /// Bit patterns of a final model (for exact cross-mode comparison).
@@ -140,6 +186,37 @@ pub fn parse_model(s: &str) -> Option<Vec<Vec<u32>>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 99.0), 0);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&v, 0.0), 1);
+    }
+
+    #[test]
+    fn timed_run_collects_one_sample_per_op() {
+        let topo = Topology::new(2, 1);
+        let workload = workload_for(Scale::Tiny);
+        let ps = ParameterServer::new(ps_config(topo, &workload), init_value);
+        let run = run_phases_timed(&ps, &workload);
+        // One pull + one push per batch, over every phase and worker.
+        let batches: usize = (0..workload.config().phases)
+            .map(|p| {
+                (0..topo.total_workers())
+                    .map(|w| workload.worker_batches(p, w).len())
+                    .sum::<usize>()
+            })
+            .sum();
+        assert_eq!(run.op_micros.len(), 2 * batches);
+        assert_eq!(run.epoch_times.len(), workload.config().phases);
+        ps.shutdown();
+    }
 
     #[test]
     fn model_render_parse_roundtrip() {

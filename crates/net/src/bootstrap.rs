@@ -361,7 +361,7 @@ pub fn connect_cluster(
 
     if n == 1 {
         // A cluster of one has no peers to shake hands with.
-        return Ok(TcpFabric::assemble(me, topo, metrics, Vec::new(), Vec::new())?);
+        return Ok(TcpFabric::assemble(me, topo, metrics, Vec::new(), Vec::new(), opts.timeout)?);
     }
 
     let data_listener = TcpListener::bind(SocketAddr::new(opts.bind_ip, 0))?;
@@ -455,7 +455,10 @@ pub fn connect_cluster(
 
     // Phase 3: barrier — every directed link carries one control frame
     // before any protocol traffic flows.
-    let fabric = TcpFabric::assemble(me, topo, metrics, outbound, inbound)?;
+    // The shutdown drain grace reuses the cluster's one timeout budget: a
+    // writer wedged on a dead peer is cut off after `opts.timeout`, the
+    // same bound every bootstrap phase already honors.
+    let fabric = TcpFabric::assemble(me, topo, metrics, outbound, inbound, opts.timeout)?;
     for peer in topo.nodes().filter(|p| *p != me) {
         fabric.post(ctl_frame(me, peer, &Ctl::Barrier));
     }

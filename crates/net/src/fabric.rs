@@ -22,7 +22,7 @@
 use std::collections::VecDeque;
 use std::io::BufReader;
 use std::net::{Shutdown, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -30,12 +30,13 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use nups_core::runtime::{Fabric, Port, RecvOutcome};
-use nups_sim::metrics::ClusterMetrics;
+use nups_sim::metrics::{ClusterMetrics, Metrics};
 use nups_sim::net::Frame;
 use nups_sim::time::SimTime;
 use nups_sim::topology::{Addr, NodeId, Topology};
 
-use crate::frame::{read_frame, write_frame, ReadError};
+use crate::frame::{read_frame_pooled, write_batch, ReadError};
+use crate::pool::BufferPool;
 
 /// Reserved port for fabric-internal control frames (the bootstrap
 /// handshake's hello/barrier). Never collides with protocol ports, which
@@ -44,6 +45,11 @@ pub const CTRL_PORT: u16 = u16::MAX;
 
 /// Outbound frames queued per peer before senders block (backpressure).
 const SEND_QUEUE_FRAMES: usize = 1024;
+
+/// Buffered-input capacity per inbound link. Default `BufReader` is 8 KiB;
+/// a burst of coalesced frames from a peer is pulled in with far fewer
+/// read syscalls at this size, and one buffer per inbound link is cheap.
+const READ_BUF_BYTES: usize = 64 << 10;
 
 struct InboxState {
     queue: VecDeque<Frame>,
@@ -71,7 +77,10 @@ impl Inbox {
         }
         st.queue.push_back(frame);
         drop(st);
-        self.cv.notify_all();
+        // Each (node, port) inbox has exactly one consumer (`bind` hands
+        // out the single owner), so one wakeup per frame suffices; only
+        // `close` below must reach every parked waiter.
+        self.cv.notify_one();
     }
 
     fn close(&self) {
@@ -117,21 +126,36 @@ impl SendQueue {
         self.not_empty.notify_one();
     }
 
-    /// Dequeue, blocking while empty. `None` once closed *and* drained:
-    /// the writer flushes everything accepted before close.
-    fn pop(&self) -> Option<Frame> {
+    /// Block until at least one frame is queued; `false` once closed
+    /// *and* drained (the writer flushes everything accepted before
+    /// close). `parked` counts the condvar waits actually performed,
+    /// i.e. genuine writer wakeups.
+    fn wait_nonempty(&self, parked: &mut u64) -> bool {
         let mut st = self.state.lock();
         loop {
-            if let Some(f) = st.queue.pop_front() {
-                drop(st);
-                self.not_full.notify_one();
-                return Some(f);
+            if !st.queue.is_empty() {
+                return true;
             }
             if st.closed {
-                return None;
+                return false;
             }
+            *parked += 1;
             self.not_empty.wait(&mut st);
         }
+    }
+
+    /// Drain *everything* queued into `out`; never blocks. The writer
+    /// wakes once per burst, not once per frame.
+    fn drain(&self, out: &mut Vec<Frame>) {
+        let mut st = self.state.lock();
+        if st.queue.is_empty() {
+            return;
+        }
+        out.extend(st.queue.drain(..));
+        drop(st);
+        // The whole queue emptied at once: every sender blocked on a full
+        // queue can proceed, so wake them all.
+        self.not_full.notify_all();
     }
 
     fn close(&self) {
@@ -141,9 +165,96 @@ impl SendQueue {
     }
 }
 
+/// One outbound link's send state, shared by the protocol threads that
+/// post frames and the link's writer thread.
+struct Link {
+    queue: SendQueue,
+    /// The socket, owned by whoever is currently flushing to it: the
+    /// writer thread for queued bursts, a sending thread for inline
+    /// writes. Lock order is always wire, then `queue.state`.
+    wire: Mutex<TcpStream>,
+}
+
+impl Link {
+    /// Send one frame. Fast path: when the wire lock is free, the calling
+    /// thread enqueues its frame and becomes the *combiner* — it drains
+    /// and flushes the queue itself, repeatedly, until nothing is left.
+    /// No writer-thread wakeup, no context switch, no handoff (on a busy
+    /// single-core host the handoff costs more than the write itself),
+    /// and frames posted by other threads mid-write ride out in the
+    /// combiner's next coalesced batch. When the wire is busy, the frame
+    /// is queued with a writer-thread notify as the delivery backstop:
+    /// the current combiner usually picks it up on its next drain, and
+    /// the writer thread covers the race where it does not.
+    ///
+    /// FIFO safety: every frame goes through the queue, and the queue is
+    /// only drained while the wire lock is held, so frames reach the
+    /// socket exactly in queue order.
+    fn send(&self, frame: Frame, pool: &BufferPool, m: &Metrics) {
+        match self.wire.try_lock() {
+            Some(mut wire) => {
+                // Common case: nothing queued ahead of us — write the one
+                // frame straight from the stack, no queue round trip, no
+                // batch allocation. Otherwise join the queue behind the
+                // backlog and flush it all, oldest first.
+                {
+                    let mut st = self.queue.state.lock();
+                    if st.closed {
+                        return;
+                    }
+                    if !st.queue.is_empty() {
+                        st.queue.push_back(frame);
+                        drop(st);
+                        self.combine(&mut wire, pool, m);
+                        return;
+                    }
+                }
+                m.record_fabric_write(1);
+                let mut scratch = pooled_scratch(pool, m);
+                let res = write_batch(&mut *wire, std::slice::from_ref(&frame), &mut scratch);
+                pool.put(scratch);
+                if res.is_err() {
+                    // Peer gone: stop accepting frames so senders do not
+                    // block on a queue nobody drains.
+                    self.queue.close();
+                    return;
+                }
+                // Frames posted while we wrote ride out in our next batch
+                // instead of waiting for a writer-thread wakeup.
+                self.combine(&mut wire, pool, m);
+            }
+            None => self.queue.push(frame),
+        }
+    }
+
+    /// Flush the queue until it is empty, as coalesced batches, while the
+    /// caller holds the wire lock. The no-backlog case never gets here
+    /// ([`Link::send`] checks first), so the Vec is not on the fast path.
+    fn combine(&self, wire: &mut TcpStream, pool: &BufferPool, m: &Metrics) {
+        let mut batch = Vec::new();
+        loop {
+            self.queue.drain(&mut batch);
+            if batch.is_empty() {
+                return;
+            }
+            m.record_fabric_write(batch.len() as u64);
+            let mut scratch = pooled_scratch(pool, m);
+            let res = write_batch(wire, &batch, &mut scratch);
+            pool.put(scratch);
+            batch.clear();
+            if res.is_err() {
+                // Peer gone: stop accepting frames so senders do not
+                // block on a queue nobody drains.
+                self.queue.close();
+                return;
+            }
+        }
+    }
+}
+
 struct PeerLink {
-    queue: Arc<SendQueue>,
-    /// Clone of the writer's stream, kept to force-close it at shutdown.
+    link: Arc<Link>,
+    /// Clone of the link's stream, kept to force-close it at shutdown.
     stream: TcpStream,
     writer: Mutex<Option<JoinHandle<()>>>,
 }
@@ -151,10 +262,16 @@ struct PeerLink {
 struct FabricInner {
     node: NodeId,
     metrics: Arc<ClusterMetrics>,
+    /// Scratch buffers shared by this fabric's writer and reader threads.
+    pool: Arc<BufferPool>,
     inboxes: Vec<Inbox>,
     /// Indexed by peer node id; `None` for self.
     peers: Vec<Option<PeerLink>>,
     open: AtomicBool,
+    /// How long shutdown waits for writers to drain their queues before
+    /// closing the sockets under them (the cluster's one timeout budget,
+    /// [`crate::bootstrap::ClusterOptions::timeout`]).
+    drain_grace: Duration,
     /// Inbound streams, kept to unblock their readers at shutdown.
     reader_streams: Mutex<Vec<TcpStream>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
@@ -171,13 +288,13 @@ impl FabricInner {
         }
         // Account real network traffic on the sending node, excluding
         // fabric-internal control frames (bootstrap barrier).
+        let m = self.metrics.node(self.node);
         if frame.dst.port != CTRL_PORT {
-            let m = self.metrics.node(self.node);
             m.inc(|m| &m.msgs_sent);
             m.add(|m| &m.bytes_sent, frame.wire_bytes() as u64);
         }
         match self.peers.get(frame.dst.node.index()).and_then(|p| p.as_ref()) {
-            Some(p) => p.queue.push(frame),
+            Some(p) => p.link.send(frame, &self.pool, m),
             None => debug_assert!(false, "no link to node {}", frame.dst.node),
         }
     }
@@ -215,14 +332,15 @@ impl FabricInner {
         if self.open.swap(false, Ordering::SeqCst) {
             // Stop accepting outbound work; writers drain what is queued.
             for p in self.peers.iter().flatten() {
-                p.queue.close();
+                p.link.queue.close();
             }
             // Give the writers a bounded grace period to flush (the normal
-            // case: a few frames to a live peer). A writer wedged in
-            // write_all on a dead or stalled peer must not hang shutdown
-            // forever, so after the grace the socket is closed under it,
+            // case: a few frames to a live peer). A writer wedged mid-write
+            // on a dead or stalled peer must not hang shutdown forever, so
+            // after the grace — the cluster's configured timeout budget,
+            // not a built-in constant — the socket is closed under it,
             // which errors the write out, and the join is then safe.
-            let grace = Instant::now() + Duration::from_secs(5);
+            let grace = Instant::now() + self.drain_grace;
             for p in self.peers.iter().flatten() {
                 let handle = p.writer.lock().take();
                 if let Some(h) = handle {
@@ -251,23 +369,58 @@ impl FabricInner {
     }
 }
 
-/// Spawn the writer thread draining `queue` into `stream` (one per
-/// outbound link). Failure is an `io::Error` the connect path reports.
+/// Take a pooled scratch buffer, mirroring the hit/miss into `m`.
+fn pooled_scratch(pool: &BufferPool, m: &Metrics) -> Vec<u8> {
+    let (scratch, hit) = pool.take();
+    let counter: fn(&Metrics) -> &AtomicU64 =
+        if hit { |m| &m.pool_hits } else { |m| &m.pool_misses };
+    m.inc(counter);
+    scratch
+}
+
+/// Spawn the writer thread draining `link`'s queue into its socket (one
+/// per outbound link). Each wakeup drains the whole queue and flushes it
+/// as a single coalesced write ([`write_batch`]): N queued frames cost
+/// one syscall and zero per-frame allocations. Idle-wire sends bypass
+/// this thread entirely ([`Link::send`]); it only runs when the wire is
+/// contended. Failure is an `io::Error` the connect path reports.
 fn spawn_writer(
     node: NodeId,
     peer: NodeId,
-    mut stream: TcpStream,
-    queue: Arc<SendQueue>,
+    link: Arc<Link>,
+    pool: Arc<BufferPool>,
+    metrics: Arc<ClusterMetrics>,
 ) -> std::io::Result<JoinHandle<()>> {
     std::thread::Builder::new().name(format!("nups-net-tx-{node}-to-{peer}")).spawn(move || {
-        while let Some(frame) = queue.pop() {
-            if write_frame(&mut stream, &frame).is_err() {
+        let m = metrics.node(node);
+        let mut batch: Vec<Frame> = Vec::new();
+        let mut parked = 0u64;
+        while link.queue.wait_nonempty(&mut parked) {
+            m.add(|m| &m.writer_wakeups, std::mem::take(&mut parked));
+            // Wire first, then drain: the queue is only ever drained under
+            // the wire lock, so queue order is socket order. The frames
+            // this thread woke for may already be gone — a combining
+            // sender ([`Link::send`]) flushes whatever is queued while it
+            // holds the wire — so an empty drain just re-parks.
+            let mut wire = link.wire.lock();
+            link.queue.drain(&mut batch);
+            if batch.is_empty() {
+                continue;
+            }
+            m.record_fabric_write(batch.len() as u64);
+            let mut scratch = pooled_scratch(&pool, m);
+            let res = write_batch(&mut *wire, &batch, &mut scratch);
+            drop(wire);
+            pool.put(scratch);
+            batch.clear();
+            if res.is_err() {
                 // Peer gone: stop accepting frames so senders do not
                 // block on a queue nobody drains.
-                queue.close();
+                link.queue.close();
                 break;
             }
         }
+        m.add(|m| &m.writer_wakeups, parked);
     })
 }
 
@@ -275,7 +428,7 @@ fn spawn_writer(
 /// construction failure, so their writer threads exit.
 fn teardown_links(peers: &[Option<PeerLink>]) {
     for p in peers.iter().flatten() {
-        p.queue.close();
+        p.link.queue.close();
         let _ = p.stream.shutdown(Shutdown::Both);
     }
 }
@@ -297,31 +450,44 @@ impl TcpFabric {
         metrics: Arc<ClusterMetrics>,
         outbound: Vec<(NodeId, TcpStream)>,
         inbound: Vec<TcpStream>,
+        drain_grace: Duration,
     ) -> std::io::Result<TcpFabric> {
         let inboxes = (0..topology.ports_per_node()).map(|_| Inbox::new()).collect();
+        let pool = Arc::new(BufferPool::default());
         let mut peers: Vec<Option<PeerLink>> = (0..topology.n_nodes).map(|_| None).collect();
         for (peer, stream) in outbound {
             assert_ne!(peer, node, "a node does not dial itself");
-            let queue = Arc::new(SendQueue::new());
+            // Batching is the fabric's job now; Nagle's algorithm would only
+            // add latency on top of our own coalescing. Best-effort: a link
+            // that cannot set the option still carries frames.
+            let _ = stream.set_nodelay(true);
             // A clone or spawn failure (fd or thread exhaustion) surfaces
             // as the connect path's error; tear down the links built so
             // far so their writer threads exit instead of leaking.
-            let writer_stream = stream.try_clone().inspect_err(|_| teardown_links(&peers))?;
-            let writer =
-                spawn_writer(node, peer, writer_stream, Arc::clone(&queue)).inspect_err(|_| {
-                    let _ = stream.shutdown(Shutdown::Both);
-                    teardown_links(&peers);
-                })?;
-            peers[peer.index()] =
-                Some(PeerLink { queue, stream, writer: Mutex::new(Some(writer)) });
+            let wire_stream = stream.try_clone().inspect_err(|_| teardown_links(&peers))?;
+            let link = Arc::new(Link { queue: SendQueue::new(), wire: Mutex::new(wire_stream) });
+            let writer = spawn_writer(
+                node,
+                peer,
+                Arc::clone(&link),
+                Arc::clone(&pool),
+                Arc::clone(&metrics),
+            )
+            .inspect_err(|_| {
+                let _ = stream.shutdown(Shutdown::Both);
+                teardown_links(&peers);
+            })?;
+            peers[peer.index()] = Some(PeerLink { link, stream, writer: Mutex::new(Some(writer)) });
         }
 
         let inner = Arc::new(FabricInner {
             node,
             metrics,
+            pool,
             inboxes,
             peers,
             open: AtomicBool::new(true),
+            drain_grace,
             reader_streams: Mutex::new(Vec::new()),
             readers: Mutex::new(Vec::new()),
             barrier_seen: Mutex::new(0),
@@ -329,6 +495,7 @@ impl TcpFabric {
         });
 
         for stream in inbound {
+            let _ = stream.set_nodelay(true);
             let reader_inner = Arc::clone(&inner);
             let reader_stream = match stream.try_clone() {
                 Ok(s) => s,
@@ -340,9 +507,13 @@ impl TcpFabric {
             inner.reader_streams.lock().push(stream);
             let spawned =
                 std::thread::Builder::new().name(format!("nups-net-rx-{node}")).spawn(move || {
-                    let mut r = BufReader::new(reader_stream);
+                    let m = reader_inner.metrics.node(reader_inner.node);
+                    let mut r = BufReader::with_capacity(READ_BUF_BYTES, reader_stream);
                     loop {
-                        match read_frame(&mut r) {
+                        let mut scratch = pooled_scratch(&reader_inner.pool, m);
+                        let res = read_frame_pooled(&mut r, &mut scratch);
+                        reader_inner.pool.put(scratch);
+                        match res {
                             Ok(frame) => {
                                 debug_assert_eq!(
                                     frame.dst.node, reader_inner.node,
@@ -477,5 +648,78 @@ impl Port for TcpPort {
             }
             let _ = inbox.cv.wait_for(&mut st, deadline - now);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use std::net::TcpListener;
+
+    /// A fabric whose peer accepts the connection but never reads a byte,
+    /// with enough in flight to wedge a write in the kernel. Shutdown must
+    /// wait exactly the *configured* drain grace — not the 5 seconds the
+    /// fabric once hardcoded — before closing the socket under the stuck
+    /// write and joining its threads.
+    #[test]
+    fn shutdown_honors_the_configured_drain_grace() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let outbound = TcpStream::connect(addr).expect("connect");
+        let (_parked, _) = listener.accept().expect("accept");
+
+        let grace = Duration::from_millis(300);
+        let topology = Topology::new(2, 1);
+        let metrics = Arc::new(ClusterMetrics::new(2));
+        let fabric = TcpFabric::assemble(
+            NodeId(0),
+            topology,
+            metrics,
+            vec![(NodeId(1), outbound)],
+            Vec::new(),
+            grace,
+        )
+        .expect("assemble");
+
+        // Sender A: a payload far past the socket buffers blocks inside the
+        // kernel, holding the wire lock.
+        let inner_a = Arc::clone(&fabric.inner);
+        let a = std::thread::spawn(move || {
+            inner_a.send(Frame {
+                src: Addr::server(NodeId(0)),
+                dst: Addr::server(NodeId(1)),
+                sent_at: SimTime::ZERO,
+                payload: Bytes::from(vec![0u8; 32 << 20]),
+            });
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        // Sender B: finds the wire busy, queues — waking the writer thread,
+        // which now blocks on the held wire lock. The writer can never
+        // finish on its own, so close() must fall back to the grace.
+        let inner_b = Arc::clone(&fabric.inner);
+        let b = std::thread::spawn(move || {
+            inner_b.send(Frame {
+                src: Addr::server(NodeId(0)),
+                dst: Addr::server(NodeId(1)),
+                sent_at: SimTime::ZERO,
+                payload: Bytes::from(vec![1u8; 8]),
+            });
+        });
+        std::thread::sleep(Duration::from_millis(100));
+
+        let t0 = Instant::now();
+        fabric.close();
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(250),
+            "close returned inside the grace: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(3),
+            "close must honor the configured grace, not a built-in constant: {elapsed:?}"
+        );
+        a.join().expect("sender a");
+        b.join().expect("sender b");
     }
 }

@@ -25,7 +25,7 @@
 //! of a simulated run and the bytes a TCP run actually puts on loopback
 //! sockets agree by construction.
 
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 
 use bytes::Bytes;
 use nups_sim::net::Frame;
@@ -173,18 +173,108 @@ impl FrameHeader {
     }
 }
 
+/// Append a frame's wire encoding (header + payload) to `out` — the
+/// allocation-free building block the coalescing writer drains batches
+/// through.
+pub fn encode_frame_into(frame: &Frame, out: &mut Vec<u8>) {
+    out.extend_from_slice(&FrameHeader::of(frame).encode());
+    out.extend_from_slice(&frame.payload);
+}
+
 /// Encode a frame into one contiguous buffer (header + payload), ready for
 /// a single `write_all`.
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_BYTES + frame.payload.len());
-    out.extend_from_slice(&FrameHeader::of(frame).encode());
-    out.extend_from_slice(&frame.payload);
+    encode_frame_into(frame, &mut out);
     out
 }
 
 /// Write one frame to `w` (no flush; callers batch or flush as they like).
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
     w.write_all(&encode_frame(frame))
+}
+
+/// Batches whose total wire size fits under this bound are copied into the
+/// scratch buffer and flushed with one `write_all`. Larger batches skip
+/// the payload copy and go out as vectored writes instead: past this size
+/// the memcpy costs more than the extra iovec bookkeeping.
+pub const COALESCE_COPY_MAX: usize = 16 << 10;
+
+/// Slices handed to each `write_vectored` call — comfortably under every
+/// platform's `IOV_MAX` (1024 on Linux), and a whole drained send queue is
+/// at most twice this many slices.
+const VECTORED_CHUNK: usize = 512;
+
+/// Write a whole drained batch of frames as one coalesced flush.
+///
+/// Small batches are encoded back to back into `scratch` (cleared first,
+/// grown as needed, never shrunk — pair it with a buffer pool) and pushed
+/// with a single `write_all`; batches past [`COALESCE_COPY_MAX`] encode
+/// only their 32-byte headers into `scratch` and hand the kernel an
+/// alternating header/payload iovec via `write_vectored`, so N queued
+/// frames cost one syscall either way instead of N.
+pub fn write_batch(w: &mut impl Write, frames: &[Frame], scratch: &mut Vec<u8>) -> io::Result<()> {
+    scratch.clear();
+    if frames.is_empty() {
+        return Ok(());
+    }
+    let total: usize = frames.iter().map(|f| f.wire_bytes()).sum();
+    if total <= COALESCE_COPY_MAX {
+        for f in frames {
+            encode_frame_into(f, scratch);
+        }
+        return w.write_all(scratch);
+    }
+    scratch.reserve(frames.len() * HEADER_BYTES);
+    for f in frames {
+        scratch.extend_from_slice(&FrameHeader::of(f).encode());
+    }
+    let mut slices: Vec<&[u8]> = Vec::with_capacity(frames.len() * 2);
+    for (i, f) in frames.iter().enumerate() {
+        slices.push(&scratch[i * HEADER_BYTES..(i + 1) * HEADER_BYTES]);
+        if !f.payload.is_empty() {
+            slices.push(&f.payload);
+        }
+    }
+    write_all_vectored(w, &slices)
+}
+
+/// Write every byte of `slices` in order, vectored, tolerating arbitrarily
+/// short writes (a socket under memory pressure, or a plain `Write` whose
+/// default `write_vectored` forwards one slice at a time). No slice may be
+/// empty.
+fn write_all_vectored(w: &mut impl Write, slices: &[&[u8]]) -> io::Result<()> {
+    let mut idx = 0; // first slice with unwritten bytes
+    let mut offset = 0; // bytes of slices[idx] already written
+    while idx < slices.len() {
+        let chunk = VECTORED_CHUNK.min(slices.len() - idx);
+        let mut iov: Vec<IoSlice<'_>> = Vec::with_capacity(chunk);
+        iov.push(IoSlice::new(&slices[idx][offset..]));
+        iov.extend(slices[idx + 1..idx + chunk].iter().map(|s| IoSlice::new(s)));
+        let mut n = match w.write_vectored(&iov) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "failed to write the batched frames",
+                ))
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        while n > 0 {
+            let remaining = slices[idx].len() - offset;
+            if n >= remaining {
+                n -= remaining;
+                idx += 1;
+                offset = 0;
+            } else {
+                offset += n;
+                n = 0;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Read exactly `buf.len()` bytes, reporting a clean EOF *before the first
@@ -213,19 +303,32 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, ReadErro
 /// and partial writes reassemble here. Returns [`ReadError::Eof`] on a
 /// clean close at a frame boundary.
 pub fn read_frame(r: &mut impl Read) -> Result<Frame, ReadError> {
+    read_frame_pooled(r, &mut Vec::new())
+}
+
+/// [`read_frame`] with the payload staged in `scratch` instead of a fresh
+/// zeroed allocation per frame: `scratch` is grown as needed and its
+/// contents reused across calls (pair it with a buffer pool). The decoded
+/// frame is byte-identical to the allocating path — a proptest below holds
+/// the two equal.
+pub fn read_frame_pooled(r: &mut impl Read, scratch: &mut Vec<u8>) -> Result<Frame, ReadError> {
     let mut header_bytes = [0u8; HEADER_BYTES];
     if !read_exact_or_eof(r, &mut header_bytes)? {
         return Err(ReadError::Eof);
     }
     let header = FrameHeader::decode(&header_bytes).map_err(ReadError::Frame)?;
-    let mut payload = vec![0u8; header.payload_len as usize];
-    if !payload.is_empty() && !read_exact_or_eof(r, &mut payload)? {
+    let len = header.payload_len as usize;
+    if scratch.len() < len {
+        scratch.resize(len, 0);
+    }
+    let payload = &mut scratch[..len];
+    if !payload.is_empty() && !read_exact_or_eof(r, payload)? {
         return Err(ReadError::Io(io::Error::new(
             io::ErrorKind::UnexpectedEof,
             "connection closed before the payload",
         )));
     }
-    let actual = crc32(&payload);
+    let actual = crc32(payload);
     if actual != header.checksum {
         return Err(ReadError::Frame(FrameError::ChecksumMismatch {
             expected: header.checksum,
@@ -236,12 +339,15 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, ReadError> {
         src: header.src,
         dst: header.dst,
         sent_at: header.sent_at,
-        payload: Bytes::from(payload),
+        payload: Bytes::copy_from_slice(payload),
     })
 }
 
-const fn crc_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+/// Tables for slice-by-8 CRC: `CRC_TABLES[j][b]` is the CRC contribution
+/// of byte `b` positioned `j` bytes before the end of an 8-byte block.
+/// Table 0 alone is the classic byte-at-a-time table.
+const fn crc_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut c = i as u32;
@@ -250,19 +356,45 @@ const fn crc_table() -> [u32; 256] {
             c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
             k += 1;
         }
-        table[i] = c;
+        tables[0][i] = c;
         i += 1;
     }
-    table
+    let mut j = 1;
+    while j < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[j - 1][i];
+            tables[j][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        j += 1;
+    }
+    tables
 }
 
-static CRC_TABLE: [u32; 256] = crc_table();
+static CRC_TABLES: [[u32; 256]; 8] = crc_tables();
 
-/// CRC-32 (IEEE 802.3 polynomial, reflected) of `data`.
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `data`. Every frame is
+/// checksummed twice (once per side of the wire), so this runs slice-by-8
+/// — eight table lookups per 8-byte block instead of one per byte.
 pub fn crc32(data: &[u8]) -> u32 {
+    let t = &CRC_TABLES;
     let mut c = u32::MAX;
-    for &b in data {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut blocks = data.chunks_exact(8);
+    for b in &mut blocks {
+        let lo = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) ^ c;
+        let hi = u32::from_le_bytes([b[4], b[5], b[6], b[7]]);
+        c = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in blocks.remainder() {
+        c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ u32::MAX
 }
@@ -287,6 +419,23 @@ mod tests {
         // The classic IEEE test vector.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_slice_by_8_matches_bytewise() {
+        fn bytewise(data: &[u8]) -> u32 {
+            let mut c = u32::MAX;
+            for &b in data {
+                c = CRC_TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+            }
+            c ^ u32::MAX
+        }
+        let data: Vec<u8> = (0..1024u32).map(|i| (i.wrapping_mul(31) % 251) as u8).collect();
+        // Every alignment of the block/remainder split, plus a long run.
+        for len in 0..64 {
+            assert_eq!(crc32(&data[..len]), bytewise(&data[..len]), "len {len}");
+        }
+        assert_eq!(crc32(&data), bytewise(&data));
     }
 
     #[test]
@@ -382,7 +531,230 @@ mod tests {
         ));
     }
 
+    /// A sink with a native `write_vectored` (accepts every slice whole),
+    /// counting how many write calls the batch path actually makes.
+    struct CountingSink {
+        bytes: Vec<u8>,
+        writes: usize,
+    }
+
+    impl CountingSink {
+        fn new() -> CountingSink {
+            CountingSink { bytes: Vec::new(), writes: 0 }
+        }
+    }
+
+    impl Write for CountingSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.writes += 1;
+            self.bytes.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+            self.writes += 1;
+            let mut n = 0;
+            for b in bufs {
+                self.bytes.extend_from_slice(b);
+                n += b.len();
+            }
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// A sink that takes one byte per `write` call and leaves
+    /// `write_vectored` at its default (forward the first nonempty slice),
+    /// the worst short-write behavior `write_all_vectored` must survive.
+    struct TrickleSink {
+        bytes: Vec<u8>,
+    }
+
+    impl Write for TrickleSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            self.bytes.push(buf[0]);
+            Ok(1)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// A sink whose native `write_vectored` accepts at most `cap` bytes per
+    /// call, cutting across slice boundaries at arbitrary offsets.
+    struct PartialVectoredSink {
+        bytes: Vec<u8>,
+        cap: usize,
+    }
+
+    impl Write for PartialVectoredSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = self.cap.min(buf.len());
+            self.bytes.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+            let mut left = self.cap;
+            for b in bufs {
+                let n = left.min(b.len());
+                self.bytes.extend_from_slice(&b[..n]);
+                left -= n;
+                if left == 0 {
+                    break;
+                }
+            }
+            Ok(self.cap - left)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn batch(count: usize, payload_len: usize) -> Vec<Frame> {
+        (0..count)
+            .map(|i| {
+                let payload: Vec<u8> = (0..payload_len).map(|j| (i * 31 + j) as u8).collect();
+                frame(Addr::server(NodeId(0)), Addr::worker(NodeId(1), 0), i as u64, &payload)
+            })
+            .collect()
+    }
+
+    fn decode_all(mut bytes: &[u8]) -> Vec<Frame> {
+        let mut out = Vec::new();
+        loop {
+            match read_frame(&mut bytes) {
+                Ok(f) => out.push(f),
+                Err(ReadError::Eof) => return out,
+                Err(e) => panic!("stream failed to reframe: {e}"),
+            }
+        }
+    }
+
+    fn assert_same_frames(got: &[Frame], want: &[Frame]) {
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want) {
+            assert_eq!(g.src, w.src);
+            assert_eq!(g.dst, w.dst);
+            assert_eq!(g.sent_at, w.sent_at);
+            assert_eq!(&g.payload[..], &w.payload[..]);
+        }
+    }
+
+    #[test]
+    fn small_batch_is_one_write() {
+        // 64 frames × (32 header + 32 payload) = 4 KiB, under the copy
+        // threshold: the whole drain must reach the socket in ONE write.
+        let frames = batch(64, 32);
+        let mut sink = CountingSink::new();
+        let mut scratch = Vec::new();
+        write_batch(&mut sink, &frames, &mut scratch).expect("write");
+        assert_eq!(sink.writes, 1, "small batches coalesce into a single write_all");
+        assert_same_frames(&decode_all(&sink.bytes), &frames);
+    }
+
+    #[test]
+    fn large_batch_is_one_vectored_write() {
+        // 8 frames × 4 KiB ≈ 33 KiB, past COALESCE_COPY_MAX: the vectored
+        // path hands the kernel 16 iovecs in ONE call.
+        let frames = batch(8, 4096);
+        assert!(frames.iter().map(|f| f.wire_bytes()).sum::<usize>() > COALESCE_COPY_MAX);
+        let mut sink = CountingSink::new();
+        let mut scratch = Vec::new();
+        write_batch(&mut sink, &frames, &mut scratch).expect("write");
+        assert_eq!(sink.writes, 1, "one vectored write for the whole batch");
+        assert_same_frames(&decode_all(&sink.bytes), &frames);
+    }
+
+    #[test]
+    fn huge_batch_stays_within_the_iovec_chunking_bound() {
+        // 600 frames → 1200 slices → ⌈1200/512⌉ = 3 vectored writes, never
+        // one syscall per frame.
+        let frames = batch(600, 64);
+        let mut sink = CountingSink::new();
+        let mut scratch = Vec::new();
+        write_batch(&mut sink, &frames, &mut scratch).expect("write");
+        assert!(sink.writes <= 3, "600 frames took {} writes", sink.writes);
+        assert_same_frames(&decode_all(&sink.bytes), &frames);
+    }
+
+    #[test]
+    fn byte_at_a_time_writer_still_frames_correctly() {
+        // Default write_vectored forwards one slice to `write`, which here
+        // accepts a single byte: every slice boundary and every offset
+        // within a slice is exercised.
+        let frames = batch(8, 4096);
+        let mut sink = TrickleSink { bytes: Vec::new() };
+        let mut scratch = Vec::new();
+        write_batch(&mut sink, &frames, &mut scratch).expect("write");
+        assert_same_frames(&decode_all(&sink.bytes), &frames);
+    }
+
+    #[test]
+    fn partial_vectored_writes_still_frame_correctly() {
+        // 7-byte acceptances cut both headers and payloads mid-slice; the
+        // resume logic must pick up exactly where the kernel stopped.
+        let frames = batch(8, 4096);
+        let mut sink = PartialVectoredSink { bytes: Vec::new(), cap: 7 };
+        let mut scratch = Vec::new();
+        write_batch(&mut sink, &frames, &mut scratch).expect("write");
+        assert_same_frames(&decode_all(&sink.bytes), &frames);
+    }
+
+    #[test]
+    fn pooled_scratch_reuse_does_not_alias_earlier_frames() {
+        // Decode two frames through the SAME scratch buffer: the first
+        // frame's payload must survive the second decode overwriting the
+        // scratch bytes it was staged in.
+        let a = frame(Addr::server(NodeId(0)), Addr::server(NodeId(1)), 1, &[0xAA; 64]);
+        let b = frame(Addr::server(NodeId(0)), Addr::server(NodeId(1)), 2, &[0xBB; 64]);
+        let mut wire = Vec::new();
+        encode_frame_into(&a, &mut wire);
+        encode_frame_into(&b, &mut wire);
+        let mut r = &wire[..];
+        let mut scratch = Vec::new();
+        let got_a = read_frame_pooled(&mut r, &mut scratch).expect("frame a");
+        let got_b = read_frame_pooled(&mut r, &mut scratch).expect("frame b");
+        assert_eq!(&got_a.payload[..], &[0xAA; 64][..], "first frame must not alias scratch");
+        assert_eq!(&got_b.payload[..], &[0xBB; 64][..]);
+    }
+
     proptest! {
+        #[test]
+        fn pooled_decode_matches_allocating_decode(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..300), 1..8),
+            junk in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            // Same wire bytes through both read paths — the pooled variant
+            // starts from a dirty, arbitrarily-sized scratch and is reused
+            // across every frame of the stream.
+            let frames: Vec<Frame> = payloads.iter().enumerate()
+                .map(|(i, p)| frame(Addr::server(NodeId(3)), Addr::worker(NodeId(0), 1), i as u64, p))
+                .collect();
+            let mut wire = Vec::new();
+            for f in &frames {
+                encode_frame_into(f, &mut wire);
+            }
+            let mut alloc_r = &wire[..];
+            let mut pooled_r = &wire[..];
+            let mut scratch = junk;
+            for f in &frames {
+                let a = read_frame(&mut alloc_r).expect("allocating decode");
+                let p = read_frame_pooled(&mut pooled_r, &mut scratch).expect("pooled decode");
+                prop_assert_eq!(&a.payload[..], &p.payload[..]);
+                prop_assert_eq!(&p.payload[..], &f.payload[..]);
+                prop_assert_eq!(a.src, p.src);
+                prop_assert_eq!(a.dst, p.dst);
+                prop_assert_eq!(a.sent_at, p.sent_at);
+            }
+            prop_assert!(matches!(read_frame(&mut alloc_r), Err(ReadError::Eof)));
+            prop_assert!(matches!(read_frame_pooled(&mut pooled_r, &mut scratch), Err(ReadError::Eof)));
+        }
+
         #[test]
         fn header_roundtrip_prop(
             src_node in any::<u16>(), src_port in any::<u16>(),

@@ -13,7 +13,14 @@
 //!   typed [`frame::FrameError`]s, never panics.
 //! * [`fabric`] — [`TcpFabric`]: per-peer writer threads behind bounded
 //!   outbound queues, a reader thread per inbound connection demuxing
-//!   into per-(node, port) inboxes, and total teardown on shutdown.
+//!   into per-(node, port) inboxes, and total teardown on shutdown. The
+//!   hot path is built for throughput: each writer wakeup drains its
+//!   whole queue and flushes it as one coalesced (vectored where large)
+//!   write, scratch buffers come from a shared [`pool::BufferPool`]
+//!   instead of per-frame allocations, and every link runs with
+//!   `TCP_NODELAY` so batching is the fabric's decision, not Nagle's.
+//! * [`pool`] — [`pool::BufferPool`]: the small free-list of reusable
+//!   byte buffers behind both sides of that hot path.
 //! * [`bootstrap`] — [`connect_cluster`]: rendezvous on a coordinator
 //!   address, membership exchange, full-mesh dialing, and a barrier that
 //!   proves every directed link live before protocol traffic flows.
@@ -28,7 +35,9 @@
 pub mod bootstrap;
 pub mod fabric;
 pub mod frame;
+pub mod pool;
 
 pub use bootstrap::{connect_cluster, BootstrapError, ClusterOptions};
 pub use fabric::{TcpFabric, TcpPort};
 pub use frame::{FrameError, FrameHeader, ReadError, HEADER_BYTES, MAX_PAYLOAD, PROTOCOL_VERSION};
+pub use pool::BufferPool;

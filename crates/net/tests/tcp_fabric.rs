@@ -489,6 +489,68 @@ fn shutdown_unblocks_blocked_receivers() {
 }
 
 #[test]
+fn coalescing_counters_account_for_every_socket_frame() {
+    // Every frame that crosses a socket must be counted by exactly one
+    // coalesced write, and the frames-per-write histogram must tally with
+    // the write counter — whichever mix of inline sends, combiner drains,
+    // and writer-thread batches actually carried the burst.
+    let topology = Topology::new(2, 1);
+    let coordinator = rendezvous_addr();
+    let mut handles = Vec::new();
+    for node in topology.nodes() {
+        let opts = ClusterOptions::new(node, topology, coordinator);
+        handles.push(std::thread::spawn(move || {
+            let metrics = Arc::new(ClusterMetrics::new(2));
+            let fabric = connect_cluster(&opts, Arc::clone(&metrics)).expect("bootstrap");
+            (fabric, metrics)
+        }));
+    }
+    let nodes: Vec<(TcpFabric, Arc<ClusterMetrics>)> =
+        handles.into_iter().map(|h| h.join().expect("thread")).collect();
+
+    // The bootstrap's own control frames already moved the counters;
+    // measure the burst as a delta.
+    let before = nodes[0].1.total();
+    const BURST: u64 = 200;
+    let port1 = nodes[1].0.bind(Addr::server(NodeId(1)));
+    let recv = std::thread::spawn(move || {
+        for _ in 0..BURST {
+            port1.recv().expect("frame before shutdown");
+        }
+    });
+    let port0 = nodes[0].0.bind(Addr::server(NodeId(0)));
+    for k in 0..BURST {
+        port0.send(Addr::server(NodeId(1)), SimTime(k), Bytes::copy_from_slice(&[k as u8; 16]));
+    }
+    recv.join().expect("receiver");
+    let after = nodes[0].1.total();
+
+    assert_eq!(after.fabric_frames - before.fabric_frames, BURST, "every frame counted once");
+    let writes = after.fabric_writes - before.fabric_writes;
+    assert!(writes >= 1, "the burst took at least one socket write");
+    assert!(writes <= after.fabric_frames - before.fabric_frames, "writes never exceed frames");
+    // The histogram is the write counter, bucketed.
+    let buckets = after.frames_per_write_1
+        + after.frames_per_write_2_3
+        + after.frames_per_write_4_7
+        + after.frames_per_write_8_15
+        + after.frames_per_write_16_plus;
+    assert_eq!(buckets, after.fabric_writes, "histogram buckets tally with fabric_writes");
+    // Scratch buffers cycle through the pool: after the first few frames
+    // every take is a hit, so misses stay bounded while hits track load.
+    assert!(after.pool_hits > 0, "the pool must be reused across frames");
+    assert!(
+        after.pool_misses <= after.pool_hits,
+        "a steady burst must mostly hit the pool (hits {} misses {})",
+        after.pool_hits,
+        after.pool_misses
+    );
+    for (f, _) in &nodes {
+        f.close();
+    }
+}
+
+#[test]
 fn local_frames_never_touch_the_network_counters() {
     let topology = Topology::new(2, 1);
     let coordinator = rendezvous_addr();

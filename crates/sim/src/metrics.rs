@@ -145,6 +145,32 @@ metrics! {
     /// Bytes the priced migration messages would have carried, framing
     /// included.
     migration_bytes,
+    /// Coalesced socket flushes issued by TCP fabric writer threads (one
+    /// per queue drain; each flush carries a whole batch of frames in a
+    /// single `write_all` or `writev`).
+    fabric_writes,
+    /// Frames pushed through TCP fabric writer threads (protocol and
+    /// control frames alike; `fabric_frames ÷ fabric_writes` is the mean
+    /// coalesced batch size).
+    fabric_frames,
+    /// Times a TCP fabric writer thread parked on an empty queue and was
+    /// woken again. Fewer wakeups than frames means senders queued work
+    /// while the writer was already busy — coalescing at work.
+    writer_wakeups,
+    /// TCP fabric buffer-pool requests served from a pooled buffer.
+    pool_hits,
+    /// TCP fabric buffer-pool requests that had to allocate fresh.
+    pool_misses,
+    /// Frames-per-write histogram: flushes that carried exactly 1 frame.
+    frames_per_write_1,
+    /// Flushes that carried 2–3 frames.
+    frames_per_write_2_3,
+    /// Flushes that carried 4–7 frames.
+    frames_per_write_4_7,
+    /// Flushes that carried 8–15 frames.
+    frames_per_write_8_15,
+    /// Flushes that carried 16 or more frames.
+    frames_per_write_16_plus,
 }
 
 impl Metrics {
@@ -156,6 +182,21 @@ impl Metrics {
     #[inline]
     pub fn inc(&self, field: impl Fn(&Metrics) -> &AtomicU64) {
         self.add(field, 1);
+    }
+
+    /// Record one coalesced fabric flush carrying `frames` frames: bumps
+    /// the flush/frame totals and the matching frames-per-write bucket.
+    pub fn record_fabric_write(&self, frames: u64) {
+        self.inc(|m| &m.fabric_writes);
+        self.add(|m| &m.fabric_frames, frames);
+        let bucket: fn(&Metrics) -> &AtomicU64 = match frames {
+            0..=1 => |m| &m.frames_per_write_1,
+            2..=3 => |m| &m.frames_per_write_2_3,
+            4..=7 => |m| &m.frames_per_write_4_7,
+            8..=15 => |m| &m.frames_per_write_8_15,
+            _ => |m| &m.frames_per_write_16_plus,
+        };
+        self.inc(bucket);
     }
 }
 
@@ -421,6 +462,22 @@ mod tests {
             (0..321u64).map(|k| s.estimate(k)).collect::<Vec<_>>()
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn fabric_write_histogram_buckets() {
+        let m = Metrics::default();
+        for frames in [1u64, 2, 3, 4, 7, 8, 15, 16, 100] {
+            m.record_fabric_write(frames);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.fabric_writes, 9);
+        assert_eq!(s.fabric_frames, 1 + 2 + 3 + 4 + 7 + 8 + 15 + 16 + 100);
+        assert_eq!(s.frames_per_write_1, 1);
+        assert_eq!(s.frames_per_write_2_3, 2);
+        assert_eq!(s.frames_per_write_4_7, 2);
+        assert_eq!(s.frames_per_write_8_15, 2);
+        assert_eq!(s.frames_per_write_16_plus, 2);
     }
 
     #[test]

@@ -10,9 +10,15 @@ use std::sync::Arc;
 /// A cheaply cloneable, contiguous, immutable byte buffer: a reference-counted
 /// backing allocation plus a view window. Reads consume from the front by
 /// advancing the window.
+///
+/// The backing store is an `Arc<Vec<u8>>` rather than an `Arc<[u8]>` so
+/// that [`Bytes::from`]`(Vec<u8>)` — and therefore [`BytesMut::freeze`],
+/// which every encoded message goes through — adopts the existing heap
+/// allocation instead of copying it (`Arc<[u8]>::from` must re-allocate
+/// to place the refcount header inline).
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -23,11 +29,11 @@ impl Bytes {
     }
 
     pub fn from_static(s: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(s), start: 0, end: s.len() }
+        Bytes::copy_from_slice(s)
     }
 
     pub fn copy_from_slice(s: &[u8]) -> Self {
-        Bytes { data: Arc::from(s), start: 0, end: s.len() }
+        Bytes { data: Arc::new(s.to_vec()), start: 0, end: s.len() }
     }
 
     #[inline]
@@ -81,9 +87,10 @@ impl AsRef<[u8]> for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Adopts the Vec's allocation; no bytes are copied.
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
-        Bytes { data: Arc::from(v), start: 0, end }
+        Bytes { data: Arc::new(v), start: 0, end }
     }
 }
 
