@@ -12,6 +12,11 @@ byte-equal reports, and *any* drift beyond the band — a counter growing
 invalidates the comparison) — means behavior changed and the baseline
 must be updated deliberately, with the reason in the commit. Small
 in-band drifts are reported but pass.
+
+Leaves under a ``report_only`` object are exempt in both directions:
+they ride along in the gate artifact for humans (e.g. p99 latency, which
+swings too wide between quiet and contended hosts for a symmetric band)
+without being compared or required in the baseline.
 """
 
 import json
@@ -47,8 +52,13 @@ def main(argv):
     with open(argv[2]) as f:
         report = json.load(f)
 
+    def report_only(path):
+        return path.startswith("report_only.") or ".report_only." in path
+
     failures, improvements, checked = [], [], 0
     for path, base in leaves(baseline):
+        if report_only(path):
+            continue
         got = lookup(report, path)
         if got is None or isinstance(got, (dict, str, bool)):
             failures.append(f"{path}: missing from report (baseline {base})")
@@ -66,6 +76,8 @@ def main(argv):
             improvements.append(f"{path}: {got} drifted within band from baseline {base}")
     base_paths = {p for p, _ in leaves(baseline)}
     for path, got in leaves(report):
+        if report_only(path):
+            continue
         if path not in base_paths:
             failures.append(
                 f"{path}: present in report ({got}) but not in the baseline — "

@@ -33,7 +33,7 @@
 
 use std::net::{SocketAddr, TcpListener};
 use std::process::{Command, Stdio};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use nups_bench::drift_bench::{
@@ -41,6 +41,7 @@ use nups_bench::drift_bench::{
     workload_for,
 };
 use nups_bench::json::Json;
+use nups_bench::report::hists_json;
 use nups_bench::Args;
 use nups_core::runtime::Backend;
 use nups_core::system::FinalizeOutcome;
@@ -48,11 +49,29 @@ use nups_core::{Deployment, ParameterServer};
 use nups_net::{connect_cluster, ClusterOptions};
 use nups_sim::metrics::ClusterMetrics;
 use nups_sim::topology::NodeId;
+use nups_sim::trace::Observability;
 
 const FINALIZE_TIMEOUT: Duration = Duration::from_secs(60);
 
+/// This process's observability bundle, reachable from the panic hook.
+static OBS: OnceLock<Arc<Observability>> = OnceLock::new();
+
+/// Install a panic hook that dumps the flight record (last events +
+/// histogram snapshot) before the default hook prints the panic itself —
+/// a crashed node leaves its last moments on stderr.
+fn install_flight_recorder_hook() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if let Some(obs) = OBS.get() {
+            eprintln!("{}", obs.flight_record("panic"));
+        }
+        default(info);
+    }));
+}
+
 fn main() {
     let args = Args::parse();
+    install_flight_recorder_hook();
     let code = if args.get_flag("launch") { launch(&args) } else { run_node(&args) };
     std::process::exit(code);
 }
@@ -87,6 +106,11 @@ fn launch(args: &Args) -> i32 {
             .stdin(Stdio::null());
         if args.get_flag("adaptive") {
             cmd.arg("--adaptive");
+        }
+        // Every node journals its own timeline; suffix the trace path so
+        // the processes never race on one file.
+        if let Some(path) = args.get("trace") {
+            cmd.arg("--trace").arg(format!("{path}.node{}", node.0));
         }
         if node == NodeId(0) {
             if let Some(path) = args.get("model-out") {
@@ -175,20 +199,36 @@ fn run_node(args: &Args) -> i32 {
         if adaptive { adaptive_ps_config(topo, &workload) } else { ps_config(topo, &workload) }
             .with_backend(Backend::WallClock);
     let metrics = Arc::new(ClusterMetrics::new(topo.n_nodes as usize));
+    // One observability bundle for the whole process: the fabric's wire
+    // histograms, the server's event journal, and the panic hook all
+    // share it.
+    let obs = Arc::new(Observability::new());
+    let _ = OBS.set(Arc::clone(&obs));
 
     eprintln!(
         "[nups-node {me}] joining {}x{} cluster via {coordinator}",
         topo.n_nodes, topo.workers_per_node
     );
-    let fabric =
-        match connect_cluster(&ClusterOptions::new(me, topo, coordinator), Arc::clone(&metrics)) {
-            Ok(f) => Arc::new(f),
-            Err(e) => {
-                eprintln!("[nups-node {me}] bootstrap failed: {e}");
-                return 1;
-            }
-        };
-    let ps = ParameterServer::deploy(cfg, fabric, metrics, Deployment::SingleNode(me), init_value);
+    let fabric = match connect_cluster(
+        &ClusterOptions::new(me, topo, coordinator),
+        Arc::clone(&metrics),
+        Arc::clone(&obs),
+    ) {
+        Ok(f) => Arc::new(f),
+        Err(e) => {
+            eprintln!("[nups-node {me}] bootstrap failed: {e}");
+            eprintln!("{}", obs.flight_record(&format!("bootstrap failed: {e}")));
+            return 1;
+        }
+    };
+    let ps = ParameterServer::deploy(
+        cfg,
+        fabric,
+        metrics,
+        Arc::clone(&obs),
+        Deployment::SingleNode(me),
+        init_value,
+    );
 
     let start = Instant::now();
     let run = drift_bench::run_phases_timed(&ps, &workload);
@@ -197,6 +237,10 @@ fn run_node(args: &Args) -> i32 {
     eprintln!("[nups-node {me}] workload done in {elapsed:?}; finalizing");
 
     let outcome = ps.finalize_distributed(FINALIZE_TIMEOUT);
+    if let Some(path) = args.get("trace") {
+        std::fs::write(path, ps.observability().chrome_trace()).expect("write trace");
+        eprintln!("[nups-node {me}] wrote trace to {path}");
+    }
     let code = match outcome {
         FinalizeOutcome::Model(model) => {
             let bits = model_bits(model);
@@ -243,7 +287,9 @@ fn run_node(args: &Args) -> i32 {
                     .set("remote_accesses_node0", m.remote_pulls + m.remote_pushes)
                     .set("promotions_node0", m.promotions)
                     .set("demotions_node0", m.demotions)
-                    .set("adaptation_rounds", m.adaptation_rounds);
+                    .set("adaptation_rounds", m.adaptation_rounds)
+                    // Per-op latency histograms (this process's lanes).
+                    .set("hists", hists_json(&ps.observability().hists.snapshot()));
                 std::fs::write(path, report.render()).expect("write json report");
                 eprintln!("[nups-node {me}] wrote {path}");
             }

@@ -11,16 +11,14 @@
 //! the final model does not depend on scheduling, interleaving, or which
 //! fabric carried the updates.
 
-use std::time::Instant;
-
 use nups_core::adaptive::AdaptiveConfig;
 use nups_core::system::run_epoch;
 use nups_core::technique::heuristic_replicated_keys;
 use nups_core::{Key, NupsConfig, ParameterServer, PsWorker};
+use nups_sim::hist::HistSnapshot;
 use nups_sim::time::SimDuration;
 use nups_sim::topology::Topology;
 use nups_workloads::drift::{DriftConfig, DriftingHotspots};
-use parking_lot::Mutex;
 
 use crate::tasks::Scale;
 
@@ -88,31 +86,31 @@ pub fn total_accesses(workload: &DriftingHotspots, topology: Topology) -> u64 {
 }
 
 /// What one process observed while driving the workload: per-phase times
-/// on the server's (possibly virtual) timeline, plus the wall-clock
-/// latency of every individual `pull_many`/`push_many` call its workers
-/// made (unordered across workers).
+/// on the server's (possibly virtual) timeline, plus the pull/push wall
+/// latency its workers recorded into the observability histograms
+/// ([`nups_sim::hist`]), diffed around the run so a reused server's prior
+/// traffic is excluded.
 pub struct PhaseRun {
     pub epoch_times: Vec<SimDuration>,
-    pub op_micros: Vec<u64>,
+    pub pull: HistSnapshot,
+    pub push: HistSnapshot,
 }
 
 impl PhaseRun {
-    /// Nearest-rank percentile of the per-op latencies, in microseconds
-    /// (`pct` in 0..=100). Zero when no ops were timed.
+    /// Percentile of the combined pull+push latency, in microseconds
+    /// (`pct` in 0..=100). Nearest-rank over the histogram buckets,
+    /// reported as the bucket's upper bound — conservative by at most
+    /// 12.5 %. Zero when no ops ran.
     pub fn op_percentile_us(&self, pct: f64) -> u64 {
-        let mut sorted = self.op_micros.clone();
-        sorted.sort_unstable();
-        percentile(&sorted, pct)
+        let mut ops = self.pull.clone();
+        ops.merge(&self.push);
+        ops.percentile(pct) / 1_000
     }
-}
 
-/// Nearest-rank percentile of an ascending-sorted sample set; 0 on empty.
-pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
+    /// Total pull/push calls the run recorded.
+    pub fn op_count(&self) -> u64 {
+        self.pull.count + self.push.count
     }
-    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Drive every phase of the workload on the workers this process hosts
@@ -124,39 +122,38 @@ pub fn run_phases(ps: &ParameterServer, workload: &DriftingHotspots) -> Vec<SimD
     run_phases_timed(ps, workload).epoch_times
 }
 
-/// [`run_phases`], also timing every `pull_many`/`push_many` call so the
-/// bench can report p50/p99 per-op wall latency. The two `Instant` reads
-/// per op are noise next to a parameter-server round trip, so the timed
-/// path is the only implementation and `run_phases` discards the samples.
+/// [`run_phases`], also reporting the per-op wall-latency histograms the
+/// workers recorded, so the bench can quote p50/p99. The histograms are
+/// always on (recording is one relaxed `fetch_add`), so this just
+/// brackets the run with two snapshots.
 pub fn run_phases_timed(ps: &ParameterServer, workload: &DriftingHotspots) -> PhaseRun {
     let topo = ps.config().topology;
     let mut workers = ps.workers();
     let phases = workload.config().phases;
     let mut epoch_times = Vec::with_capacity(phases);
     let mut last = ps.virtual_time();
-    let op_micros: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let hists = &ps.observability().hists;
+    let (pull0, push0) = (hists.pull.snapshot(), hists.push.snapshot());
     for phase in 0..phases {
         run_epoch(&mut workers, |_, w| {
             let global = topo.worker_index(w.id());
-            let mut local = Vec::new();
             for keys in workload.worker_batches(phase, global) {
                 let mut out = vec![0.0f32; keys.len() * VALUE_LEN];
-                let t = Instant::now();
                 w.pull_many(&keys, &mut out);
-                local.push(t.elapsed().as_micros() as u64);
                 let deltas = vec![1.0f32; keys.len() * VALUE_LEN];
-                let t = Instant::now();
                 w.push_many(&keys, &deltas);
-                local.push(t.elapsed().as_micros() as u64);
                 w.charge_compute(500 * keys.len() as u64);
             }
-            op_micros.lock().extend(local);
         });
         let now = ps.virtual_time();
         epoch_times.push(now.saturating_since(last));
         last = now;
     }
-    PhaseRun { epoch_times, op_micros: op_micros.into_inner() }
+    PhaseRun {
+        epoch_times,
+        pull: hists.pull.snapshot().saturating_sub(&pull0),
+        push: hists.push.snapshot().saturating_sub(&push0),
+    }
 }
 
 /// Bit patterns of a final model (for exact cross-mode comparison).
@@ -188,24 +185,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentile_is_nearest_rank() {
-        assert_eq!(percentile(&[], 99.0), 0);
-        assert_eq!(percentile(&[7], 50.0), 7);
-        assert_eq!(percentile(&[7], 99.0), 7);
-        let v: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&v, 50.0), 50);
-        assert_eq!(percentile(&v, 99.0), 99);
-        assert_eq!(percentile(&v, 100.0), 100);
-        assert_eq!(percentile(&v, 0.0), 1);
-    }
-
-    #[test]
     fn timed_run_collects_one_sample_per_op() {
         let topo = Topology::new(2, 1);
         let workload = workload_for(Scale::Tiny);
         let ps = ParameterServer::new(ps_config(topo, &workload), init_value);
         let run = run_phases_timed(&ps, &workload);
-        // One pull + one push per batch, over every phase and worker.
+        // One pull + one push per batch, over every phase and worker,
+        // recorded into the observability histograms.
         let batches: usize = (0..workload.config().phases)
             .map(|p| {
                 (0..topo.total_workers())
@@ -213,7 +199,10 @@ mod tests {
                     .sum::<usize>()
             })
             .sum();
-        assert_eq!(run.op_micros.len(), 2 * batches);
+        assert_eq!(run.pull.count, batches as u64);
+        assert_eq!(run.push.count, batches as u64);
+        assert_eq!(run.op_count(), 2 * batches as u64);
+        assert!(run.op_percentile_us(99.0) >= run.op_percentile_us(50.0));
         assert_eq!(run.epoch_times.len(), workload.config().phases);
         ps.shutdown();
     }

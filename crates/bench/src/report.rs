@@ -1,11 +1,39 @@
 //! Speedup computation and table printing — the paper's *Measures*
 //! (Section 5.1): raw speedup (epoch-time ratio) and effective speedup
-//! (time to 90% of the best single-node quality).
+//! (time to 90% of the best single-node quality) — plus the JSON shape
+//! latency histograms take in bench reports.
 
 use nups_ml::task::QualityDirection;
+use nups_sim::hist::OpHistsSnapshot;
 use nups_sim::time::{SimDuration, SimTime};
 
+use crate::json::Json;
 use crate::runner::RunResult;
+
+/// Render an [`OpHistsSnapshot`] as a JSON object: one entry per non-empty
+/// histogram with count, mean, p50/p99 and max (microseconds). Empty
+/// histograms are omitted so in-process reports don't carry all-zero
+/// fabric lanes. These land in the artifact reports, never the gated one —
+/// latencies swing too wide between quiet and contended hosts for a
+/// symmetric regression band.
+pub fn hists_json(hists: &OpHistsSnapshot) -> Json {
+    let mut j = Json::obj();
+    for (name, h) in hists.entries() {
+        if h.is_empty() {
+            continue;
+        }
+        j = j.set(
+            name,
+            Json::obj()
+                .set("count", h.count)
+                .set("mean_us", h.mean() / 1_000.0)
+                .set("p50_us", h.percentile(50.0) / 1_000)
+                .set("p99_us", h.percentile(99.0) / 1_000)
+                .set("max_us", h.max() / 1_000),
+        );
+    }
+    j
+}
 
 /// Raw speedup of `variant` over `baseline` w.r.t. epoch run time.
 pub fn raw_speedup(baseline: &RunResult, variant: &RunResult) -> f64 {

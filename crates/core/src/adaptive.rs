@@ -51,6 +51,7 @@ use nups_sim::metrics::FreqSketch;
 use nups_sim::net::Frame;
 use nups_sim::time::{SimDuration, SimTime};
 use nups_sim::topology::{Addr, NodeId};
+use nups_sim::trace::actor;
 use nups_sim::WireEncode;
 
 use crate::key::Key;
@@ -234,6 +235,15 @@ impl AdaptiveManager {
         let promo_keys: Vec<Key> = promos.iter().map(|&(_, k)| k).collect();
         let promotions = shared.technique.plan_slots(&demo_keys, &promo_keys);
         let epoch = dist.state().issue_plan();
+        let n_migrations = (promotions.len() + demo_keys.len()) as u64;
+        shared.obs.event(
+            boundary,
+            ADAPT_LEADER.0,
+            actor::SYNC,
+            "adapt_plan_issue",
+            epoch,
+            n_migrations,
+        );
         let plan = Msg::AdaptPlan { epoch, promotions, demotions: demo_keys };
         for node in shared.topology.nodes() {
             // Including the leader itself: applying the plan on the server
@@ -257,6 +267,14 @@ impl AdaptiveManager {
         }
 
         let boundary = shared.gate.merge_boundary();
+        shared.obs.event(
+            boundary,
+            NodeId(0).0,
+            actor::SYNC,
+            "adapt_round",
+            promos.len() as u64,
+            demos.len() as u64,
+        );
         let mut duration = SimDuration::ZERO;
         // Demotions first: they free replica slots promotions can reuse.
         if !demos.is_empty() {
@@ -507,6 +525,7 @@ fn promote_key(shared: &Shared, key: Key, boundary: SimTime) -> SimDuration {
     shared.sync.install_slot(slot, key, value);
     let assigned = shared.technique.promote(key);
     debug_assert_eq!(assigned, slot, "peeked slot must match the promoted slot");
+    shared.obs.event(boundary, home.0, actor::SYNC, "promote", key, slot as u64);
 
     // Price: the owner broadcasts the value to every peer.
     let peers = shared.topology.n_nodes - 1;
@@ -537,6 +556,7 @@ fn demote_keys(shared: &Shared, demos: &[(u64, Key)], boundary: SimTime) -> SimD
         // left over from the key's pre-promotion relocation history.
         shared.nodes[owner.index()].directory.set_owner(key, owner);
         shared.technique.demote(key);
+        shared.obs.event(boundary, owner.0, actor::SYNC, "demote", key, slot as u64);
 
         let payload = Msg::Demote { key, owner }.encoded_len();
         shared.metrics.node(owner).inc(|m| &m.demotions);

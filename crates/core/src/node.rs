@@ -7,6 +7,7 @@ use std::sync::Arc;
 use nups_sim::metrics::ClusterMetrics;
 use nups_sim::time::SimDuration;
 use nups_sim::topology::{NodeId, Topology};
+use nups_sim::trace::{actor, Observability};
 
 use crate::adaptive::{AdaptiveManager, DistAdaptive};
 use crate::key::{Key, KeySpace};
@@ -72,6 +73,13 @@ pub struct Shared {
     pub value_len: usize,
     pub relocation_enabled: bool,
     pub metrics: Arc<ClusterMetrics>,
+    /// Latency histograms and the event journal (one bundle per process;
+    /// see [`nups_sim::trace`]).
+    pub obs: Arc<Observability>,
+    /// The node lane process-level journal events (sync rounds) are
+    /// attributed to: the deployed node in per-node mode, node 0 for the
+    /// in-process cluster-wide rendezvous.
+    pub journal_node: NodeId,
     /// The execution backend: clocks, pricing, progress waits.
     pub runtime: Arc<dyn Runtime>,
     /// The message fabric every port is bound from.
@@ -144,12 +152,22 @@ impl Shared {
     /// runtime decides whether it is the modelled duration (virtual
     /// backend) or the real execution time (wall-clock backend).
     pub fn merge_step(&self) -> SimDuration {
-        self.runtime.measure(&mut || {
+        let at = self.runtime.elapsed();
+        let wall = std::time::Instant::now();
+        let d = self.runtime.measure(&mut || {
+            let sync_wall = std::time::Instant::now();
             let mut d = self.sync.sync_once(&self.metrics);
+            self.obs.hists.sync_round.record(sync_wall.elapsed().as_nanos() as u64);
             if let Some(mgr) = &self.adaptive {
                 d += mgr.maybe_adapt(self);
             }
             d
-        })
+        });
+        self.obs.hists.merge.record(wall.elapsed().as_nanos() as u64);
+        // Journal the rendezvous as a span on this runtime's timeline; the
+        // duration is the modelled one, so virtual-time traces stay
+        // deterministic.
+        self.obs.span(at, d.as_nanos(), self.journal_node.0, actor::SYNC, "sync_round", 0, 0);
+        d
     }
 }

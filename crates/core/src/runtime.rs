@@ -417,6 +417,12 @@ pub trait Runtime: Send + Sync {
 
     /// Cluster-wide elapsed time on this runtime's timeline: the virtual
     /// makespan, or real time since the server started.
+    ///
+    /// Trace-journal timestamps (`nups_sim::trace`) derive from this
+    /// timeline — worker-side events from the worker's [`RuntimeClock`],
+    /// control-plane events from `elapsed` — which is why virtual-time
+    /// traces are byte-identical across seeded runs while wall-clock
+    /// traces carry real durations.
     fn elapsed(&self) -> SimTime;
 
     /// Run a merge-style closure and report its duration on this runtime's

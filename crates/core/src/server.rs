@@ -12,6 +12,7 @@ use std::sync::Arc;
 use nups_sim::codec::WireEncode;
 use nups_sim::time::SimTime;
 use nups_sim::topology::{Addr, NodeId};
+use nups_sim::trace::actor;
 
 use crate::adaptive::ADAPT_LEADER;
 use crate::key::Key;
@@ -66,6 +67,14 @@ impl Server {
         self.endpoint.send(dst, at, msg.to_bytes());
     }
 
+    /// Journal one instant event in this node's server lane. `at` is the
+    /// incoming frame's send stamp, so under the virtual backend the
+    /// event timeline is a pure function of the workload.
+    #[inline]
+    fn journal(&self, at: SimTime, name: &'static str, a: u64, b: u64) {
+        self.shared.obs.event(at, self.me().0, actor::SERVER, name, a, b);
+    }
+
     /// Returns `false` on `Stop`.
     fn handle(&mut self, msg: Msg, at: SimTime) -> bool {
         match msg {
@@ -103,7 +112,7 @@ impl Server {
             Msg::Promote { key, epoch, slot, value } => {
                 self.handle_promote(key, epoch, slot, value, at)
             }
-            Msg::PlanAck { from, epoch } => self.handle_plan_ack(from, epoch),
+            Msg::PlanAck { from, epoch } => self.handle_plan_ack(from, epoch, at),
             // The only pushes a server issues carry its own server port as
             // the reply address: demotion residues and stray sync deltas
             // folded at the home. Their acks land here.
@@ -422,6 +431,7 @@ impl Server {
             return;
         }
         self.state.directory.set_owner(key, requester);
+        self.journal(at, "localize", key, requester.0 as u64);
         if owner == self.me() {
             self.handle_forward_localize(key, requester, at);
         } else {
@@ -461,6 +471,7 @@ impl Server {
         // Count before installing: install wakes workers blocked on the
         // key, and an observer must not see the wake before the count.
         self.shared.metrics.node(self.me()).inc(|m| &m.relocations);
+        self.journal(at, "transfer_install", key, 0);
         let out = self.state.store.install(key, value);
         for (value, reply_to, hops) in out.pull_replies {
             let resp = Msg::PullResp { key, value, hops: hops.saturating_add(1) };
@@ -528,6 +539,7 @@ impl Server {
             debug_assert!(false, "adapt plan without distributed adaptive state");
             return;
         };
+        self.journal(at, "adapt_plan_apply", epoch, (promotions.len() + demotions.len()) as u64);
         let mut demote_now = Vec::with_capacity(demotions.len());
         {
             let mut st = dist.state();
@@ -593,6 +605,7 @@ impl Server {
     /// slot, installs the authoritative value at the home, and ships any
     /// non-home residue accumulator there as an acknowledged push.
     fn apply_demotion(&mut self, key: Key, at: SimTime) {
+        self.journal(at, "demote", key, 0);
         let shared = Arc::clone(&self.shared);
         let slot = shared.technique.replica_slot(key).expect("demoted key has a slot");
         let home = shared.keyspace.home(key);
@@ -630,6 +643,7 @@ impl Server {
     /// for the authoritative value.
     fn initiate_promotion(&mut self, key: Key, at: SimTime) {
         debug_assert_eq!(self.shared.keyspace.home(key), self.me(), "promotion runs at home");
+        self.journal(at, "promote_start", key, 0);
         self.shared.technique.fence_key(key);
         let owner = self.state.directory.owner(key);
         if owner == self.me() {
@@ -694,6 +708,7 @@ impl Server {
         self.state.replicas.install_slot(slot, key, value.clone(), epoch);
         self.shared.technique.promote_to_slot(key, slot);
         self.shared.technique.unfence_key(key);
+        self.journal(at, "promote_install", key, epoch);
         let (deferred, stashed) = {
             let mut st = dist.state();
             st.pending_promote.remove(&key);
@@ -770,6 +785,7 @@ impl Server {
             self.shared.runtime.notify_progress();
             return;
         }
+        self.journal(at, "promote_admit", key, plan_epoch);
         self.state.replicas.install_slot(slot, key, value, plan_epoch);
         for delta in stashed {
             let ok = self.state.replicas.apply_foreign(slot, key, plan_epoch, &delta);
@@ -822,8 +838,9 @@ impl Server {
     }
 
     /// Leader: a peer finished a plan.
-    fn handle_plan_ack(&mut self, from: NodeId, epoch: u64) {
+    fn handle_plan_ack(&mut self, from: NodeId, epoch: u64, at: SimTime) {
         debug_assert_eq!(self.me(), ADAPT_LEADER, "plan ack at non-leader");
+        self.journal(at, "plan_ack", from.0 as u64, epoch);
         if let Some(dist) = self.shared.dist_adaptive.as_ref() {
             dist.note_ack(from, epoch);
             self.shared.runtime.notify_progress();

@@ -37,6 +37,7 @@ use nups_sim::metrics::{ClusterMetrics, MetricsSnapshot};
 use nups_sim::net::{Frame, Network};
 use nups_sim::time::SimTime;
 use nups_sim::topology::{Addr, NodeId, Topology, WorkerId};
+use nups_sim::trace::Observability;
 use nups_sim::WireEncode;
 
 use crate::api::PsWorker;
@@ -130,6 +131,9 @@ struct SspShared {
     keyspace: KeySpace,
     nodes: Vec<Arc<SspNode>>,
     metrics: Arc<ClusterMetrics>,
+    /// Per-op latency histograms — the baseline reports from the same
+    /// observability layer NuPS does, so tail latencies compare directly.
+    obs: Arc<Observability>,
     runtime: Arc<dyn Runtime>,
     fabric: Arc<dyn Fabric>,
     dists: Mutex<Vec<Arc<Distribution>>>,
@@ -175,6 +179,7 @@ impl SspPs {
             keyspace,
             nodes,
             metrics,
+            obs: Arc::new(Observability::new()),
             runtime,
             fabric,
             dists: Mutex::new(Vec::new()),
@@ -243,6 +248,11 @@ impl SspPs {
 
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.total()
+    }
+
+    /// The baseline's observability bundle (per-op latency histograms).
+    pub fn observability(&self) -> &Arc<Observability> {
+        &self.shared.obs
     }
 
     pub fn virtual_time(&self) -> SimTime {
@@ -435,6 +445,7 @@ impl PsWorker for SspWorker {
     }
 
     fn pull(&mut self, key: Key, out: &mut [f32]) {
+        let wall = std::time::Instant::now();
         let fresh_enough = {
             let cache = self.node.cache.lock();
             match cache.get(&key) {
@@ -452,22 +463,24 @@ impl PsWorker for SspWorker {
             m.inc(|m| &m.replica_pulls);
             m.inc(|m| &m.local_pulls);
             self.charge_intra_process();
-            return;
+        } else {
+            let value = self.refresh(key);
+            out.copy_from_slice(&value);
+            let mut cache = self.node.cache.lock();
+            cache.insert(
+                key,
+                CacheEntry {
+                    value,
+                    tag: self.logical_clock,
+                    subscribed: self.shared.cfg.protocol == SspProtocol::Essp,
+                },
+            );
         }
-        let value = self.refresh(key);
-        out.copy_from_slice(&value);
-        let mut cache = self.node.cache.lock();
-        cache.insert(
-            key,
-            CacheEntry {
-                value,
-                tag: self.logical_clock,
-                subscribed: self.shared.cfg.protocol == SspProtocol::Essp,
-            },
-        );
+        self.shared.obs.hists.pull.record(wall.elapsed().as_nanos() as u64);
     }
 
     fn push(&mut self, key: Key, delta: &[f32]) {
+        let wall = std::time::Instant::now();
         {
             let mut cache = self.node.cache.lock();
             if let Some(e) = cache.get_mut(&key) {
@@ -484,6 +497,7 @@ impl PsWorker for SspWorker {
         m.inc(|m| &m.replica_pushes);
         m.inc(|m| &m.local_pushes);
         self.charge_intra_process();
+        self.shared.obs.hists.push.record(wall.elapsed().as_nanos() as u64);
     }
 
     fn localize(&mut self, _keys: &[Key]) {

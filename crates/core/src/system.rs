@@ -9,6 +9,7 @@ use nups_sim::metrics::{ClusterMetrics, MetricsSnapshot};
 use nups_sim::net::{Frame, Network};
 use nups_sim::time::SimTime;
 use nups_sim::topology::{Addr, NodeId, WorkerId};
+use nups_sim::trace::{actor, Observability};
 use nups_sim::WireEncode;
 
 use crate::adaptive::{AdaptiveManager, DistAdaptive};
@@ -87,7 +88,8 @@ impl ParameterServer {
         let metrics = Arc::new(ClusterMetrics::new(topo.n_nodes as usize));
         let network = Network::new(topo, Arc::clone(&metrics));
         let fabric: Arc<dyn Fabric> = Arc::new(SimFabric::new(network));
-        Self::deploy(config, fabric, metrics, Deployment::AllInProcess, init)
+        let obs = Arc::new(Observability::new());
+        Self::deploy(config, fabric, metrics, obs, Deployment::AllInProcess, init)
     }
 
     /// Build and start the server on an explicit fabric and deployment.
@@ -104,10 +106,14 @@ impl ParameterServer {
     /// runs as a distributed leader-driven epoch protocol (see
     /// [`crate::adaptive`]): node 0 scores from merged sketch reports and
     /// broadcasts versioned migration plans over the fabric.
+    /// `obs` is the process-wide observability bundle; a TCP-fabric
+    /// process passes the same instance the fabric records its queue-wait
+    /// and flush histograms into, so one flight record covers both layers.
     pub fn deploy(
         config: NupsConfig,
         fabric: Arc<dyn Fabric>,
         metrics: Arc<ClusterMetrics>,
+        obs: Arc<Observability>,
         deployment: Deployment,
         mut init: impl FnMut(Key, &mut [f32]),
     ) -> ParameterServer {
@@ -201,6 +207,11 @@ impl ParameterServer {
             value_len: config.value_len,
             relocation_enabled: config.relocation_enabled,
             metrics,
+            obs,
+            journal_node: match deployment {
+                Deployment::AllInProcess => NodeId(0),
+                Deployment::SingleNode(me) => me,
+            },
             runtime,
             fabric,
             gate,
@@ -374,6 +385,12 @@ impl ParameterServer {
         self.shared.metrics.total()
     }
 
+    /// The process-wide observability bundle: latency histograms, the
+    /// event journal, and the flight recorder.
+    pub fn observability(&self) -> &Arc<Observability> {
+        &self.shared.obs
+    }
+
     pub fn metrics_of(&self, node: NodeId) -> MetricsSnapshot {
         self.shared.metrics.snapshot_node(node)
     }
@@ -475,12 +492,26 @@ impl ParameterServer {
         let remaining = |deadline: std::time::Instant| {
             deadline.saturating_duration_since(std::time::Instant::now())
         };
+        // Journal each phase transition, and on any timeout dump the
+        // flight record to stderr before giving up: the last window of
+        // events is the post-mortem timeline of what this node (and the
+        // peers it heard from) was doing when the protocol wedged.
+        let mark = |name: &'static str, a: u64| {
+            self.shared.obs.event(self.shared.runtime.elapsed(), me.0, actor::CONTROL, name, a, 0);
+        };
+        let fail = |phase: &'static str| {
+            mark("finalize_timeout", 0);
+            eprintln!("{}", self.shared.obs.flight_record(&format!("finalize timed out: {phase}")));
+            FinalizeOutcome::TimedOut
+        };
+        mark("finalize_start", n_peers);
 
         // 1. Quiesce locally: a key mid-transfer toward us is owned by
         // nobody until its install, which also wakes this wait.
         if !self.shared.runtime.wait_until(remaining(deadline), &mut || store.n_inflight() == 0) {
-            return FinalizeOutcome::TimedOut;
+            return fail("local relocation quiesce");
         }
+        mark("finalize_quiesced", 0);
         self.flush_replicas();
         if adaptive.is_some() {
             // Fence the final broadcast on every outgoing link: a receiver
@@ -488,10 +519,12 @@ impl ParameterServer {
             for peer in topo.nodes().filter(|p| *p != me) {
                 self.post_ctl(ctl_addr, Addr::server(peer), &Msg::FinFence { from: me });
             }
+            mark("fin_fence_bcast", n_peers);
         }
         let coordinator = NodeId(0);
         if me != coordinator {
             self.post_ctl(ctl_addr, Addr::server(coordinator), &Msg::SyncFin { from: me });
+            mark("sync_fin_sent", 1);
             if let Some(dist) = adaptive {
                 // 2. Drain: every peer's broadcasts folded here, and every
                 // fold or residue we forwarded to another node's store
@@ -500,9 +533,10 @@ impl ParameterServer {
                 if !self.shared.runtime.wait_until(remaining(deadline), &mut || {
                     self.shared.fin_fences() >= n_peers && dist.state().settled()
                 }) {
-                    return FinalizeOutcome::TimedOut;
+                    return fail("peer drain (fences + settled migration state)");
                 }
                 self.post_ctl(ctl_addr, Addr::server(coordinator), &Msg::SyncFin { from: me });
+                mark("sync_fin_sent", 2);
             }
             // Wait for the cluster-wide quiescence announcement, then
             // contribute our share of the model.
@@ -515,10 +549,11 @@ impl ParameterServer {
                         }
                     }
                     RecvOutcome::TimedOut | RecvOutcome::Closed => {
-                        return FinalizeOutcome::TimedOut;
+                        return fail("release wait");
                     }
                 }
             };
+            mark("release_recv", released_epoch);
             if let Some(dist) = adaptive {
                 // Catch up to the released plan, then push any deltas a
                 // migration fallback stranded in the replica accumulators
@@ -529,13 +564,15 @@ impl ParameterServer {
                     .runtime
                     .wait_until(remaining(deadline), &mut || dist.quiesced(released_epoch))
                 {
-                    return FinalizeOutcome::TimedOut;
+                    return fail("catch-up to released plan epoch");
                 }
                 self.flush_replicas();
                 self.post_ctl(ctl_addr, Addr::server(coordinator), &Msg::SyncFin { from: me });
+                mark("sync_fin_sent", 3);
             }
             let part = Msg::ModelPart { from: me, entries: self.local_model_part() };
             self.post_ctl(ctl_addr, Addr { node: coordinator, port: topo.sync_port() }, &part);
+            mark("model_part_sent", 0);
             return FinalizeOutcome::Released;
         }
 
@@ -551,7 +588,7 @@ impl ParameterServer {
                         && dist.quiesced(epoch)
                         && dist.all_acked(epoch)
                 }) {
-                    return FinalizeOutcome::TimedOut;
+                    return fail("coordinator barrier (fins + fences + plan quiescence)");
                 }
                 epoch
             }
@@ -561,7 +598,7 @@ impl ParameterServer {
                     .runtime
                     .wait_until(remaining(deadline), &mut || self.shared.sync_fins() >= n_peers)
                 {
-                    return FinalizeOutcome::TimedOut;
+                    return fail("coordinator barrier (peer fins)");
                 }
                 0
             }
@@ -571,6 +608,7 @@ impl ParameterServer {
             let release = Msg::Release { epoch: released_epoch };
             self.post_ctl(ctl_addr, Addr { node: peer, port: topo.sync_port() }, &release);
         }
+        mark("release_bcast", released_epoch);
         if adaptive.is_some() {
             // Absorb every peer's post-release flush before snapshotting:
             // the third fins prove the deltas are applied locally.
@@ -580,7 +618,7 @@ impl ParameterServer {
                 .runtime
                 .wait_until(remaining(deadline), &mut || self.shared.sync_fins() >= want)
             {
-                return FinalizeOutcome::TimedOut;
+                return fail("post-release peer flush fins");
             }
             self.flush_replicas();
         }
@@ -596,9 +634,12 @@ impl ParameterServer {
                         }
                     }
                 }
-                RecvOutcome::TimedOut | RecvOutcome::Closed => return FinalizeOutcome::TimedOut,
+                RecvOutcome::TimedOut | RecvOutcome::Closed => {
+                    return fail("model part collection")
+                }
             }
         }
+        mark("model_parts_recv", n_peers);
         let n = self.config.n_keys as usize;
         let mut out: Vec<Option<Vec<f32>>> = vec![None; n];
         for (slot, key) in self.shared.technique.slot_entries() {

@@ -584,36 +584,46 @@ impl PsWorker for NupsWorker {
 
     fn pull(&mut self, key: Key, out: &mut [f32]) {
         debug_assert_eq!(out.len(), self.shared.value_len);
+        let wall = std::time::Instant::now();
         self.shared.record_access(key);
         loop {
             match self.shared.technique.route(key) {
                 KeyRoute::Replicated(slot) => {
                     if self.pull_replicated(slot, key, out) {
-                        return;
+                        break;
                     }
                     // Demotion in progress on the server thread; the route
                     // flips within the same plan step.
                     std::thread::yield_now();
                 }
-                KeyRoute::Relocated => return self.pull_relocated(key, out),
+                KeyRoute::Relocated => {
+                    self.pull_relocated(key, out);
+                    break;
+                }
             }
         }
+        self.shared.obs.hists.pull.record(wall.elapsed().as_nanos() as u64);
     }
 
     fn push(&mut self, key: Key, delta: &[f32]) {
         debug_assert_eq!(delta.len(), self.shared.value_len);
+        let wall = std::time::Instant::now();
         self.shared.record_access(key);
         loop {
             match self.shared.technique.route(key) {
                 KeyRoute::Replicated(slot) => {
                     if self.push_replicated(slot, key, delta) {
-                        return;
+                        break;
                     }
                     std::thread::yield_now();
                 }
-                KeyRoute::Relocated => return self.push_relocated(key, delta),
+                KeyRoute::Relocated => {
+                    self.push_relocated(key, delta);
+                    break;
+                }
             }
         }
+        self.shared.obs.hists.push.record(wall.elapsed().as_nanos() as u64);
     }
 
     fn pull_many(&mut self, keys: &[Key], out: &mut [f32]) {
@@ -622,7 +632,12 @@ impl PsWorker for NupsWorker {
             // A single key takes the scalar path: smaller wire message, no
             // grouping overhead.
             [key] => self.pull(*key, out),
-            _ => self.pull_many_batched(keys, out),
+            _ => {
+                // One histogram sample per batched op, like the scalar path.
+                let wall = std::time::Instant::now();
+                self.pull_many_batched(keys, out);
+                self.shared.obs.hists.pull.record(wall.elapsed().as_nanos() as u64);
+            }
         }
     }
 
@@ -630,7 +645,11 @@ impl PsWorker for NupsWorker {
         match keys {
             [] => {}
             [key] => self.push(*key, deltas),
-            _ => self.push_many_batched(keys, deltas),
+            _ => {
+                let wall = std::time::Instant::now();
+                self.push_many_batched(keys, deltas);
+                self.shared.obs.hists.push.record(wall.elapsed().as_nanos() as u64);
+            }
         }
     }
 
@@ -638,6 +657,7 @@ impl PsWorker for NupsWorker {
         if !self.shared.relocation_enabled {
             return;
         }
+        let wall = std::time::Instant::now();
         // Coalesce accepted intents into one message per home node; keys
         // already local or in flight are no-ops (as in Lapse).
         let mut groups: Vec<(NodeId, Vec<Key>)> = Vec::new();
@@ -665,6 +685,7 @@ impl PsWorker for NupsWorker {
             let c = self.pricing().local_access();
             self.clock.advance(c);
         }
+        self.shared.obs.hists.localize.record(wall.elapsed().as_nanos() as u64);
     }
 
     fn advance_clock(&mut self) {

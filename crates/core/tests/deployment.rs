@@ -16,6 +16,7 @@ use nups_sim::metrics::ClusterMetrics;
 use nups_sim::net::Network;
 use nups_sim::time::SimDuration;
 use nups_sim::topology::{NodeId, Topology};
+use nups_sim::trace::Observability;
 
 const N_KEYS: u64 = 48;
 const VALUE_LEN: usize = 2;
@@ -115,6 +116,7 @@ fn run_per_node_with(
                 cfg_for(topology).with_backend(Backend::WallClock),
                 fabric,
                 metrics,
+                Arc::new(Observability::new()),
                 Deployment::SingleNode(node),
                 init,
             );
@@ -250,6 +252,7 @@ fn per_node_deployment_requires_wall_clock() {
             cfg(topology),
             fabric,
             metrics,
+            Arc::new(Observability::new()),
             Deployment::SingleNode(NodeId(0)),
             init,
         )

@@ -33,6 +33,7 @@ use nups_sim::metrics::ClusterMetrics;
 use nups_sim::net::Frame;
 use nups_sim::time::SimTime;
 use nups_sim::topology::{Addr, NodeId, Topology};
+use nups_sim::trace::{actor, Observability};
 
 use crate::fabric::{TcpFabric, CTRL_PORT};
 use crate::frame::{read_frame, write_frame, ReadError};
@@ -352,16 +353,34 @@ fn connect_retry(addr: SocketAddr, deadline: Instant) -> Result<TcpStream, Boots
 pub fn connect_cluster(
     opts: &ClusterOptions,
     metrics: Arc<ClusterMetrics>,
+    obs: Arc<Observability>,
 ) -> Result<TcpFabric, BootstrapError> {
     let me = opts.node;
     let topo = opts.topology;
     let n = topo.n_nodes;
     assert!(me.0 < n, "node {me} outside the topology");
-    let deadline = Instant::now() + opts.timeout;
+    let started = Instant::now();
+    let deadline = started + opts.timeout;
+    // Handshake phases are journaled with wall-clock offsets from the start
+    // of the handshake (the virtual backend never bootstraps over TCP, so
+    // these stamps are outside the deterministic-trace contract).
+    let mark = |name: &'static str, a: u64| {
+        obs.event(SimTime(started.elapsed().as_nanos() as u64), me.0, actor::FABRIC, name, a, 0);
+    };
+    mark("bootstrap_start", n as u64);
 
     if n == 1 {
         // A cluster of one has no peers to shake hands with.
-        return Ok(TcpFabric::assemble(me, topo, metrics, Vec::new(), Vec::new(), opts.timeout)?);
+        mark("bootstrap_done", 0);
+        return Ok(TcpFabric::assemble(
+            me,
+            topo,
+            metrics,
+            obs,
+            Vec::new(),
+            Vec::new(),
+            opts.timeout,
+        )?);
     }
 
     let data_listener = TcpListener::bind(SocketAddr::new(opts.bind_ip, 0))?;
@@ -417,6 +436,7 @@ pub fn connect_cluster(
             _ => return Err(BootstrapError::Protocol("expected the membership table".into())),
         }
     };
+    mark("bootstrap_membership", n as u64);
 
     // Phase 2: mesh — dial every peer (outbound links), accept every peer
     // (inbound links), each link introduced by a Hello.
@@ -452,13 +472,15 @@ pub fn connect_cluster(
             _ => return Err(BootstrapError::Protocol("expected a mesh hello".into())),
         }
     }
+    mark("bootstrap_mesh", (outbound.len() + inbound.len()) as u64);
 
     // Phase 3: barrier — every directed link carries one control frame
     // before any protocol traffic flows.
     // The shutdown drain grace reuses the cluster's one timeout budget: a
     // writer wedged on a dead peer is cut off after `opts.timeout`, the
     // same bound every bootstrap phase already honors.
-    let fabric = TcpFabric::assemble(me, topo, metrics, outbound, inbound, opts.timeout)?;
+    let fabric =
+        TcpFabric::assemble(me, topo, metrics, Arc::clone(&obs), outbound, inbound, opts.timeout)?;
     for peer in topo.nodes().filter(|p| *p != me) {
         fabric.post(ctl_frame(me, peer, &Ctl::Barrier));
     }
@@ -468,6 +490,7 @@ pub fn connect_cluster(
         fabric.close();
         return Err(BootstrapError::TimedOut { phase: "waiting for the connection barrier" });
     }
+    mark("bootstrap_done", n as u64 - 1);
     Ok(fabric)
 }
 

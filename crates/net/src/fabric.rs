@@ -30,10 +30,12 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use nups_core::runtime::{Fabric, Port, RecvOutcome};
+use nups_sim::hist::OpHists;
 use nups_sim::metrics::{ClusterMetrics, Metrics};
 use nups_sim::net::Frame;
 use nups_sim::time::SimTime;
 use nups_sim::topology::{Addr, NodeId, Topology};
+use nups_sim::trace::Observability;
 
 use crate::frame::{read_frame_pooled, write_batch, ReadError};
 use crate::pool::BufferPool;
@@ -90,7 +92,9 @@ impl Inbox {
 }
 
 struct SendQueueState {
-    queue: VecDeque<Frame>,
+    /// Each frame carries its enqueue instant so the drain can report how
+    /// long it sat waiting for the wire (the `queue_wait` histogram).
+    queue: VecDeque<(Instant, Frame)>,
     closed: bool,
 }
 
@@ -121,7 +125,7 @@ impl SendQueue {
         if st.closed {
             return;
         }
-        st.queue.push_back(frame);
+        st.queue.push_back((Instant::now(), frame));
         drop(st);
         self.not_empty.notify_one();
     }
@@ -145,13 +149,18 @@ impl SendQueue {
     }
 
     /// Drain *everything* queued into `out`; never blocks. The writer
-    /// wakes once per burst, not once per frame.
-    fn drain(&self, out: &mut Vec<Frame>) {
+    /// wakes once per burst, not once per frame. Each drained frame's
+    /// time-in-queue lands in the `queue_wait` histogram.
+    fn drain(&self, out: &mut Vec<Frame>, hists: &OpHists) {
         let mut st = self.state.lock();
         if st.queue.is_empty() {
             return;
         }
-        out.extend(st.queue.drain(..));
+        let now = Instant::now();
+        out.extend(st.queue.drain(..).map(|(queued_at, frame)| {
+            hists.queue_wait.record(now.saturating_duration_since(queued_at).as_nanos() as u64);
+            frame
+        }));
         drop(st);
         // The whole queue emptied at once: every sender blocked on a full
         // queue can proceed, so wake them all.
@@ -190,7 +199,7 @@ impl Link {
     /// FIFO safety: every frame goes through the queue, and the queue is
     /// only drained while the wire lock is held, so frames reach the
     /// socket exactly in queue order.
-    fn send(&self, frame: Frame, pool: &BufferPool, m: &Metrics) {
+    fn send(&self, frame: Frame, pool: &BufferPool, m: &Metrics, hists: &OpHists) {
         match self.wire.try_lock() {
             Some(mut wire) => {
                 // Common case: nothing queued ahead of us — write the one
@@ -203,15 +212,17 @@ impl Link {
                         return;
                     }
                     if !st.queue.is_empty() {
-                        st.queue.push_back(frame);
+                        st.queue.push_back((Instant::now(), frame));
                         drop(st);
-                        self.combine(&mut wire, pool, m);
+                        self.combine(&mut wire, pool, m, hists);
                         return;
                     }
                 }
                 m.record_fabric_write(1);
                 let mut scratch = pooled_scratch(pool, m);
+                let flushing = Instant::now();
                 let res = write_batch(&mut *wire, std::slice::from_ref(&frame), &mut scratch);
+                hists.flush.record(flushing.elapsed().as_nanos() as u64);
                 pool.put(scratch);
                 if res.is_err() {
                     // Peer gone: stop accepting frames so senders do not
@@ -221,7 +232,7 @@ impl Link {
                 }
                 // Frames posted while we wrote ride out in our next batch
                 // instead of waiting for a writer-thread wakeup.
-                self.combine(&mut wire, pool, m);
+                self.combine(&mut wire, pool, m, hists);
             }
             None => self.queue.push(frame),
         }
@@ -230,16 +241,18 @@ impl Link {
     /// Flush the queue until it is empty, as coalesced batches, while the
     /// caller holds the wire lock. The no-backlog case never gets here
     /// ([`Link::send`] checks first), so the Vec is not on the fast path.
-    fn combine(&self, wire: &mut TcpStream, pool: &BufferPool, m: &Metrics) {
+    fn combine(&self, wire: &mut TcpStream, pool: &BufferPool, m: &Metrics, hists: &OpHists) {
         let mut batch = Vec::new();
         loop {
-            self.queue.drain(&mut batch);
+            self.queue.drain(&mut batch, hists);
             if batch.is_empty() {
                 return;
             }
             m.record_fabric_write(batch.len() as u64);
             let mut scratch = pooled_scratch(pool, m);
+            let flushing = Instant::now();
             let res = write_batch(wire, &batch, &mut scratch);
+            hists.flush.record(flushing.elapsed().as_nanos() as u64);
             pool.put(scratch);
             batch.clear();
             if res.is_err() {
@@ -262,6 +275,9 @@ struct PeerLink {
 struct FabricInner {
     node: NodeId,
     metrics: Arc<ClusterMetrics>,
+    /// Latency histograms (`flush`, `queue_wait`) shared with the node's
+    /// parameter server so one report covers the whole process.
+    obs: Arc<Observability>,
     /// Scratch buffers shared by this fabric's writer and reader threads.
     pool: Arc<BufferPool>,
     inboxes: Vec<Inbox>,
@@ -294,7 +310,7 @@ impl FabricInner {
             m.add(|m| &m.bytes_sent, frame.wire_bytes() as u64);
         }
         match self.peers.get(frame.dst.node.index()).and_then(|p| p.as_ref()) {
-            Some(p) => p.link.send(frame, &self.pool, m),
+            Some(p) => p.link.send(frame, &self.pool, m, &self.obs.hists),
             None => debug_assert!(false, "no link to node {}", frame.dst.node),
         }
     }
@@ -390,6 +406,7 @@ fn spawn_writer(
     link: Arc<Link>,
     pool: Arc<BufferPool>,
     metrics: Arc<ClusterMetrics>,
+    obs: Arc<Observability>,
 ) -> std::io::Result<JoinHandle<()>> {
     std::thread::Builder::new().name(format!("nups-net-tx-{node}-to-{peer}")).spawn(move || {
         let m = metrics.node(node);
@@ -403,13 +420,15 @@ fn spawn_writer(
             // sender ([`Link::send`]) flushes whatever is queued while it
             // holds the wire — so an empty drain just re-parks.
             let mut wire = link.wire.lock();
-            link.queue.drain(&mut batch);
+            link.queue.drain(&mut batch, &obs.hists);
             if batch.is_empty() {
                 continue;
             }
             m.record_fabric_write(batch.len() as u64);
             let mut scratch = pooled_scratch(&pool, m);
+            let flushing = Instant::now();
             let res = write_batch(&mut *wire, &batch, &mut scratch);
+            obs.hists.flush.record(flushing.elapsed().as_nanos() as u64);
             drop(wire);
             pool.put(scratch);
             batch.clear();
@@ -448,6 +467,7 @@ impl TcpFabric {
         node: NodeId,
         topology: Topology,
         metrics: Arc<ClusterMetrics>,
+        obs: Arc<Observability>,
         outbound: Vec<(NodeId, TcpStream)>,
         inbound: Vec<TcpStream>,
         drain_grace: Duration,
@@ -472,6 +492,7 @@ impl TcpFabric {
                 Arc::clone(&link),
                 Arc::clone(&pool),
                 Arc::clone(&metrics),
+                Arc::clone(&obs),
             )
             .inspect_err(|_| {
                 let _ = stream.shutdown(Shutdown::Both);
@@ -483,6 +504,7 @@ impl TcpFabric {
         let inner = Arc::new(FabricInner {
             node,
             metrics,
+            obs,
             pool,
             inboxes,
             peers,
@@ -676,6 +698,7 @@ mod tests {
             NodeId(0),
             topology,
             metrics,
+            Arc::new(Observability::new()),
             vec![(NodeId(1), outbound)],
             Vec::new(),
             grace,

@@ -20,6 +20,12 @@ use nups_sim::metrics::ClusterMetrics;
 use nups_sim::net::Frame;
 use nups_sim::time::{SimDuration, SimTime};
 use nups_sim::topology::{Addr, NodeId, Topology};
+use nups_sim::trace::Observability;
+
+/// Fresh observability bundle for nodes that don't inspect it.
+fn obs() -> Arc<Observability> {
+    Arc::new(Observability::new())
+}
 
 /// Reserve a loopback rendezvous address (bind-and-drop).
 fn rendezvous_addr() -> SocketAddr {
@@ -34,7 +40,7 @@ fn connect_mesh(topology: Topology) -> Vec<TcpFabric> {
         let opts = ClusterOptions::new(node, topology, coordinator);
         handles.push(std::thread::spawn(move || {
             let metrics = Arc::new(ClusterMetrics::new(topology.n_nodes as usize));
-            connect_cluster(&opts, metrics).expect("bootstrap")
+            connect_cluster(&opts, metrics, obs()).expect("bootstrap")
         }));
     }
     handles.into_iter().map(|h| h.join().expect("bootstrap thread")).collect()
@@ -103,12 +109,16 @@ fn multi_node_cluster_over_real_sockets_matches_the_simulator() {
         let opts = ClusterOptions::new(node, topology, coordinator);
         handles.push(std::thread::spawn(move || {
             let metrics = Arc::new(ClusterMetrics::new(topology.n_nodes as usize));
-            let fabric = Arc::new(connect_cluster(&opts, Arc::clone(&metrics)).expect("bootstrap"));
+            let obs = obs();
+            let fabric = Arc::new(
+                connect_cluster(&opts, Arc::clone(&metrics), Arc::clone(&obs)).expect("bootstrap"),
+            );
             let cfg = workload_cfg(topology).with_backend(Backend::WallClock);
             let ps = ParameterServer::deploy(
                 cfg,
                 fabric,
                 metrics,
+                obs,
                 Deployment::SingleNode(node),
                 init_value,
             );
@@ -207,12 +217,16 @@ fn adaptive_cluster_promotions_race_relocations_over_real_sockets() {
         let opts = ClusterOptions::new(node, topology, coordinator);
         handles.push(std::thread::spawn(move || {
             let metrics = Arc::new(ClusterMetrics::new(topology.n_nodes as usize));
-            let fabric = Arc::new(connect_cluster(&opts, Arc::clone(&metrics)).expect("bootstrap"));
+            let obs = obs();
+            let fabric = Arc::new(
+                connect_cluster(&opts, Arc::clone(&metrics), Arc::clone(&obs)).expect("bootstrap"),
+            );
             let cfg = adaptive_cfg(topology).with_backend(Backend::WallClock);
             let ps = ParameterServer::deploy(
                 cfg,
                 fabric,
                 metrics,
+                obs,
                 Deployment::SingleNode(node),
                 init_value,
             );
@@ -260,7 +274,7 @@ fn duplicate_node_id_is_a_typed_bootstrap_error() {
     let coord = std::thread::spawn(move || {
         let mut opts = ClusterOptions::new(NodeId(0), topology, coordinator);
         opts.timeout = Duration::from_secs(10);
-        connect_cluster(&opts, Arc::new(ClusterMetrics::new(3)))
+        connect_cluster(&opts, Arc::new(ClusterMetrics::new(3)), obs())
     });
     let peers: Vec<_> = (0..2)
         .map(|_| {
@@ -269,7 +283,7 @@ fn duplicate_node_id_is_a_typed_bootstrap_error() {
                 // membership these impostors wait for will never come.
                 let mut opts = ClusterOptions::new(NodeId(1), topology, coordinator);
                 opts.timeout = Duration::from_secs(5);
-                connect_cluster(&opts, Arc::new(ClusterMetrics::new(3)))
+                connect_cluster(&opts, Arc::new(ClusterMetrics::new(3)), obs())
             })
         })
         .collect();
@@ -293,7 +307,7 @@ fn out_of_range_hello_is_a_typed_bootstrap_error() {
     let coord = std::thread::spawn(move || {
         let mut opts = ClusterOptions::new(NodeId(0), topology, coordinator);
         opts.timeout = Duration::from_secs(10);
-        connect_cluster(&opts, Arc::new(ClusterMetrics::new(2)))
+        connect_cluster(&opts, Arc::new(ClusterMetrics::new(2)), obs())
     });
     let mut payload = vec![1u8]; // tag: hello
     payload.extend_from_slice(&7u16.to_le_bytes()); // node 7
@@ -337,8 +351,9 @@ fn bootstrap_times_out_against_an_absent_cluster() {
     let mut opts = ClusterOptions::new(NodeId(1), Topology::new(2, 1), coordinator);
     opts.timeout = Duration::from_millis(300);
     let t0 = Instant::now();
-    let err =
-        connect_cluster(&opts, Arc::new(ClusterMetrics::new(2))).err().expect("no cluster to join");
+    let err = connect_cluster(&opts, Arc::new(ClusterMetrics::new(2)), obs())
+        .err()
+        .expect("no cluster to join");
     assert!(
         matches!(err, BootstrapError::TimedOut { .. } | BootstrapError::Io(_)),
         "unexpected error: {err:?}"
@@ -501,7 +516,7 @@ fn coalescing_counters_account_for_every_socket_frame() {
         let opts = ClusterOptions::new(node, topology, coordinator);
         handles.push(std::thread::spawn(move || {
             let metrics = Arc::new(ClusterMetrics::new(2));
-            let fabric = connect_cluster(&opts, Arc::clone(&metrics)).expect("bootstrap");
+            let fabric = connect_cluster(&opts, Arc::clone(&metrics), obs()).expect("bootstrap");
             (fabric, metrics)
         }));
     }
@@ -559,7 +574,7 @@ fn local_frames_never_touch_the_network_counters() {
         let opts = ClusterOptions::new(node, topology, coordinator);
         handles.push(std::thread::spawn(move || {
             let metrics = Arc::new(ClusterMetrics::new(2));
-            let fabric = connect_cluster(&opts, Arc::clone(&metrics)).expect("bootstrap");
+            let fabric = connect_cluster(&opts, Arc::clone(&metrics), obs()).expect("bootstrap");
             (fabric, metrics)
         }));
     }

@@ -162,6 +162,9 @@ metrics! {
     /// TCP fabric buffer-pool requests that had to allocate fresh.
     pool_misses,
     /// Frames-per-write histogram: flushes that carried exactly 1 frame.
+    /// Empty flushes are never recorded (see
+    /// [`Metrics::record_fabric_write`]), so every bucket counts writes
+    /// that put real frames on the wire.
     frames_per_write_1,
     /// Flushes that carried 2–3 frames.
     frames_per_write_2_3,
@@ -186,11 +189,17 @@ impl Metrics {
 
     /// Record one coalesced fabric flush carrying `frames` frames: bumps
     /// the flush/frame totals and the matching frames-per-write bucket.
+    /// Empty flushes (`frames == 0`) are skipped entirely: nothing hit
+    /// the wire, so counting them would dilute the coalescing ratio and
+    /// previously mislabeled them as single-frame writes.
     pub fn record_fabric_write(&self, frames: u64) {
+        if frames == 0 {
+            return;
+        }
         self.inc(|m| &m.fabric_writes);
         self.add(|m| &m.fabric_frames, frames);
         let bucket: fn(&Metrics) -> &AtomicU64 = match frames {
-            0..=1 => |m| &m.frames_per_write_1,
+            1 => |m| &m.frames_per_write_1,
             2..=3 => |m| &m.frames_per_write_2_3,
             4..=7 => |m| &m.frames_per_write_4_7,
             8..=15 => |m| &m.frames_per_write_8_15,
@@ -308,13 +317,21 @@ impl FreqSketch {
 
     /// Exponential decay: halve every counter. Called after each adaptation
     /// round so drifting hot sets age out instead of accumulating forever.
+    ///
+    /// Each halving is a single atomic read-modify-write (`fetch_update`):
+    /// a plain load/store pair would drop any increment a concurrently
+    /// recording worker landed between the two, silently leaking counts
+    /// out of the sketch.
     pub fn decay(&self) {
+        let halve = |c: &AtomicU64| {
+            let _ = c.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v / 2));
+        };
         for row in &self.rows {
             for c in row {
-                c.store(c.load(Ordering::Relaxed) / 2, Ordering::Relaxed);
+                halve(c);
             }
         }
-        self.total.store(self.total.load(Ordering::Relaxed) / 2, Ordering::Relaxed);
+        halve(&self.total);
     }
 
     /// Atomically take the sketch's contents, leaving it empty, as sparse
@@ -481,6 +498,50 @@ mod tests {
     }
 
     #[test]
+    fn empty_fabric_flushes_are_not_recorded() {
+        let m = Metrics::default();
+        m.record_fabric_write(0);
+        let s = m.snapshot();
+        assert_eq!(s.fabric_writes, 0, "an empty flush put nothing on the wire");
+        assert_eq!(s.fabric_frames, 0);
+        assert_eq!(s.frames_per_write_1, 0, "0 frames must not land in the '1' bucket");
+        // A real single-frame write still counts where it always did.
+        m.record_fabric_write(1);
+        assert_eq!(m.snapshot().frames_per_write_1, 1);
+    }
+
+    #[test]
+    fn decay_never_loses_racing_increments() {
+        use std::sync::Arc;
+        // Lockstep rounds: each round runs exactly one `record(7, V)` and
+        // one `decay()` concurrently, then checks the invariant that holds
+        // for any interleaving of *atomic* halvings:
+        //
+        //   decay-then-record  =>  estimate >= prev/2 + V  >  V/2
+        //   record-then-decay  =>  estimate >= (prev+V)/2  >= V/2
+        //
+        // The old load/store halving had a third outcome — decay loads,
+        // record lands, decay's store overwrites — which erases V entirely
+        // and drives the estimate below V/2. A thousand rounds reliably
+        // hit that window when the halving is not a single RMW.
+        const V: u64 = 1 << 20;
+        let s = Arc::new(FreqSketch::new(6));
+        for round in 0..1000 {
+            let writer = {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || s.record(7, V))
+            };
+            s.decay();
+            writer.join().unwrap();
+            assert!(
+                s.estimate(7) >= V / 2,
+                "round {round}: a racing decay dropped a concurrent record"
+            );
+            assert!(s.total() >= V / 2, "round {round}: total lost a concurrent record");
+        }
+    }
+
+    #[test]
     fn entries_expose_all_fields() {
         let m = Metrics::default();
         m.inc(|m| &m.samples_drawn);
@@ -490,5 +551,52 @@ mod tests {
         let shown = m.snapshot().to_string();
         assert!(shown.contains("samples_drawn"));
         assert!(!shown.contains("sync_bytes"));
+    }
+
+    #[test]
+    fn snapshot_sub_saturates_instead_of_wrapping() {
+        let m = Metrics::default();
+        m.add(|m| &m.msgs_sent, 3);
+        let later = m.snapshot();
+        m.reset();
+        m.add(|m| &m.msgs_sent, 1);
+        let earlier_is_larger = later - m.snapshot(); // 3 - 1
+        assert_eq!(earlier_is_larger.msgs_sent, 2);
+        let underflow = m.snapshot() - later; // 1 - 3 saturates
+        assert_eq!(underflow.msgs_sent, 0, "Sub must saturate, not wrap");
+        assert_eq!(underflow, MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn display_filters_zero_counters_exactly() {
+        let zero = MetricsSnapshot::default();
+        assert_eq!(zero.to_string(), "", "all-zero snapshot prints nothing");
+        let m = Metrics::default();
+        m.inc(|m| &m.relocations);
+        m.add(|m| &m.sync_bytes, 9);
+        let shown = m.snapshot().to_string();
+        assert_eq!(shown.lines().count(), 2, "exactly the non-zero counters print");
+        assert!(shown.contains("relocations"));
+        assert!(shown.contains("sync_bytes"));
+    }
+
+    #[test]
+    fn entries_names_agree_with_macro_fields() {
+        // Every entry name must match a real field with the same value:
+        // bump each counter to a distinct value through `entries`' own
+        // ordering and verify the round trip via Display.
+        let m = Metrics::default();
+        let names: Vec<&'static str> = m.snapshot().entries().iter().map(|(n, _)| *n).collect();
+        // Names are unique.
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate counter name in the macro");
+        // Snapshot entries stay aligned with the live counters: bump one
+        // known field and find exactly one changed entry, in its place.
+        m.add(|m| &m.pool_hits, 41);
+        let changed: Vec<(&'static str, u64)> =
+            m.snapshot().entries().into_iter().filter(|(_, v)| *v != 0).collect();
+        assert_eq!(changed, vec![("pool_hits", 41)]);
     }
 }
